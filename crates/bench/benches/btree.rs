@@ -1,0 +1,105 @@
+//! B+tree substrate microbenches: point ops and range scans at the
+//! key shapes the indices use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use xvi_btree::BPlusTree;
+
+fn filled(n: u32) -> BPlusTree<(u32, u32), ()> {
+    let mut t = BPlusTree::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..n {
+        t.insert((rng.gen(), rng.gen()), ());
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_insert");
+    for n in [1_000u32, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let t = filled(n);
+                black_box(t.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_get_and_range(c: &mut Criterion) {
+    let t = filled(100_000);
+    let keys: Vec<(u32, u32)> = {
+        let mut ks: Vec<_> = t.iter().map(|(k, _)| *k).collect();
+        ks.shuffle(&mut StdRng::seed_from_u64(9));
+        ks.truncate(1024);
+        ks
+    };
+    c.bench_function("btree_get_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(t.get(&keys[i]))
+        });
+    });
+    c.bench_function("btree_range_100", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(t.range(keys[i]..).take(100).count())
+        });
+    });
+}
+
+/// Ablation: the creation path's bulk load vs. naive random inserts
+/// (DESIGN.md decision — why Figure 7 feeds a sorted run).
+fn bench_bulk_vs_insert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut keys: Vec<(u32, u32)> = (0..100_000u32).map(|i| (rng.gen(), i)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+
+    let mut g = c.benchmark_group("btree_build_100k");
+    g.sample_size(10);
+    g.bench_function("bulk_load_sorted", |b| {
+        b.iter(|| {
+            let t: BPlusTree<(u32, u32), ()> =
+                BPlusTree::from_sorted_iter(keys.iter().map(|&k| (k, ())));
+            black_box(t.len())
+        });
+    });
+    g.bench_function("random_inserts", |b| {
+        b.iter(|| {
+            let mut t: BPlusTree<(u32, u32), ()> = BPlusTree::new();
+            // Insert in hash order (the pre-bulk-load creation path).
+            for &k in &keys {
+                t.insert(k, ());
+            }
+            black_box(t.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    c.bench_function("btree_fill_then_drain_10k", |b| {
+        b.iter(|| {
+            let mut t = filled(10_000);
+            let keys: Vec<(u32, u32)> = t.iter().map(|(k, _)| *k).collect();
+            for k in &keys {
+                t.remove(k);
+            }
+            black_box(t.is_empty())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_get_and_range,
+    bench_bulk_vs_insert,
+    bench_remove
+);
+criterion_main!(benches);

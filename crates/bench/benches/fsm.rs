@@ -1,0 +1,46 @@
+//! Microbenches for the typed FSMs: feeding text through the monoid
+//! (`state_of`), and the paper's §6 claim that combining states by SCT
+//! probe is cheaper than invoking the hash combination function.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xvi_fsm::{analyzer, XmlType};
+use xvi_hash::{combine, hash_str};
+
+fn bench_state_of(c: &mut Criterion) {
+    let double = analyzer(XmlType::Double);
+    let date = analyzer(XmlType::DateTime);
+    let mut g = c.benchmark_group("fsm_state_of");
+    g.bench_function("double_accept", |b| {
+        b.iter(|| double.state_of(black_box(" +4.2E1")));
+    });
+    g.bench_function("double_reject_early", |b| {
+        // Rejected on the first byte: the common case the paper counts
+        // on ("the majority of all text nodes … will be rejected
+        // immediately").
+        b.iter(|| double.state_of(black_box("the quick brown fox jumps")));
+    });
+    g.bench_function("datetime_accept", |b| {
+        b.iter(|| date.state_of(black_box("2008-12-31T23:59:59Z")));
+    });
+    g.finish();
+}
+
+fn bench_sct_vs_hash_combine(c: &mut Criterion) {
+    let an = analyzer(XmlType::Double);
+    let s78 = an.state_of("78");
+    let sdot = an.state_of(".");
+    let h78 = hash_str("78");
+    let hdot = hash_str(".");
+
+    let mut g = c.benchmark_group("combine_step");
+    g.bench_function("sct_probe", |b| {
+        b.iter(|| an.combine(black_box(s78), black_box(sdot)));
+    });
+    g.bench_function("hash_combine_fn", |b| {
+        b.iter(|| combine(black_box(h78), black_box(hdot)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_state_of, bench_sct_vs_hash_combine);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenches for the hash function `H` and combination function
+//! `C`, including the ablation behind the paper's update-cost claim:
+//! recombining an ancestor from stored child hashes (a few `C` calls)
+//! vs. re-hashing its concatenated string value.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xvi_hash::{combine, combine_all, hash_bytes, hash_str};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_H");
+    for len in [8usize, 64, 512, 4096] {
+        let s: String = "abcdefghijklmnopqrstuvwxyz".chars().cycle().take(len).collect();
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &s, |b, s| {
+            b.iter(|| hash_str(black_box(s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let a = hash_str("Arthur");
+    let b2 = hash_str("Dent");
+    c.bench_function("combine_C", |bch| {
+        bch.iter(|| combine(black_box(a), black_box(b2)));
+    });
+
+    // The update ablation: an element with 8 children.
+    let children: Vec<String> = (0..8).map(|i| format!("child value number {i}")).collect();
+    let child_hashes: Vec<_> = children.iter().map(|s| hash_str(s)).collect();
+    let concatenated = children.concat();
+
+    let mut g = c.benchmark_group("ancestor_recompute");
+    g.bench_function("combine_stored_child_hashes", |bch| {
+        bch.iter(|| combine_all(black_box(&child_hashes).iter().copied()));
+    });
+    g.bench_function("rehash_concatenated_string", |bch| {
+        bch.iter(|| hash_bytes(black_box(concatenated.as_bytes())));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_combine);
+criterion_main!(benches);

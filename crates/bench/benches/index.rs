@@ -1,0 +1,54 @@
+//! Index creation and maintenance microbenches on an XMark-shaped
+//! document (Criterion companions to the `fig9`/`fig10` binaries).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xvi_datagen::{Dataset, UpdateWorkload};
+use xvi_fsm::XmlType;
+use xvi_index::{IndexConfig, IndexManager};
+use xvi_xml::Document;
+
+fn corpus() -> Document {
+    Document::parse(&Dataset::XMark(1).generate(50)).unwrap()
+}
+
+fn bench_creation(c: &mut Criterion) {
+    let doc = corpus();
+    let mut g = c.benchmark_group("index_creation");
+    g.sample_size(20);
+    g.bench_function("string_only", |b| {
+        b.iter(|| black_box(IndexManager::build(&doc, IndexConfig::string_only())));
+    });
+    g.bench_function("double_only", |b| {
+        b.iter(|| {
+            black_box(IndexManager::build(
+                &doc,
+                IndexConfig::typed_only(&[XmlType::Double]),
+            ))
+        });
+    });
+    g.bench_function("string_plus_double", |b| {
+        b.iter(|| black_box(IndexManager::build(&doc, IndexConfig::default())));
+    });
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_update");
+    g.sample_size(20);
+    for batch in [1usize, 100, 1_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut doc = corpus();
+            let mut idx = IndexManager::build(&doc, IndexConfig::default());
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let w = UpdateWorkload::generate(&doc, batch, seed);
+                idx.update_values(&mut doc, w.as_pairs()).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_creation, bench_updates);
+criterion_main!(benches);

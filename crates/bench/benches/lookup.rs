@@ -1,0 +1,101 @@
+//! Lookup-vs-scan: the reason value indices exist. Compares the
+//! index-served evaluation of the paper's motivating queries against
+//! the full-document-scan baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xvi_datagen::Dataset;
+use xvi_index::{IndexConfig, IndexManager, QueryEngine};
+use xvi_xml::Document;
+
+fn setup() -> (Document, IndexManager) {
+    let doc = Document::parse(&Dataset::XMark(1).generate(100)).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    (doc, idx)
+}
+
+fn bench_equi(c: &mut Criterion) {
+    let (doc, idx) = setup();
+    let q = QueryEngine::parse("//person[.//age = 42]").unwrap();
+    // Sanity: both strategies agree before we time them.
+    assert_eq!(
+        QueryEngine::evaluate(&doc, &idx, &q),
+        QueryEngine::evaluate_scan(&doc, &q)
+    );
+
+    let mut g = c.benchmark_group("query_age_eq_42");
+    g.sample_size(20);
+    g.bench_function("index", |b| {
+        b.iter(|| black_box(QueryEngine::evaluate(&doc, &idx, &q)));
+    });
+    g.bench_function("scan", |b| {
+        b.iter(|| black_box(QueryEngine::evaluate_scan(&doc, &q)));
+    });
+    g.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let (doc, idx) = setup();
+    let q = QueryEngine::parse("//open_auction[current > 490]").unwrap();
+    assert_eq!(
+        QueryEngine::evaluate(&doc, &idx, &q),
+        QueryEngine::evaluate_scan(&doc, &q)
+    );
+
+    let mut g = c.benchmark_group("query_current_gt_490");
+    g.sample_size(20);
+    g.bench_function("index", |b| {
+        b.iter(|| black_box(QueryEngine::evaluate(&doc, &idx, &q)));
+    });
+    g.bench_function("scan", |b| {
+        b.iter(|| black_box(QueryEngine::evaluate_scan(&doc, &q)));
+    });
+    g.finish();
+}
+
+fn bench_substring(c: &mut Criterion) {
+    let doc = Document::parse(&Dataset::Wiki.generate(60)).unwrap();
+    let idx = IndexManager::build(
+        &doc,
+        IndexConfig::string_only().with_substring_index(),
+    );
+    let mut g = c.benchmark_group("substring_lookup");
+    g.sample_size(20);
+    g.bench_function("contains_trigram", |b| {
+        b.iter(|| black_box(idx.contains_lookup(&doc, "wikipedia.org/wiki/gold")));
+    });
+    g.bench_function("contains_scan_baseline", |b| {
+        b.iter(|| {
+            // What you'd do without the trigram index: visit every text
+            // node and test `contains`.
+            let mut hits = 0usize;
+            for n in doc.descendants(doc.document_node()) {
+                if let Some(v) = doc.direct_value(n) {
+                    if v.contains("wikipedia.org/wiki/gold") {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("wildcard", |b| {
+        b.iter(|| black_box(idx.wildcard_lookup(&doc, "http://*wiki/gold*")));
+    });
+    g.finish();
+}
+
+fn bench_raw_lookups(c: &mut Criterion) {
+    let (doc, idx) = setup();
+    c.bench_function("equi_lookup_person_name", |b| {
+        b.iter(|| black_box(idx.equi_lookup(&doc, "Arthur Dent")));
+    });
+    c.bench_function("range_lookup_prices", |b| {
+        b.iter(|| black_box(idx.range_lookup_f64(100.0..110.0)));
+    });
+    c.bench_function("equi_candidates_unverified", |b| {
+        b.iter(|| black_box(idx.equi_candidates("Arthur Dent")));
+    });
+}
+
+criterion_group!(benches, bench_equi, bench_range, bench_substring, bench_raw_lookups);
+criterion_main!(benches);

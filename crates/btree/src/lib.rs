@@ -1,0 +1,28 @@
+//! # xvi-btree — the B+tree substrate
+//!
+//! The paper builds a "(B-tree) index … on the hash values" for the
+//! string equi-index and "a clustered (b-tree) index … on top of the
+//! typed values" for the range index (§3, §4). This crate provides that
+//! substrate: an in-memory, arena-allocated B+tree with
+//!
+//! * ordered unique keys with replace-on-insert semantics,
+//! * `O(log n)` point lookups, inserts and deletes with node
+//!   split/borrow/merge rebalancing,
+//! * linked leaves for cheap in-order [`BPlusTree::range`] scans — the
+//!   operation the range index exists for,
+//! * occupancy/size statistics used by the Figure 9 storage accounting.
+//!
+//! Duplicate logical keys (e.g. many nodes sharing one hash value) are
+//! handled the way databases usually do it: with composite keys such as
+//! `(hash, node_id)` and prefix range scans; see `xvi-index`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod iter;
+mod node;
+mod tree;
+
+pub use iter::Range;
+pub use tree::{BPlusTree, TreeStats, DEFAULT_ORDER};

@@ -1,0 +1,33 @@
+//! Arena node representation.
+
+/// Sentinel "null" node id inside the arena.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// A B+tree node. Nodes live in the tree's arena (`Vec<Node<K, V>>`)
+/// and reference each other by index, which keeps the structure compact
+/// and lets leaves form a doubly-linked list for range scans.
+#[derive(Debug)]
+pub(crate) enum Node<K, V> {
+    /// Inner routing node: `keys.len() + 1 == children.len()`, and
+    /// `keys[i]` is the smallest key reachable under `children[i + 1]`.
+    Internal { keys: Vec<K>, children: Vec<u32> },
+    /// Leaf node holding the actual entries plus sibling links.
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: u32,
+        prev: u32,
+    },
+    /// Recycled slot on the free list.
+    Free,
+}
+
+impl<K, V> Node<K, V> {
+    pub(crate) fn key_count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+            Node::Free => 0,
+        }
+    }
+
+}

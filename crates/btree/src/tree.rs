@@ -1,0 +1,1008 @@
+//! The B+tree proper: lookup, insert with splits, delete with
+//! borrow/merge rebalancing, and structural statistics.
+
+use std::ops::RangeBounds;
+
+use crate::iter::Range;
+use crate::node::{Node, NIL};
+
+/// Default maximum number of keys per node.
+///
+/// 32 keys per node keeps nodes within one or two cache lines for the
+/// small fixed-size keys the indices use (`(u32, u32)`, `(f64, u32)`)
+/// while keeping trees shallow.
+pub const DEFAULT_ORDER: usize = 32;
+
+/// An in-memory B+tree with linked leaves.
+///
+/// Keys are unique; [`BPlusTree::insert`] replaces and returns the
+/// previous value for an existing key.
+///
+/// ```
+/// use xvi_btree::BPlusTree;
+/// let mut t = BPlusTree::new();
+/// for i in 0..1000u32 {
+///     t.insert(i, i * 2);
+/// }
+/// assert_eq!(t.get(&21), Some(&42));
+/// let in_range: Vec<u32> = t.range(10..13).map(|(k, _)| *k).collect();
+/// assert_eq!(in_range, vec![10, 11, 12]);
+/// ```
+#[derive(Debug)]
+pub struct BPlusTree<K, V> {
+    pub(crate) nodes: Vec<Node<K, V>>,
+    pub(crate) root: u32,
+    pub(crate) first_leaf: u32,
+    len: usize,
+    /// Maximum number of keys a node may hold.
+    order: usize,
+    free: Vec<u32>,
+}
+
+/// Structural statistics, used for the paper's storage accounting
+/// (Figure 9 bottom) and as a sanity window into tree shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of entries stored.
+    pub len: usize,
+    /// Number of live leaf nodes.
+    pub leaves: usize,
+    /// Number of live internal nodes.
+    pub internals: usize,
+    /// Tree height (a lone leaf root has depth 1).
+    pub depth: usize,
+    /// Total key slots in use across all nodes (leaf + internal).
+    pub used_key_slots: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree with [`DEFAULT_ORDER`].
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree where nodes hold at most `order` keys.
+    ///
+    /// # Panics
+    /// Panics if `order < 3` (splits need at least two keys per half).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+tree order must be at least 3");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: NIL,
+                prev: NIL,
+            }],
+            root: 0,
+            first_leaf: 0,
+            len: 0,
+            order,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Minimum keys a non-root node must hold.
+    fn min_keys(&self) -> usize {
+        self.order / 2
+    }
+
+    pub(crate) fn node(&self, id: u32) -> &Node<K, V> {
+        &self.nodes[id as usize]
+    }
+
+    fn node_mut(&mut self, id: u32) -> &mut Node<K, V> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Arena allocation for the bulk loader.
+    pub(crate) fn alloc_node(&mut self, node: Node<K, V>) -> u32 {
+        self.alloc(node)
+    }
+
+    /// Bulk-loader helper: links `leaf`'s `next` pointer.
+    pub(crate) fn set_leaf_next(&mut self, leaf: u32, next: u32) {
+        match self.node_mut(leaf) {
+            Node::Leaf { next: n, .. } => *n = next,
+            _ => unreachable!("set_leaf_next on a non-leaf"),
+        }
+    }
+
+    /// Bulk-loader helper: first key of a leaf.
+    pub(crate) fn first_key_of_leaf(&self, leaf: u32) -> K {
+        match self.node(leaf) {
+            Node::Leaf { keys, .. } => keys.first().expect("non-empty leaf").clone(),
+            _ => unreachable!("first_key_of_leaf on a non-leaf"),
+        }
+    }
+
+    /// Bulk-loader helper: moves the last `n` entries of `left` to the
+    /// front of `right` (both leaves).
+    pub(crate) fn shift_tail_to_right_leaf(&mut self, left: u32, right: u32, n: usize) {
+        let (l, r) = self.two_nodes_mut(left, right);
+        match (l, r) {
+            (
+                Node::Leaf { keys: lk, values: lv, .. },
+                Node::Leaf { keys: rk, values: rv, .. },
+            ) => {
+                let at = lk.len() - n;
+                let mut moved_k = lk.split_off(at);
+                let mut moved_v = lv.split_off(at);
+                moved_k.append(rk);
+                moved_v.append(rv);
+                *rk = moved_k;
+                *rv = moved_v;
+            }
+            _ => unreachable!("leaf rebalance on non-leaves"),
+        }
+    }
+
+    /// Bulk-loader helper: installs a freshly built root and entry
+    /// count, discarding the placeholder empty leaf when unused.
+    pub(crate) fn replace_root(&mut self, root: u32, len: usize) {
+        let placeholder = self.root;
+        self.root = root;
+        self.len = len;
+        if root != placeholder {
+            // Slot 0 was the empty placeholder leaf from `with_order`;
+            // recycle it unless the bulk loader reused it.
+            self.dealloc(placeholder);
+        }
+        // The first leaf is the leftmost leaf under the new root.
+        let mut id = root;
+        loop {
+            match self.node(id) {
+                Node::Internal { children, .. } => id = children[0],
+                Node::Leaf { .. } => break,
+                Node::Free => unreachable!(),
+            }
+        }
+        self.first_leaf = id;
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, id: u32) {
+        self.nodes[id as usize] = Node::Free;
+        self.free.push(id);
+    }
+
+    /// Child index to follow for `key` given internal separators.
+    /// `keys[i]` is the smallest key under `children[i + 1]`, so equal
+    /// keys route right.
+    fn route(keys: &[K], key: &K) -> usize {
+        keys.partition_point(|sep| sep <= key)
+    }
+
+    /// Descends to the leaf that would contain `key`.
+    pub(crate) fn find_leaf(&self, key: &K) -> u32 {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal { keys, children } => id = children[Self::route(keys, key)],
+                Node::Leaf { .. } => return id,
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// Looks up the value stored under `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        match self.node(leaf) {
+            Node::Leaf { keys, values, .. } => {
+                keys.binary_search(key).ok().map(|i| &values[i])
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Looks up a mutable reference to the value stored under `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        match self.node_mut(leaf) {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(key) {
+                Ok(i) => Some(&mut values[i]),
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`; returns the previous value if `key` was
+    /// already present (the entry is replaced, not duplicated).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let old_root = self.root;
+            self.root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, id: u32, key: K, value: V) -> (Option<V>, Option<(K, u32)>) {
+        // Route first with a short-lived borrow, recurse, then mutate.
+        let child = match self.node(id) {
+            Node::Internal { keys, children } => Some(children[Self::route(keys, &key)]),
+            Node::Leaf { .. } => None,
+            Node::Free => unreachable!(),
+        };
+
+        match child {
+            None => {
+                let overflow = {
+                    let order = self.order;
+                    match self.node_mut(id) {
+                        Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
+                            Ok(i) => {
+                                return (Some(std::mem::replace(&mut values[i], value)), None)
+                            }
+                            Err(i) => {
+                                keys.insert(i, key);
+                                values.insert(i, value);
+                                keys.len() > order
+                            }
+                        },
+                        _ => unreachable!(),
+                    }
+                };
+                let split = overflow.then(|| self.split_leaf(id));
+                (None, split)
+            }
+            Some(child_id) => {
+                let (old, child_split) = self.insert_rec(child_id, key, value);
+                let split = if let Some((sep, new_child)) = child_split {
+                    let overflow = {
+                        let order = self.order;
+                        match self.node_mut(id) {
+                            Node::Internal { keys, children } => {
+                                let i = keys.partition_point(|k| k < &sep);
+                                keys.insert(i, sep);
+                                children.insert(i + 1, new_child);
+                                keys.len() > order
+                            }
+                            _ => unreachable!(),
+                        }
+                    };
+                    overflow.then(|| self.split_internal(id))
+                } else {
+                    None
+                };
+                (old, split)
+            }
+        }
+    }
+
+    /// Splits an overflowing leaf; returns `(separator, new_right_id)`.
+    /// The separator is a copy of the new right leaf's first key.
+    fn split_leaf(&mut self, id: u32) -> (K, u32) {
+        let (up_keys, up_values, old_next) = match self.node_mut(id) {
+            Node::Leaf {
+                keys, values, next, ..
+            } => {
+                let mid = keys.len() / 2;
+                (keys.split_off(mid), values.split_off(mid), *next)
+            }
+            _ => unreachable!(),
+        };
+        let sep = up_keys[0].clone();
+        let new_id = self.alloc(Node::Leaf {
+            keys: up_keys,
+            values: up_values,
+            next: old_next,
+            prev: id,
+        });
+        if let Node::Leaf { next, .. } = self.node_mut(id) {
+            *next = new_id;
+        }
+        if old_next != NIL {
+            if let Node::Leaf { prev, .. } = self.node_mut(old_next) {
+                *prev = new_id;
+            }
+        }
+        (sep, new_id)
+    }
+
+    /// Splits an overflowing internal node; the middle key moves up.
+    fn split_internal(&mut self, id: u32) -> (K, u32) {
+        let (sep, up_keys, up_children) = match self.node_mut(id) {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let up_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("mid key exists");
+                let up_children = children.split_off(mid + 1);
+                (sep, up_keys, up_children)
+            }
+            _ => unreachable!(),
+        };
+        let new_id = self.alloc(Node::Internal {
+            keys: up_keys,
+            children: up_children,
+        });
+        (sep, new_id)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.remove_rec(self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Collapse a root that lost its last separator.
+            if let Node::Internal { keys, children } = self.node(self.root) {
+                if keys.is_empty() {
+                    let only_child = children[0];
+                    let old_root = self.root;
+                    self.root = only_child;
+                    self.dealloc(old_root);
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, id: u32, key: &K) -> Option<V> {
+        let child = match self.node(id) {
+            Node::Internal { keys, children } => {
+                let idx = Self::route(keys, key);
+                Some((children[idx], idx))
+            }
+            Node::Leaf { .. } => None,
+            Node::Free => unreachable!(),
+        };
+
+        match child {
+            None => match self.node_mut(id) {
+                Node::Leaf { keys, values, .. } => match keys.binary_search(key) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        Some(values.remove(i))
+                    }
+                    Err(_) => None,
+                },
+                _ => unreachable!(),
+            },
+            Some((child_id, idx)) => {
+                let out = self.remove_rec(child_id, key);
+                if out.is_some() && self.node(child_id).key_count() < self.min_keys() {
+                    self.rebalance(id, idx);
+                }
+                out
+            }
+        }
+    }
+
+    /// Restores the occupancy invariant of `children[idx]` under
+    /// `parent` by borrowing from a rich sibling or merging with one.
+    fn rebalance(&mut self, parent: u32, idx: usize) {
+        let (left, right, child_count) = match self.node(parent) {
+            Node::Internal { children, .. } => (
+                (idx > 0).then(|| children[idx - 1]),
+                (idx + 1 < children.len()).then(|| children[idx + 1]),
+                children.len(),
+            ),
+            _ => unreachable!(),
+        };
+        debug_assert!(child_count >= 2, "rebalance needs a sibling");
+
+        let min = self.min_keys();
+        if let Some(l) = left {
+            if self.node(l).key_count() > min {
+                self.borrow_from_left(parent, idx);
+                return;
+            }
+        }
+        if let Some(r) = right {
+            if self.node(r).key_count() > min {
+                self.borrow_from_right(parent, idx);
+                return;
+            }
+        }
+        if left.is_some() {
+            self.merge(parent, idx - 1);
+        } else {
+            self.merge(parent, idx);
+        }
+    }
+
+    /// Mutable access to two distinct arena slots.
+    fn two_nodes_mut(&mut self, a: u32, b: u32) -> (&mut Node<K, V>, &mut Node<K, V>) {
+        assert_ne!(a, b);
+        let (a, b) = (a as usize, b as usize);
+        if a < b {
+            let (lo, hi) = self.nodes.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    fn parent_key_replace(&mut self, parent: u32, key_idx: usize, new_key: K) -> K {
+        match self.node_mut(parent) {
+            Node::Internal { keys, .. } => std::mem::replace(&mut keys[key_idx], new_key),
+            _ => unreachable!(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: u32, idx: usize) {
+        let (left_id, child_id) = match self.node(parent) {
+            Node::Internal { children, .. } => (children[idx - 1], children[idx]),
+            _ => unreachable!(),
+        };
+        // Rotate through the siblings first, remember the key that must
+        // become the new parent separator, then patch the parent once
+        // the sibling borrows have ended.
+        enum Rot<K> {
+            /// Leaf rotation: the moved key is also the new separator.
+            Leaf(K),
+            /// Internal rotation: the rotated-out key replaces the
+            /// separator, and the *old* separator must be pushed onto
+            /// the child afterwards.
+            Internal(K),
+        }
+        let rot = {
+            let (left, child) = self.two_nodes_mut(left_id, child_id);
+            match (left, child) {
+                (
+                    Node::Leaf { keys: lk, values: lv, .. },
+                    Node::Leaf { keys: ck, values: cv, .. },
+                ) => {
+                    let k = lk.pop().expect("left leaf has spare key");
+                    let v = lv.pop().expect("left leaf has spare value");
+                    let sep = k.clone();
+                    ck.insert(0, k);
+                    cv.insert(0, v);
+                    Rot::Leaf(sep)
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { children: cc, .. },
+                ) => {
+                    let rotated_key = lk.pop().expect("left internal has spare key");
+                    let rotated_child = lc.pop().expect("left internal has spare child");
+                    cc.insert(0, rotated_child);
+                    Rot::Internal(rotated_key)
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+        };
+        match rot {
+            Rot::Leaf(sep) => {
+                self.parent_key_replace(parent, idx - 1, sep);
+            }
+            Rot::Internal(rotated_key) => {
+                let old_sep = self.parent_key_replace(parent, idx - 1, rotated_key);
+                match self.node_mut(child_id) {
+                    Node::Internal { keys, .. } => keys.insert(0, old_sep),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: u32, idx: usize) {
+        let (child_id, right_id) = match self.node(parent) {
+            Node::Internal { children, .. } => (children[idx], children[idx + 1]),
+            _ => unreachable!(),
+        };
+        enum Rot<K> {
+            Leaf(K),
+            Internal(K),
+        }
+        let rot = {
+            let (child, right) = self.two_nodes_mut(child_id, right_id);
+            match (child, right) {
+                (
+                    Node::Leaf { keys: ck, values: cv, .. },
+                    Node::Leaf { keys: rk, values: rv, .. },
+                ) => {
+                    ck.push(rk.remove(0));
+                    cv.push(rv.remove(0));
+                    Rot::Leaf(rk[0].clone())
+                }
+                (
+                    Node::Internal { children: cc, .. },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    let rotated_key = rk.remove(0);
+                    cc.push(rc.remove(0));
+                    Rot::Internal(rotated_key)
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+        };
+        match rot {
+            Rot::Leaf(sep) => {
+                self.parent_key_replace(parent, idx, sep);
+            }
+            Rot::Internal(rotated_key) => {
+                let old_sep = self.parent_key_replace(parent, idx, rotated_key);
+                match self.node_mut(child_id) {
+                    Node::Internal { keys, .. } => keys.push(old_sep),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Merges `children[i + 1]` into `children[i]` under `parent`,
+    /// removing the separator `keys[i]`.
+    fn merge(&mut self, parent: u32, i: usize) {
+        let (left_id, right_id, sep) = match self.node_mut(parent) {
+            Node::Internal { keys, children } => {
+                let sep = keys.remove(i);
+                let right_id = children.remove(i + 1);
+                (children[i], right_id, sep)
+            }
+            _ => unreachable!(),
+        };
+        let relink = {
+            let (left, right) = self.two_nodes_mut(left_id, right_id);
+            match (left, right) {
+                (
+                    Node::Leaf { keys: lk, values: lv, next: lnext, .. },
+                    Node::Leaf { keys: rk, values: rv, next: rnext, .. },
+                ) => {
+                    lk.append(rk);
+                    lv.append(rv);
+                    let new_next = *rnext;
+                    *lnext = new_next;
+                    (new_next != NIL).then_some(new_next)
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    lk.push(sep);
+                    lk.append(rk);
+                    lc.append(rc);
+                    None
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+        };
+        if let Some(succ) = relink {
+            if let Node::Leaf { prev, .. } = self.node_mut(succ) {
+                *prev = left_id;
+            }
+        }
+        self.dealloc(right_id);
+    }
+
+    /// In-order range scan. Bounds behave like `BTreeMap::range`.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Range<'_, K, V> {
+        Range::new(self, bounds)
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// The smallest entry, if any.
+    pub fn first_key_value(&self) -> Option<(&K, &V)> {
+        self.iter().next()
+    }
+
+    /// The largest entry, if any (walks down the rightmost spine).
+    pub fn last_key_value(&self) -> Option<(&K, &V)> {
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal { children, .. } => {
+                    id = *children.last().expect("internal node has children")
+                }
+                Node::Leaf { keys, values, .. } => {
+                    return keys.last().map(|k| (k, values.last().expect("parallel vecs")));
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        let order = self.order;
+        *self = Self::with_order(order);
+    }
+
+    /// Structural statistics for storage accounting.
+    pub fn stats(&self) -> TreeStats {
+        let mut leaves = 0;
+        let mut internals = 0;
+        let mut used_key_slots = 0;
+        for n in &self.nodes {
+            match n {
+                Node::Leaf { keys, .. } => {
+                    leaves += 1;
+                    used_key_slots += keys.len();
+                }
+                Node::Internal { keys, .. } => {
+                    internals += 1;
+                    used_key_slots += keys.len();
+                }
+                Node::Free => {}
+            }
+        }
+        let mut depth = 1;
+        let mut id = self.root;
+        while let Node::Internal { children, .. } = self.node(id) {
+            depth += 1;
+            id = children[0];
+        }
+        TreeStats {
+            len: self.len,
+            leaves,
+            internals,
+            depth,
+            used_key_slots,
+        }
+    }
+
+    /// Rough heap footprint of the live tree structure, in bytes.
+    ///
+    /// Counts used key/value/child slots plus a fixed per-node header;
+    /// good enough for the relative storage comparisons of Figure 9.
+    pub fn approx_bytes(&self) -> usize {
+        const NODE_HEADER: usize = 48; // enum tag + vec headers + links
+        let mut bytes = 0;
+        for n in &self.nodes {
+            match n {
+                Node::Leaf { keys, values, .. } => {
+                    bytes += NODE_HEADER
+                        + keys.len() * std::mem::size_of::<K>()
+                        + values.len() * std::mem::size_of::<V>();
+                }
+                Node::Internal { keys, children } => {
+                    bytes += NODE_HEADER
+                        + keys.len() * std::mem::size_of::<K>()
+                        + children.len() * std::mem::size_of::<u32>();
+                }
+                Node::Free => {}
+            }
+        }
+        bytes
+    }
+
+    /// Verifies every structural invariant; returns a description of
+    /// the first violation. Used by the test suite after mutation
+    /// sequences — not on any hot path.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_entries = Vec::new();
+        let mut leaf_order = Vec::new();
+        self.check_node(self.root, None, None, true, &mut leaf_entries, &mut leaf_order)?;
+
+        if leaf_entries.len() != self.len {
+            return Err(format!(
+                "len mismatch: counted {} entries, len() says {}",
+                leaf_entries.len(),
+                self.len
+            ));
+        }
+        for pair in leaf_entries.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err("keys not strictly increasing across leaves".into());
+            }
+        }
+
+        // The leaf chain must visit exactly the in-order leaves.
+        let mut chain = Vec::new();
+        let mut id = self.first_leaf;
+        let mut prev = NIL;
+        while id != NIL {
+            chain.push(id);
+            match self.node(id) {
+                Node::Leaf { prev: p, next, .. } => {
+                    if *p != prev {
+                        return Err(format!("leaf {id}: prev link {p} != expected {prev}"));
+                    }
+                    prev = id;
+                    id = *next;
+                }
+                _ => return Err(format!("leaf chain reaches non-leaf node {id}")),
+            }
+            if chain.len() > self.nodes.len() {
+                return Err("leaf chain has a cycle".into());
+            }
+        }
+        if chain != leaf_order {
+            return Err("leaf chain disagrees with in-order leaf traversal".into());
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_node(
+        &self,
+        id: u32,
+        lower: Option<&K>,
+        upper: Option<&K>,
+        is_root: bool,
+        leaf_entries: &mut Vec<K>,
+        leaf_order: &mut Vec<u32>,
+    ) -> Result<usize, String> {
+        match self.node(id) {
+            Node::Free => Err(format!("reached freed node {id}")),
+            Node::Leaf { keys, values, .. } => {
+                if keys.len() != values.len() {
+                    return Err(format!("leaf {id}: keys/values length mismatch"));
+                }
+                if !is_root && keys.len() < self.min_keys() {
+                    return Err(format!("leaf {id}: underfull ({} keys)", keys.len()));
+                }
+                if keys.len() > self.order {
+                    return Err(format!("leaf {id}: overfull ({} keys)", keys.len()));
+                }
+                for k in keys {
+                    if let Some(lo) = lower {
+                        if k < lo {
+                            return Err(format!("leaf {id}: key below subtree lower bound"));
+                        }
+                    }
+                    if let Some(hi) = upper {
+                        if k >= hi {
+                            return Err(format!("leaf {id}: key at/above subtree upper bound"));
+                        }
+                    }
+                    leaf_entries.push(k.clone());
+                }
+                leaf_order.push(id);
+                Ok(1)
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(format!("internal {id}: children/keys arity mismatch"));
+                }
+                if !is_root && keys.len() < self.min_keys() {
+                    return Err(format!("internal {id}: underfull ({} keys)", keys.len()));
+                }
+                if is_root && keys.is_empty() {
+                    return Err(format!("internal root {id} has no separator"));
+                }
+                if keys.len() > self.order {
+                    return Err(format!("internal {id}: overfull ({} keys)", keys.len()));
+                }
+                for pair in keys.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return Err(format!("internal {id}: separators not increasing"));
+                    }
+                }
+                let mut depth = None;
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
+                    let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                    let d = self.check_node(child, lo, hi, false, leaf_entries, leaf_order)?;
+                    if let Some(expect) = depth {
+                        if d != expect {
+                            return Err(format!("internal {id}: uneven child depths"));
+                        }
+                    }
+                    depth = Some(d);
+                }
+                Ok(depth.expect("internal node has children") + 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u32, order: usize) -> BPlusTree<u32, u32> {
+        let mut t = BPlusTree::with_order(order);
+        for i in 0..n {
+            assert_eq!(t.insert(i, i + 1000), None);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u32, u32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.first_key_value(), None);
+        assert_eq!(t.last_key_value(), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert("b", 2), None);
+        assert_eq!(t.insert("a", 1), None);
+        assert_eq!(t.insert("b", 20), Some(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&"a"), Some(&1));
+        assert_eq!(t.get(&"b"), Some(&20));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ascending_and_descending_bulk_insert() {
+        for order in [3, 4, 5, 8, 32] {
+            let t = filled(1000, order);
+            t.check_invariants().unwrap();
+            assert_eq!(t.len(), 1000);
+            let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+
+            let mut t = BPlusTree::with_order(order);
+            for i in (0..1000u32).rev() {
+                t.insert(i, i);
+            }
+            t.check_invariants().unwrap();
+            assert_eq!(t.iter().count(), 1000);
+        }
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = filled(100, 4);
+        *t.get_mut(&50).unwrap() = 9999;
+        assert_eq!(t.get(&50), Some(&9999));
+        assert_eq!(t.get_mut(&200), None);
+    }
+
+    #[test]
+    fn remove_everything_both_orders() {
+        for order in [3, 4, 7, 32] {
+            let mut t = filled(500, order);
+            for i in 0..500u32 {
+                assert_eq!(t.remove(&i), Some(i + 1000), "forward removal of {i}");
+                t.check_invariants()
+                    .unwrap_or_else(|e| panic!("order {order}, after removing {i}: {e}"));
+            }
+            assert!(t.is_empty());
+
+            let mut t = filled(500, order);
+            for i in (0..500u32).rev() {
+                assert_eq!(t.remove(&i), Some(i + 1000), "reverse removal of {i}");
+                t.check_invariants()
+                    .unwrap_or_else(|e| panic!("order {order}, after removing {i}: {e}"));
+            }
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = filled(10, 4);
+        assert_eq!(t.remove(&999), None);
+        assert_eq!(t.len(), 10);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_remove() {
+        let mut t = BPlusTree::with_order(4);
+        for round in 0..20u32 {
+            for i in 0..100u32 {
+                t.insert(round * 1000 + i, i);
+            }
+            for i in (0..100u32).step_by(2) {
+                assert!(t.remove(&(round * 1000 + i)).is_some());
+            }
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 20 * 50);
+    }
+
+    #[test]
+    fn range_scans() {
+        let t = filled(1000, 8);
+        let v: Vec<u32> = t.range(100..110).map(|(k, _)| *k).collect();
+        assert_eq!(v, (100..110).collect::<Vec<_>>());
+        let v: Vec<u32> = t.range(100..=110).map(|(k, _)| *k).collect();
+        assert_eq!(v, (100..=110).collect::<Vec<_>>());
+        let v: Vec<u32> = t.range(..3).map(|(k, _)| *k).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+        let v: Vec<u32> = t.range(997..).map(|(k, _)| *k).collect();
+        assert_eq!(v, vec![997, 998, 999]);
+        assert_eq!(t.range(..).count(), 1000);
+        assert_eq!(t.range(500..500).count(), 0);
+        use std::ops::Bound;
+        let v: Vec<u32> = t
+            .range((Bound::Excluded(5), Bound::Included(8)))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(v, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn range_with_gaps() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..100u32).step_by(10) {
+            t.insert(i, ());
+        }
+        let v: Vec<u32> = t.range(15..55).map(|(k, _)| *k).collect();
+        assert_eq!(v, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn first_and_last() {
+        let t = filled(777, 5);
+        assert_eq!(t.first_key_value(), Some((&0, &1000)));
+        assert_eq!(t.last_key_value(), Some((&776, &1776)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = filled(100, 4);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(1, 1);
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_shape() {
+        let t = filled(10_000, 32);
+        let s = t.stats();
+        assert_eq!(s.len, 10_000);
+        assert!(s.depth >= 3, "10k keys at order 32 needs depth >= 3");
+        assert!(s.leaves > s.internals);
+        assert!(t.approx_bytes() > 10_000 * 8);
+    }
+
+    #[test]
+    fn composite_key_prefix_scan() {
+        // The multimap pattern the hash index uses: (hash, node) -> ().
+        let mut t: BPlusTree<(u32, u32), ()> = BPlusTree::new();
+        for node in [7, 3, 9] {
+            t.insert((42, node), ());
+        }
+        t.insert((41, 1), ());
+        t.insert((43, 2), ());
+        let hits: Vec<u32> = t
+            .range((42, 0)..=(42, u32::MAX))
+            .map(|((_, n), _)| *n)
+            .collect();
+        assert_eq!(hits, vec![3, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 3")]
+    fn rejects_tiny_order() {
+        let _ = BPlusTree::<u32, u32>::with_order(2);
+    }
+}

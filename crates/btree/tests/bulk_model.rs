@@ -1,0 +1,49 @@
+//! Bulk loading must be behaviourally identical to insert-building,
+//! for arbitrary key sets, orders, and follow-up mutations.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use xvi_btree::BPlusTree;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bulk_load_equals_model(keys in proptest::collection::btree_set(any::<u32>(), 0..600),
+                              order in 3usize..40) {
+        let tree: BPlusTree<u32, u64> = BPlusTree::from_sorted_iter_with_order(
+            order,
+            keys.iter().map(|&k| (k, u64::from(k) * 7)),
+        );
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), keys.len());
+        let got: Vec<u32> = tree.iter().map(|(k, _)| *k).collect();
+        let want: Vec<u32> = keys.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_then_mutate_stays_consistent(
+        initial in proptest::collection::btree_set(0u32..1000, 0..300),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..1000), 0..200),
+        order in 3usize..16,
+    ) {
+        let mut tree: BPlusTree<u32, ()> = BPlusTree::from_sorted_iter_with_order(
+            order,
+            initial.iter().map(|&k| (k, ())),
+        );
+        let mut model: BTreeMap<u32, ()> = initial.iter().map(|&k| (k, ())).collect();
+        for (insert, key) in ops {
+            if insert {
+                prop_assert_eq!(tree.insert(key, ()), model.insert(key, ()));
+            } else {
+                prop_assert_eq!(tree.remove(&key), model.remove(&key));
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        let got: Vec<u32> = tree.iter().map(|(k, _)| *k).collect();
+        let want: Vec<u32> = model.keys().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,116 @@
+//! Model-based testing: the B+tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences,
+//! and every intermediate state must satisfy the structural invariants.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use xvi_btree::BPlusTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        1 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+    ]
+}
+
+fn run_model(order: usize, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut tree: BPlusTree<u16, u32> = BPlusTree::with_order(order);
+    let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(tree.remove(&k), model.remove(&k));
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(tree.get(&k), model.get(&k));
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let got: Vec<(u16, u32)> =
+                    tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> =
+                    model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+        tree.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated at order {order}: {e}"))
+        })?;
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    // Final full sweeps in both representations.
+    let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    prop_assert_eq!(got, want);
+    prop_assert_eq!(
+        tree.first_key_value().map(|(k, v)| (*k, *v)),
+        model.first_key_value().map(|(k, v)| (*k, *v))
+    );
+    prop_assert_eq!(
+        tree.last_key_value().map(|(k, v)| (*k, *v)),
+        model.last_key_value().map(|(k, v)| (*k, *v))
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Order 3 forces maximal split/merge churn.
+    #[test]
+    fn model_order_3(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        run_model(3, ops)?;
+    }
+
+    #[test]
+    fn model_order_4(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        run_model(4, ops)?;
+    }
+
+    #[test]
+    fn model_default_order(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        run_model(32, ops)?;
+    }
+
+    /// All nine start/end bound combinations agree with BTreeMap.
+    #[test]
+    fn range_bounds_match_model(keys in proptest::collection::btree_set(any::<u16>(), 0..300),
+                                a in any::<u16>(), b in any::<u16>()) {
+        let mut tree: BPlusTree<u16, ()> = BPlusTree::with_order(4);
+        let mut model = BTreeMap::new();
+        for k in keys {
+            tree.insert(k, ());
+            model.insert(k, ());
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let starts = [Bound::Included(lo), Bound::Excluded(lo), Bound::Unbounded];
+        let ends = [Bound::Included(hi), Bound::Excluded(hi), Bound::Unbounded];
+        for s in starts {
+            for e in ends {
+                if matches!((s, e), (Bound::Excluded(x), Bound::Excluded(y)) if x == y) {
+                    continue; // BTreeMap panics on this degenerate range
+                }
+                let got: Vec<u16> = tree.range((s, e)).map(|(k, _)| *k).collect();
+                let want: Vec<u16> = model.range((s, e)).map(|(k, _)| *k).collect();
+                prop_assert_eq!(got, want, "bounds {:?}..{:?}", s, e);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Shape-equivalent substitutes for the paper's four "real life"
+//! datasets (Table 1): EPAGeo, DBLP, PSD, Wiki.
+//!
+//! Each generator reproduces the statistics the experiments are
+//! sensitive to — node counts per kind, the fraction of (potential)
+//! double values, string-length distribution, and for DBLP/PSD a small
+//! number of **non-leaf** double nodes (the mixed-content rarity the
+//! paper highlights). Wiki additionally reproduces the URL repetition
+//! pathology responsible for the multi-way hash collisions in
+//! Figure 11.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{full_name, push_words, AMINO, COUNTIES, JOURNALS};
+
+fn scale_count(scale: u32, base_at_1000: usize) -> usize {
+    ((base_at_1000 as u64 * scale as u64) / 1000).max(1) as usize
+}
+
+/// EPAGeo-alike: geospatial facility records, coordinate-heavy
+/// (paper: 66% text nodes, 7% doubles).
+pub fn epageo(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE9A0);
+    let facilities = scale_count(scale, 24_000);
+    let mut out = String::with_capacity(facilities * 330);
+    out.push_str("<?xml version=\"1.0\"?><facilities>");
+    for f in 0..facilities {
+        write!(out, "<facility id=\"fac{f}\"><name>").unwrap();
+        push_words(&mut out, &mut rng, 3);
+        out.push_str("</name><address><street>");
+        // "123 maple cedar St" — digits then words, rejects as a double.
+        write!(out, "{} ", rng.gen_range(1..2000)).unwrap();
+        push_words(&mut out, &mut rng, 2);
+        out.push_str(" St</street><city>");
+        push_words(&mut out, &mut rng, 1);
+        out.push_str("ville</city><state>CA</state></address><location><latitude>");
+        write!(out, "{:.6}", rng.gen_range(24.0..49.0)).unwrap();
+        out.push_str("</latitude><longitude>");
+        write!(out, "{:.6}", rng.gen_range(-125.0..-66.0)).unwrap();
+        out.push_str("</longitude></location><county>");
+        out.push_str(COUNTIES[rng.gen_range(0..COUNTIES.len())]);
+        out.push_str("</county><sic>SIC-");
+        write!(out, "{}", rng.gen_range(1000..9999)).unwrap();
+        out.push_str("</sic><contact>");
+        let (cf, cl) = full_name(&mut rng);
+        write!(out, "{cf} {cl}").unwrap();
+        out.push_str("</contact><program>");
+        push_words(&mut out, &mut rng, 2);
+        out.push_str("</program><status>");
+        out.push_str(if rng.gen_bool(0.8) { "ACTIVE" } else { "CLOSED" });
+        out.push_str("</status></facility>");
+    }
+    out.push_str("</facilities>");
+    out
+}
+
+/// DBLP-alike: bibliography records; includes a small number of
+/// non-leaf double nodes (the paper counts 21 on real DBLP).
+pub fn dblp(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDB19);
+    let pubs = scale_count(scale, 68_000);
+    let mut out = String::with_capacity(pubs * 300);
+    out.push_str("<?xml version=\"1.0\"?><dblp>");
+    for p in 0..pubs {
+        let kind = if rng.gen_bool(0.55) { "article" } else { "inproceedings" };
+        write!(out, "<{kind} key=\"conf/x/{p}\" mdate=\"").unwrap();
+        crate::vocab::push_date(&mut out, &mut rng);
+        out.push_str("\">");
+        for _ in 0..rng.gen_range(1..4) {
+            let (f, l) = full_name(&mut rng);
+            write!(out, "<author>{f} {l}</author>").unwrap();
+        }
+        out.push_str("<title>");
+        let n_words = rng.gen_range(4..12);
+        push_words(&mut out, &mut rng, n_words);
+        out.push_str("</title><year>");
+        write!(out, "{}", rng.gen_range(1970..=2008)).unwrap();
+        out.push_str("</year><pages>");
+        let a = rng.gen_range(1..400);
+        write!(out, "{}-{}", a, a + rng.gen_range(5..30)).unwrap();
+        out.push_str("</pages>");
+        if kind == "article" {
+            out.push_str("<journal>");
+            out.push_str(JOURNALS[rng.gen_range(0..JOURNALS.len())]);
+            out.push_str("</journal><volume>");
+            write!(out, "{}", rng.gen_range(1..40)).unwrap();
+            out.push_str("</volume>");
+        }
+        // Rare mixed-content element whose concatenated text is a
+        // valid double — the paper's "non-leaf" double phenomenon.
+        if p % 3500 == 1 {
+            out.push_str("<rating><major>");
+            write!(out, "{}", rng.gen_range(1..9)).unwrap();
+            out.push_str("</major>.<minor>");
+            write!(out, "{}", rng.gen_range(0..9)).unwrap();
+            out.push_str("</minor></rating>");
+        }
+        write!(out, "</{kind}>").unwrap();
+    }
+    out.push_str("</dblp>");
+    out
+}
+
+/// PSD-alike: protein sequence database; long amino-acid strings, few
+/// doubles, and (like the paper's 902) some non-leaf doubles.
+pub fn psd(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x95D0);
+    let entries = scale_count(scale, 40_000);
+    let mut out = String::with_capacity(entries * 420);
+    out.push_str("<?xml version=\"1.0\"?><ProteinDatabase>");
+    for e in 0..entries {
+        write!(out, "<ProteinEntry id=\"PSD{e:07}\"><header><uid>PIR{:06}</uid>", 100_000 + e)
+            .unwrap();
+        write!(out, "<accession>A{:05}</accession></header>", rng.gen_range(10_000..99_999))
+            .unwrap();
+        out.push_str("<protein><name>");
+        let n_words = rng.gen_range(2..6);
+        push_words(&mut out, &mut rng, n_words);
+        out.push_str(" precursor</name><classification>");
+        push_words(&mut out, &mut rng, 2);
+        out.push_str("</classification><organism>");
+        push_words(&mut out, &mut rng, 2);
+        out.push_str("</organism><keywords>");
+        push_words(&mut out, &mut rng, 3);
+        out.push_str("</keywords></protein><sequence>");
+        let len = rng.gen_range(60..400);
+        for _ in 0..len {
+            out.push(AMINO[rng.gen_range(0..AMINO.len())] as char);
+        }
+        out.push_str("</sequence><length>");
+        write!(out, "{len} aa").unwrap(); // "402 aa" rejects as a double
+        out.push_str("</length><reference><author>");
+        let (f, l) = full_name(&mut rng);
+        write!(out, "{f} {l}</author><year>{}</year></reference>", rng.gen_range(1975..=2008))
+            .unwrap();
+        // Non-leaf doubles, denser than DBLP (paper: 902 vs 21).
+        if e % 130 == 7 {
+            out.push_str("<weight><kilodaltons>");
+            write!(out, "{}", rng.gen_range(10..99)).unwrap();
+            out.push_str("</kilodaltons>.<fraction>");
+            write!(out, "{}", rng.gen_range(100..999)).unwrap();
+            out.push_str("</fraction></weight>");
+        }
+        out.push_str("</ProteinEntry>");
+    }
+    out.push_str("</ProteinDatabase>");
+    out
+}
+
+/// Wiki-alike: page abstracts with URL-heavy link lists. A fraction of
+/// the URLs come in *collision families*: identical except for two
+/// characters swapped exactly 27 positions apart, which the paper's
+/// hash `H` cannot distinguish (its write offset has period 27) —
+/// reproducing the Figure 11 tail of up to 9-way collisions.
+pub fn wiki(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3141);
+    let pages = scale_count(scale, 56_000);
+    let mut out = String::with_capacity(pages * 380);
+    out.push_str("<?xml version=\"1.0\"?><feed>");
+    for p in 0..pages {
+        out.push_str("<doc><title>Wikipedia: ");
+        let n_words = rng.gen_range(1..4);
+        push_words(&mut out, &mut rng, n_words);
+        out.push_str("</title><url>");
+        push_url(&mut out, &mut rng, p);
+        out.push_str("</url><abstract>");
+        let n_words = rng.gen_range(8..40);
+        push_words(&mut out, &mut rng, n_words);
+        out.push_str("</abstract>");
+        // A trickle of numeric values (the paper's Wiki has 0.1%).
+        if p % 50 == 3 {
+            write!(out, "<wordcount>{}</wordcount>", rng.gen_range(50..5000)).unwrap();
+        }
+        out.push_str("<links>");
+        for _ in 0..rng.gen_range(0..4) {
+            out.push_str("<sublink><anchor>");
+            let n_words = rng.gen_range(1..3);
+            push_words(&mut out, &mut rng, n_words);
+            out.push_str("</anchor><link>");
+            let target = rng.gen_range(0..pages.max(1));
+            push_url(&mut out, &mut rng, target);
+            out.push_str("</link></sublink>");
+        }
+        out.push_str("</links></doc>");
+    }
+    out.push_str("</feed>");
+    out
+}
+
+/// Emits a URL; every 40th page belongs to a collision family whose
+/// members differ only by two characters 27 positions apart.
+fn push_url(out: &mut String, rng: &mut StdRng, page: usize) {
+    if page.is_multiple_of(40) {
+        // Collision family: the two variable characters sit exactly 27
+        // bytes apart — the period of the hash's write offset — so both
+        // land on the same c-array position and only their XOR matters.
+        // All nine members use pairs with the same XOR (a ^ b = 3), so
+        // the whole family shares one hash value, reproducing the
+        // paper's up-to-9-way Wiki collisions.
+        let family = page / 40;
+        let member = rng.gen_range(0..9u32);
+        let (a, b) = pair_for_member(member);
+        // Between `a` and `b`: "_page_family_" (13) + 7 digits +
+        // "_artcl" (6) = 26 bytes, so the characters are 27 apart.
+        write!(
+            out,
+            "http://en.wikipedia.org/wiki/{a}_page_family_{family:07}_artcl{b}.html"
+        )
+        .unwrap();
+    } else {
+        write!(
+            out,
+            "http://en.wikipedia.org/wiki/{}_{}",
+            crate::vocab::WORDS[rng.gen_range(0..crate::vocab::WORDS.len())],
+            rng.gen_range(0..1_000_000)
+        )
+        .unwrap();
+    }
+}
+
+/// Nine distinct (a, b) character pairs with constant XOR (`a ^ b =
+/// 3`). Placed 27 bytes apart both characters are XOR-ed into the same
+/// c-array offset, so the hash only sees `a ^ b` — all nine members
+/// produce the same hash value while being distinct strings.
+fn pair_for_member(member: u32) -> (char, char) {
+    match member % 9 {
+        0 => ('A', 'B'),
+        1 => ('B', 'A'),
+        2 => ('E', 'F'),
+        3 => ('F', 'E'),
+        4 => ('I', 'J'),
+        5 => ('J', 'I'),
+        6 => ('M', 'N'),
+        7 => ('N', 'M'),
+        _ => ('Q', 'R'),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvi_xml::Document;
+
+    #[test]
+    fn epageo_is_coordinate_heavy() {
+        let doc = Document::parse(&epageo(20, 9)).unwrap();
+        let doubles = doc
+            .descendants(doc.document_node())
+            .filter(|&n| {
+                matches!(doc.kind(n), xvi_xml::NodeKind::Text(t)
+                         if t.parse::<f64>().is_ok())
+            })
+            .count();
+        let stats = doc.stats();
+        let share = doubles as f64 / stats.total_nodes as f64;
+        assert!(share > 0.04, "double share {share:.3} too low for EPAGeo");
+    }
+
+    #[test]
+    fn dblp_and_psd_have_nonleaf_doubles() {
+        for xml in [dblp(120, 3), psd(40, 3)] {
+            let doc = Document::parse(&xml).unwrap();
+            let found = doc.descendants(doc.document_node()).any(|n| {
+                matches!(doc.kind(n), xvi_xml::NodeKind::Element(_))
+                    && doc.children(n).count() > 1
+                    && doc.string_value(n).parse::<f64>().is_ok()
+            });
+            assert!(found, "expected at least one non-leaf double node");
+        }
+    }
+
+    #[test]
+    fn wiki_collision_families_collide() {
+        let xml = wiki(30, 12);
+        let doc = Document::parse(&xml).unwrap();
+        let mut hist = xvi_hash::collisions::CollisionHistogram::new();
+        for n in doc.descendants(doc.document_node()) {
+            if let xvi_xml::NodeKind::Text(t) = doc.kind(n) {
+                hist.observe(t);
+            }
+        }
+        assert!(
+            hist.max_multiplicity() >= 2,
+            "wiki URLs must produce hash collisions (max multiplicity {})",
+            hist.max_multiplicity()
+        );
+    }
+
+    #[test]
+    fn psd_sequences_are_long() {
+        let doc = Document::parse(&psd(10, 5)).unwrap();
+        let seq = doc
+            .descendants(doc.document_node())
+            .find(|&n| doc.name(n) == Some("sequence"))
+            .unwrap();
+        assert!(doc.string_value(seq).len() >= 60);
+    }
+}

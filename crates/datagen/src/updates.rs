@@ -1,0 +1,104 @@
+//! Update workloads (paper §6, Figure 10): "first defining the number
+//! of text nodes whose values should be updated, and then randomly
+//! picking the specified number of the text nodes".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use xvi_xml::{Document, NodeId, NodeKind};
+
+/// A reproducible batch of text-node value updates.
+#[derive(Debug, Clone)]
+pub struct UpdateWorkload {
+    /// `(node, new value)` pairs, each node distinct.
+    pub updates: Vec<(NodeId, String)>,
+}
+
+impl UpdateWorkload {
+    /// Picks `n` distinct random text nodes of `doc` and generates a
+    /// new value for each (a mix of numbers and words, so both index
+    /// families see churn). If the document has fewer than `n` text
+    /// nodes, all of them are updated.
+    pub fn generate(doc: &Document, n: usize, seed: u64) -> UpdateWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut text_nodes: Vec<NodeId> = doc
+            .descendants(doc.document_node())
+            .filter(|&m| matches!(doc.kind(m), NodeKind::Text(_)))
+            .collect();
+        text_nodes.shuffle(&mut rng);
+        text_nodes.truncate(n);
+        let updates = text_nodes
+            .into_iter()
+            .map(|m| (m, Self::fresh_value(&mut rng)))
+            .collect();
+        UpdateWorkload { updates }
+    }
+
+    fn fresh_value(rng: &mut StdRng) -> String {
+        match rng.gen_range(0..4u8) {
+            0 => format!("{}", rng.gen_range(0..100_000)),
+            1 => format!("{}.{:02}", rng.gen_range(0..10_000), rng.gen_range(0..100)),
+            2 => format!("updated value {}", rng.gen_range(0..1_000_000)),
+            _ => format!("v{:x}", rng.gen::<u64>()),
+        }
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Borrowing view usable with `IndexManager::update_values`.
+    pub fn as_pairs(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
+        self.updates.iter().map(|(n, v)| (*n, v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<r><a>1</a><b>two</b><c>3.5</c><d>four</d><e>5</e><f>six</f></r>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_distinct_text_nodes() {
+        let d = doc();
+        let w = UpdateWorkload::generate(&d, 4, 1);
+        assert_eq!(w.len(), 4);
+        let mut nodes: Vec<NodeId> = w.updates.iter().map(|(n, _)| *n).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+        for &n in &nodes {
+            assert!(matches!(d.kind(n), NodeKind::Text(_)));
+        }
+    }
+
+    #[test]
+    fn caps_at_available_text_nodes() {
+        let d = doc();
+        let w = UpdateWorkload::generate(&d, 100, 1);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = doc();
+        let a = UpdateWorkload::generate(&d, 3, 9).updates;
+        let b = UpdateWorkload::generate(&d, 3, 9).updates;
+        assert_eq!(a, b);
+        let c = UpdateWorkload::generate(&d, 3, 10).updates;
+        assert_ne!(a, c);
+    }
+}

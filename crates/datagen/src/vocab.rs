@@ -1,0 +1,79 @@
+//! Shared word lists and text helpers for the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) const WORDS: &[&str] = &[
+    "auction", "bidder", "gold", "silver", "market", "ship", "harbor", "window", "stone",
+    "river", "mountain", "quiet", "rapid", "ancient", "modern", "crystal", "velvet",
+    "thunder", "meadow", "lantern", "copper", "marble", "cedar", "falcon", "ember",
+    "granite", "hollow", "ivory", "juniper", "kestrel", "lichen", "maple", "nectar",
+    "orchid", "pewter", "quarry", "russet", "saffron", "timber", "umber", "willow",
+    "yarrow", "zephyr", "anchor", "breeze", "cobalt", "drift", "echo", "fable", "glade",
+];
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "Arthur", "Ford", "Tricia", "Zaphod", "Marvin", "Fenchurch", "Random", "Agrajag",
+    "Slartibartfast", "Eddie", "Benjy", "Frankie", "Deep", "Prak", "Hig", "Roosta",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "Dent", "Prefect", "McMillan", "Beeblebrox", "Android", "Colluphid", "Hurtenflurst",
+    "Thought", "Jeltz", "Kwaltz", "Vogon", "Magrathea", "Halfrunt", "Bodyguard",
+];
+
+pub(crate) const COUNTIES: &[&str] = &[
+    "Alameda", "Boulder", "Cook", "Dallas", "Erie", "Fresno", "Greene", "Harris",
+    "Ingham", "Jackson", "Kent", "Lake", "Marion", "Nassau", "Orange", "Pierce",
+];
+
+pub(crate) const JOURNALS: &[&str] = &[
+    "VLDB Journal", "TODS", "SIGMOD Record", "Information Systems", "TKDE",
+    "JACM", "Computing Surveys", "Data Engineering Bulletin",
+];
+
+/// Amino-acid alphabet for PSD sequences.
+pub(crate) const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Appends `n` random vocabulary words separated by spaces.
+pub(crate) fn push_words(out: &mut String, rng: &mut StdRng, n: usize) {
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+}
+
+/// A random `xs:double` literal with two decimals, e.g. `187.42`.
+pub(crate) fn push_price(out: &mut String, rng: &mut StdRng, max: u32) {
+    let whole = rng.gen_range(1..max);
+    let cents = rng.gen_range(0..100);
+    out.push_str(&format!("{whole}.{cents:02}"));
+}
+
+/// A random date in 1998-2008 as `yyyy-mm-dd` (all days valid).
+pub(crate) fn push_date(out: &mut String, rng: &mut StdRng) {
+    let y = rng.gen_range(1998..=2008);
+    let m = rng.gen_range(1..=12);
+    let d = rng.gen_range(1..=28);
+    out.push_str(&format!("{y:04}-{m:02}-{d:02}"));
+}
+
+/// A random `xs:dateTime` in the same decade.
+pub(crate) fn push_date_time(out: &mut String, rng: &mut StdRng) {
+    push_date(out, rng);
+    out.push_str(&format!(
+        "T{:02}:{:02}:{:02}",
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60)
+    ));
+}
+
+pub(crate) fn full_name(rng: &mut StdRng) -> (&'static str, &'static str) {
+    (
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())],
+    )
+}

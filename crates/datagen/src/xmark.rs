@@ -1,0 +1,237 @@
+//! XMark-shaped auction documents.
+//!
+//! Mirrors the structure of the XMark benchmark (regions/items,
+//! categories, people, open and closed auctions) with the node-shape
+//! statistics of the paper's Table 1: roughly 64% text nodes and 8% of
+//! text nodes carrying a (potential) valid double, moderate depth
+//! (≤ 8), mixed-content `<description>` elements, and no non-leaf
+//! double nodes. One unit of `scale` ≈ 1/1000 of the paper's XMark1
+//! (which was 112 MB / 4.7M nodes), so `scale = 1000` ≈ 7 MB at the
+//! default 1/16 laptop scaling.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{full_name, push_date, push_price, push_words};
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generates an auction site document. `scale` is in permille of the
+/// default size; deterministic in `seed`.
+pub fn generate(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    // Base counts at scale 1000 (≈ 1/16 of the paper's XMark1).
+    let items = scale_count(scale, 2600);
+    let categories = scale_count(scale, 240);
+    let people = scale_count(scale, 1600);
+    let open = scale_count(scale, 1500);
+    let closed = scale_count(scale, 640);
+
+    let mut out = String::with_capacity(1024 + items * 420);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?><site>");
+
+    out.push_str("<regions>");
+    for (r, region) in REGIONS.iter().enumerate() {
+        write!(out, "<{region}>").unwrap();
+        let lo = items * r / REGIONS.len();
+        let hi = items * (r + 1) / REGIONS.len();
+        for i in lo..hi {
+            item(&mut out, &mut rng, i, categories);
+        }
+        write!(out, "</{region}>").unwrap();
+    }
+    out.push_str("</regions>");
+
+    out.push_str("<categories>");
+    for c in 0..categories {
+        write!(out, "<category id=\"category{c}\"><name>").unwrap();
+        push_words(&mut out, &mut rng, 2);
+        out.push_str("</name><description>");
+        description(&mut out, &mut rng);
+        out.push_str("</description></category>");
+    }
+    out.push_str("</categories>");
+
+    out.push_str("<people>");
+    for p in 0..people {
+        person(&mut out, &mut rng, p, categories);
+    }
+    out.push_str("</people>");
+
+    out.push_str("<open_auctions>");
+    for a in 0..open {
+        open_auction(&mut out, &mut rng, a, items, people);
+    }
+    out.push_str("</open_auctions>");
+
+    out.push_str("<closed_auctions>");
+    for a in 0..closed {
+        closed_auction(&mut out, &mut rng, a, items, people);
+    }
+    out.push_str("</closed_auctions>");
+
+    out.push_str("</site>");
+    out
+}
+
+fn scale_count(scale: u32, base_at_1000: usize) -> usize {
+    ((base_at_1000 as u64 * scale as u64) / 1000).max(1) as usize
+}
+
+fn item(out: &mut String, rng: &mut StdRng, id: usize, categories: usize) {
+    write!(out, "<item id=\"item{id}\"><location>").unwrap();
+    push_words(out, rng, 1);
+    out.push_str("</location><name>");
+    push_words(out, rng, 2);
+    out.push_str("</name><payment>Creditcard</payment><description>");
+    description(out, rng);
+    out.push_str("</description><quantity>");
+    write!(out, "{}", rng.gen_range(1..10)).unwrap();
+    write!(
+        out,
+        "</quantity><incategory category=\"category{}\"/>",
+        rng.gen_range(0..categories.max(1))
+    )
+    .unwrap();
+    out.push_str("</item>");
+}
+
+/// Mixed content: text interleaved with inline markup, like XMark's
+/// description paragraphs.
+fn description(out: &mut String, rng: &mut StdRng) {
+    let n_words = rng.gen_range(4..14);
+    push_words(out, rng, n_words);
+    for _ in 0..rng.gen_range(3..8) {
+        out.push_str("<bold>");
+        let n_words = rng.gen_range(1..3);
+        push_words(out, rng, n_words);
+        out.push_str("</bold>");
+        let n_words = rng.gen_range(2..8);
+        push_words(out, rng, n_words);
+    }
+}
+
+fn person(out: &mut String, rng: &mut StdRng, id: usize, categories: usize) {
+    let (first, last) = full_name(rng);
+    write!(out, "<person id=\"person{id}\"><name>{first} {last}</name>").unwrap();
+    write!(
+        out,
+        "<emailaddress>mailto:{}@example{}.org</emailaddress>",
+        first.to_lowercase(),
+        rng.gen_range(0..64)
+    )
+    .unwrap();
+    if rng.gen_bool(0.6) {
+        write!(out, "<phone>+{} ({}) {}</phone>", rng.gen_range(1..99),
+               rng.gen_range(100..999), rng.gen_range(10_000..99_999)).unwrap();
+    }
+    out.push_str("<profile income=\"");
+    push_price(out, rng, 99_000);
+    out.push_str("\"><education>Graduate School</education><age>");
+    write!(out, "{}", rng.gen_range(18..80)).unwrap();
+    out.push_str("</age>");
+    for _ in 0..rng.gen_range(0..3) {
+        write!(
+            out,
+            "<interest category=\"category{}\"/>",
+            rng.gen_range(0..categories.max(1))
+        )
+        .unwrap();
+    }
+    out.push_str("</profile></person>");
+}
+
+fn open_auction(out: &mut String, rng: &mut StdRng, id: usize, items: usize, people: usize) {
+    write!(out, "<open_auction id=\"open_auction{id}\"><initial>").unwrap();
+    push_price(out, rng, 300);
+    out.push_str("</initial>");
+    for _ in 0..rng.gen_range(1..4) {
+        out.push_str("<bidder><date>");
+        crate::vocab::push_date_time(out, rng);
+        out.push_str("</date><increase>");
+        push_price(out, rng, 30);
+        write!(
+            out,
+            "</increase><personref person=\"person{}\"/></bidder>",
+            rng.gen_range(0..people.max(1))
+        )
+        .unwrap();
+    }
+    out.push_str("<current>");
+    push_price(out, rng, 500);
+    write!(
+        out,
+        "</current><itemref item=\"item{}\"/><quantity>{}</quantity>",
+        rng.gen_range(0..items.max(1)),
+        rng.gen_range(1..5)
+    )
+    .unwrap();
+    out.push_str("</open_auction>");
+}
+
+fn closed_auction(out: &mut String, rng: &mut StdRng, _id: usize, items: usize, people: usize) {
+    write!(
+        out,
+        "<closed_auction><seller person=\"person{}\"/><buyer person=\"person{}\"/>",
+        rng.gen_range(0..people.max(1)),
+        rng.gen_range(0..people.max(1))
+    )
+    .unwrap();
+    out.push_str("<price>");
+    push_price(out, rng, 800);
+    out.push_str("</price><date>");
+    push_date(out, rng);
+    write!(
+        out,
+        "</date><itemref item=\"item{}\"/><quantity>{}</quantity>",
+        rng.gen_range(0..items.max(1)),
+        rng.gen_range(1..5)
+    )
+    .unwrap();
+    out.push_str("<annotation><description>");
+    description(out, rng);
+    out.push_str("</description></annotation></closed_auction>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvi_xml::Document;
+
+    #[test]
+    fn parses_and_has_auction_structure() {
+        let xml = generate(20, 42);
+        let doc = Document::parse(&xml).unwrap();
+        let site = doc.root_element().unwrap();
+        assert_eq!(doc.name(site), Some("site"));
+        let top: Vec<_> = doc.children(site).filter_map(|n| doc.name(n)).collect();
+        assert_eq!(
+            top,
+            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn scale_factors_nest() {
+        let a = generate(10, 7).len();
+        let b = generate(20, 7).len();
+        assert!(b > a, "larger scale must produce more bytes");
+    }
+
+    #[test]
+    fn contains_numeric_and_date_values() {
+        let xml = generate(10, 1);
+        assert!(xml.contains("<initial>"));
+        assert!(xml.contains("<age>"));
+        // Prices have two decimals.
+        let doc = Document::parse(&xml).unwrap();
+        let any_price = doc
+            .descendants(doc.document_node())
+            .find(|&n| doc.name(n) == Some("price"))
+            .unwrap();
+        let v = doc.string_value(any_price);
+        assert!(v.parse::<f64>().is_ok(), "price {v:?} must be a double");
+    }
+}

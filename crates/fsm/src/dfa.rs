@@ -1,0 +1,243 @@
+//! Deterministic finite automata over byte classes.
+//!
+//! The per-type lexical languages (see [`crate::lang`]) are defined as
+//! DFAs over a small alphabet of *byte classes* (whitespace, digit,
+//! sign, …). Keeping the alphabet small keeps the transition tables and
+//! the derived state-combination tables compact.
+
+/// A DFA state index.
+pub type DfaState = u16;
+
+/// The dead ("reject") state sentinel.
+pub const DFA_DEAD: DfaState = u16::MAX;
+
+/// Byte class 0 is reserved for bytes outside every declared class;
+/// it transitions to [`DFA_DEAD`] from every state.
+pub const ILLEGAL_CLASS: u8 = 0;
+
+/// A deterministic finite automaton over byte classes.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    classes: Box<[u8; 256]>,
+    n_classes: usize,
+    n_states: usize,
+    start: DfaState,
+    accept: Vec<bool>,
+    /// Row-major: `trans[state * n_classes + class]`.
+    trans: Vec<DfaState>,
+}
+
+impl Dfa {
+    /// Number of states (excluding the implicit dead state).
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of byte classes (including the illegal class 0).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The start state.
+    pub fn start(&self) -> DfaState {
+        self.start
+    }
+
+    /// Whether `s` is an accepting state.
+    pub fn is_accept(&self, s: DfaState) -> bool {
+        self.accept[s as usize]
+    }
+
+    /// The byte class of `b`.
+    #[inline]
+    pub fn class_of(&self, b: u8) -> u8 {
+        self.classes[b as usize]
+    }
+
+    /// One transition step; `DFA_DEAD` is absorbing.
+    #[inline]
+    pub fn step(&self, s: DfaState, class: u8) -> DfaState {
+        if s == DFA_DEAD {
+            return DFA_DEAD;
+        }
+        self.trans[s as usize * self.n_classes + class as usize]
+    }
+
+    /// Runs the DFA from `from` over `bytes`; returns the final state
+    /// (possibly `DFA_DEAD`).
+    pub fn run_from(&self, from: DfaState, bytes: &[u8]) -> DfaState {
+        let mut s = from;
+        for &b in bytes {
+            s = self.step(s, self.class_of(b));
+            if s == DFA_DEAD {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Whether the *whole* string is in the DFA's language.
+    pub fn accepts(&self, s: &str) -> bool {
+        let end = self.run_from(self.start, s.as_bytes());
+        end != DFA_DEAD && self.is_accept(end)
+    }
+}
+
+/// Builder for [`Dfa`]s; used by the language definitions.
+#[derive(Debug)]
+pub struct DfaBuilder {
+    classes: Box<[u8; 256]>,
+    n_classes: usize,
+    n_states: usize,
+    start: Option<DfaState>,
+    accept: Vec<bool>,
+    edges: Vec<(DfaState, u8, DfaState)>,
+}
+
+impl Default for DfaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DfaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> DfaBuilder {
+        DfaBuilder {
+            classes: Box::new([ILLEGAL_CLASS; 256]),
+            n_classes: 1, // class 0 = illegal
+            n_states: 0,
+            start: None,
+            accept: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declares a byte class covering `bytes`.
+    ///
+    /// # Panics
+    /// Panics if any byte is already classified.
+    pub fn class(&mut self, bytes: &[u8]) -> u8 {
+        let id = self.n_classes as u8;
+        self.n_classes += 1;
+        for &b in bytes {
+            assert_eq!(
+                self.classes[b as usize], ILLEGAL_CLASS,
+                "byte {b:#x} is already in a class"
+            );
+            self.classes[b as usize] = id;
+        }
+        id
+    }
+
+    /// Adds a state; the first added state becomes the start state.
+    pub fn state(&mut self, accept: bool) -> DfaState {
+        let id = self.n_states as DfaState;
+        self.n_states += 1;
+        self.accept.push(accept);
+        if self.start.is_none() {
+            self.start = Some(id);
+        }
+        id
+    }
+
+    /// Adds the transition `from --class--> to`.
+    pub fn edge(&mut self, from: DfaState, class: u8, to: DfaState) {
+        self.edges.push((from, class, to));
+    }
+
+    /// Adds one transition per class in `classes`.
+    pub fn edges(&mut self, from: DfaState, classes: &[u8], to: DfaState) {
+        for &c in classes {
+            self.edge(from, c, to);
+        }
+    }
+
+    /// Finalises the DFA.
+    ///
+    /// # Panics
+    /// Panics if no state was added, a transition is duplicated, or a
+    /// transition uses the illegal class.
+    pub fn build(self) -> Dfa {
+        let start = self.start.expect("DFA needs at least one state");
+        let mut trans = vec![DFA_DEAD; self.n_states * self.n_classes];
+        for (from, class, to) in self.edges {
+            assert_ne!(class, ILLEGAL_CLASS, "cannot add edges on the illegal class");
+            let cell = &mut trans[from as usize * self.n_classes + class as usize];
+            assert_eq!(*cell, DFA_DEAD, "duplicate transition from {from} on {class}");
+            *cell = to;
+        }
+        Dfa {
+            classes: self.classes,
+            n_classes: self.n_classes,
+            n_states: self.n_states,
+            start,
+            accept: self.accept,
+            trans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny DFA for `a+b*`.
+    fn sample() -> Dfa {
+        let mut b = DfaBuilder::new();
+        let ca = b.class(b"a");
+        let cb = b.class(b"b");
+        let s0 = b.state(false);
+        let s1 = b.state(true);
+        let s2 = b.state(true);
+        b.edge(s0, ca, s1);
+        b.edge(s1, ca, s1);
+        b.edge(s1, cb, s2);
+        b.edge(s2, cb, s2);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let d = sample();
+        assert!(d.accepts("a"));
+        assert!(d.accepts("aaabbb"));
+        assert!(!d.accepts(""));
+        assert!(!d.accepts("b"));
+        assert!(!d.accepts("ab a"));
+        assert!(!d.accepts("abc"));
+    }
+
+    #[test]
+    fn dead_state_is_absorbing() {
+        let d = sample();
+        assert_eq!(d.run_from(d.start(), b"ba"), DFA_DEAD);
+        assert_eq!(d.step(DFA_DEAD, 1), DFA_DEAD);
+    }
+
+    #[test]
+    fn unknown_bytes_map_to_illegal_class() {
+        let d = sample();
+        assert_eq!(d.class_of(b'z'), ILLEGAL_CLASS);
+        assert_eq!(d.run_from(d.start(), b"z"), DFA_DEAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in a class")]
+    fn overlapping_classes_rejected() {
+        let mut b = DfaBuilder::new();
+        b.class(b"ab");
+        b.class(b"bc");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_edges_rejected() {
+        let mut b = DfaBuilder::new();
+        let c = b.class(b"a");
+        let s = b.state(true);
+        b.edge(s, c, s);
+        b.edge(s, c, s);
+        b.build();
+    }
+}

@@ -1,0 +1,81 @@
+//! `xs:boolean` — `ws* ('true' | 'false' | '1' | '0') ws*`.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the boolean DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let t = b.class(b"t");
+    let r = b.class(b"r");
+    let u = b.class(b"u");
+    let e = b.class(b"e");
+    let f = b.class(b"f");
+    let a = b.class(b"a");
+    let l = b.class(b"l");
+    let s = b.class(b"s");
+    let one = b.class(b"1");
+    let zero = b.class(b"0");
+
+    let start = b.state(false);
+    let end = b.state(true); // accepted literal, trailing ws loops here
+
+    // t r u e
+    let st = b.state(false);
+    let str_ = b.state(false);
+    let stru = b.state(false);
+    // f a l s e
+    let sf = b.state(false);
+    let sfa = b.state(false);
+    let sfal = b.state(false);
+    let sfals = b.state(false);
+
+    b.edge(start, ws, start);
+    b.edge(start, one, end);
+    b.edge(start, zero, end);
+    b.edge(start, t, st);
+    b.edge(st, r, str_);
+    b.edge(str_, u, stru);
+    b.edge(stru, e, end);
+    b.edge(start, f, sf);
+    b.edge(sf, a, sfa);
+    b.edge(sfa, l, sfal);
+    b.edge(sfal, s, sfals);
+    b.edge(sfals, e, end);
+    b.edge(end, ws, end);
+
+    b.build()
+}
+
+/// Casts a complete boolean to 1.0 / 0.0.
+pub fn cast(s: &str) -> Option<f64> {
+    match s.trim_matches([' ', '\t', '\r', '\n']) {
+        "true" | "1" => Some(1.0),
+        "false" | "0" => Some(0.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_language() {
+        let d = dfa();
+        for s in ["true", "false", "1", "0", " true ", "\t0\n"] {
+            assert!(d.accepts(s), "{s:?}");
+        }
+        for s in ["TRUE", "yes", "10", "tru", "truee", "", "2"] {
+            assert!(!d.accepts(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(cast("true"), Some(1.0));
+        assert_eq!(cast(" 0 "), Some(0.0));
+        assert_eq!(cast("nope"), None);
+    }
+}

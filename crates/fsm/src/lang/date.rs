@@ -1,0 +1,131 @@
+//! `xs:date` — `ws* '-'? yyyy '-' mm '-' dd ( 'Z' | ('+'|'-') hh ':' mm )? ws*`.
+//!
+//! Same structural-lexical split as dateTime: the DFA bounds the
+//! candidates, [`cast`] checks field ranges and produces the epoch-
+//! millisecond key of the date's midnight (UTC, after applying any
+//! timezone offset), so dates and dateTimes order consistently.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the date DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let minus = b.class(b"-");
+    let plus = b.class(b"+");
+    let colon = b.class(b":");
+    let zee = b.class(b"Z");
+
+    let start = b.state(false);
+    let neg = b.state(false);
+    let y1 = b.state(false);
+    let y2 = b.state(false);
+    let y3 = b.state(false);
+    let y4 = b.state(false);
+    let mon0 = b.state(false);
+    let mon1 = b.state(false);
+    let mon2 = b.state(false);
+    let day0 = b.state(false);
+    let day1 = b.state(false);
+    let day2 = b.state(true); // complete without zone
+    let tz0 = b.state(false);
+    let tzh1 = b.state(false);
+    let tzh2 = b.state(false);
+    let tzc = b.state(false);
+    let tzm1 = b.state(false);
+    let tzm2 = b.state(true);
+    let zulu = b.state(true);
+    let end_ws = b.state(true);
+
+    b.edge(start, ws, start);
+    b.edge(start, minus, neg);
+    b.edge(start, digit, y1);
+    b.edge(neg, digit, y1);
+    b.edge(y1, digit, y2);
+    b.edge(y2, digit, y3);
+    b.edge(y3, digit, y4);
+    b.edge(y4, digit, y4);
+    b.edge(y4, minus, mon0);
+    b.edge(mon0, digit, mon1);
+    b.edge(mon1, digit, mon2);
+    b.edge(mon2, minus, day0);
+    b.edge(day0, digit, day1);
+    b.edge(day1, digit, day2);
+    b.edge(day2, zee, zulu);
+    b.edge(day2, plus, tz0);
+    b.edge(day2, minus, tz0);
+    b.edge(day2, ws, end_ws);
+    b.edge(tz0, digit, tzh1);
+    b.edge(tzh1, digit, tzh2);
+    b.edge(tzh2, colon, tzc);
+    b.edge(tzc, digit, tzm1);
+    b.edge(tzm1, digit, tzm2);
+    b.edge(tzm2, ws, end_ws);
+    b.edge(zulu, ws, end_ws);
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete date to epoch milliseconds of its (zone-adjusted)
+/// midnight. Returns `None` for out-of-range fields.
+pub fn cast(s: &str) -> Option<f64> {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    // Reuse the dateTime machinery by pinning midnight onto the date.
+    let (date_part, zone) = split_zone(t);
+    let datetime = format!("{date_part}T00:00:00{zone}");
+    crate::lang::date_time::cast(&datetime)
+}
+
+/// Splits a trailing `Z` / `±hh:mm` zone off a date literal.
+fn split_zone(t: &str) -> (&str, &str) {
+    if let Some(stripped) = t.strip_suffix('Z') {
+        return (stripped, "Z");
+    }
+    if t.len() > 6 {
+        let tail = &t[t.len() - 6..];
+        let b = tail.as_bytes();
+        if (b[0] == b'+' || b[0] == b'-') && b[3] == b':' {
+            return (&t[..t.len() - 6], tail);
+        }
+    }
+    (t, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_space() {
+        let d = dfa();
+        for s in ["1966-09-26", "2008-12-31Z", " 0001-01-01 ", "-0044-03-15", "2000-01-01+05:30"] {
+            assert!(d.accepts(s), "{s:?}");
+        }
+        for s in ["", "1966-9-26", "1966-09-26T00:00:00", "26-09-1966", "1966/09/26"] {
+            assert!(!d.accepts(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn casts_match_datetime_midnights() {
+        assert_eq!(cast("1970-01-01"), Some(0.0));
+        assert_eq!(cast("1970-01-02"), Some(86_400_000.0));
+        assert_eq!(
+            cast("2000-01-01Z"),
+            crate::lang::date_time::cast("2000-01-01T00:00:00Z")
+        );
+        // One hour east: midnight local is 23:00 UTC the day before.
+        assert_eq!(cast("1970-01-01+01:00"), Some(-3_600_000.0));
+        assert_eq!(cast("2001-13-01"), None);
+    }
+
+    #[test]
+    fn ordering() {
+        let days = ["1907-01-01", "1966-09-26", "1970-01-01", "2008-12-31"];
+        let keys: Vec<f64> = days.iter().map(|d| cast(d).unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,284 @@
+//! `xs:dateTime` — the other type the paper singles out (§1):
+//! `ws* '-'? yyyy '-' mm '-' dd 'T' hh ':' mm ':' ss ('.' digits+)?
+//!  ( 'Z' | ('+'|'-') hh ':' mm )? ws*`
+//! with `yyyy` being four or more digits.
+//!
+//! Field *ranges* (month ≤ 12 etc.) are checked by [`cast`], not the
+//! DFA — the lexical FSM only needs to bound the indexing candidates,
+//! and keeping it purely structural keeps the transition monoid small.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the dateTime DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let minus = b.class(b"-");
+    let plus = b.class(b"+");
+    let colon = b.class(b":");
+    let dot = b.class(b".");
+    let tee = b.class(b"T");
+    let zee = b.class(b"Z");
+
+    let start = b.state(false);
+    let neg = b.state(false);
+    let y1 = b.state(false);
+    let y2 = b.state(false);
+    let y3 = b.state(false);
+    let y4 = b.state(false); // ≥4 year digits; loops on digit
+    let mon0 = b.state(false);
+    let mon1 = b.state(false);
+    let mon2 = b.state(false);
+    let day0 = b.state(false);
+    let day1 = b.state(false);
+    let day2 = b.state(false);
+    let h0 = b.state(false);
+    let h1 = b.state(false);
+    let h2 = b.state(false);
+    let mi0 = b.state(false);
+    let mi1 = b.state(false);
+    let mi2 = b.state(false);
+    let s0 = b.state(false);
+    let s1 = b.state(false);
+    let s2 = b.state(true); // complete without fraction/zone
+    let fr0 = b.state(false);
+    let fr1 = b.state(true); // fractional seconds
+    let tz0 = b.state(false);
+    let tzh1 = b.state(false);
+    let tzh2 = b.state(false);
+    let tzc = b.state(false);
+    let tzm1 = b.state(false);
+    let tzm2 = b.state(true);
+    let zulu = b.state(true);
+    let end_ws = b.state(true);
+
+    b.edge(start, ws, start);
+    b.edge(start, minus, neg);
+    b.edge(start, digit, y1);
+    b.edge(neg, digit, y1);
+    b.edge(y1, digit, y2);
+    b.edge(y2, digit, y3);
+    b.edge(y3, digit, y4);
+    b.edge(y4, digit, y4);
+    b.edge(y4, minus, mon0);
+    b.edge(mon0, digit, mon1);
+    b.edge(mon1, digit, mon2);
+    b.edge(mon2, minus, day0);
+    b.edge(day0, digit, day1);
+    b.edge(day1, digit, day2);
+    b.edge(day2, tee, h0);
+    b.edge(h0, digit, h1);
+    b.edge(h1, digit, h2);
+    b.edge(h2, colon, mi0);
+    b.edge(mi0, digit, mi1);
+    b.edge(mi1, digit, mi2);
+    b.edge(mi2, colon, s0);
+    b.edge(s0, digit, s1);
+    b.edge(s1, digit, s2);
+
+    b.edge(s2, dot, fr0);
+    b.edge(s2, zee, zulu);
+    b.edge(s2, plus, tz0);
+    b.edge(s2, minus, tz0);
+    b.edge(s2, ws, end_ws);
+
+    b.edge(fr0, digit, fr1);
+    b.edge(fr1, digit, fr1);
+    b.edge(fr1, zee, zulu);
+    b.edge(fr1, plus, tz0);
+    b.edge(fr1, minus, tz0);
+    b.edge(fr1, ws, end_ws);
+
+    b.edge(tz0, digit, tzh1);
+    b.edge(tzh1, digit, tzh2);
+    b.edge(tzh2, colon, tzc);
+    b.edge(tzc, digit, tzm1);
+    b.edge(tzm1, digit, tzm2);
+    b.edge(tzm2, ws, end_ws);
+
+    b.edge(zulu, ws, end_ws);
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete dateTime to milliseconds since the epoch
+/// (1970-01-01T00:00:00Z) as an `f64` ordering key. Returns `None` if
+/// a field is out of range (month 13 etc.) — lexically valid but not a
+/// value, so such nodes are not range-indexed.
+pub fn cast(s: &str) -> Option<f64> {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    let (neg_year, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+
+    // Split off the timezone first (Z or ±hh:mm at the very end).
+    let (body, tz_offset_min) = if let Some(b) = t.strip_suffix('Z') {
+        (b, 0i64)
+    } else if t.len() > 6 && (t.as_bytes()[t.len() - 6] == b'+' || t.as_bytes()[t.len() - 6] == b'-')
+    {
+        let (b, z) = t.split_at(t.len() - 6);
+        let sign: i64 = if z.starts_with('-') { -1 } else { 1 };
+        let hh: i64 = z[1..3].parse().ok()?;
+        let mm: i64 = z[4..6].parse().ok()?;
+        if hh > 14 || mm > 59 {
+            return None;
+        }
+        (b, sign * (hh * 60 + mm))
+    } else {
+        (t, 0i64) // no timezone: treat as UTC, like the paper's engine
+    };
+
+    // body = yyyy-mm-ddThh:mm:ss(.fff)?
+    let (date, time) = body.split_once('T')?;
+    let mut dparts = date.splitn(3, '-');
+    let year: i64 = dparts.next()?.parse().ok()?;
+    let month: u32 = dparts.next()?.parse().ok()?;
+    let day: u32 = dparts.next()?.parse().ok()?;
+    let year = if neg_year { -year } else { year };
+
+    let mut tparts = time.splitn(3, ':');
+    let hour: u32 = tparts.next()?.parse().ok()?;
+    let minute: u32 = tparts.next()?.parse().ok()?;
+    let sec_str = tparts.next()?;
+    let (sec_whole, millis) = match sec_str.split_once('.') {
+        Some((w, f)) => {
+            let frac: String = f.chars().chain("000".chars()).take(3).collect();
+            (w, frac.parse::<u32>().ok()?)
+        }
+        None => (sec_str, 0),
+    };
+    let second: u32 = sec_whole.parse().ok()?;
+
+    if !(1..=12).contains(&month)
+        || day < 1
+        || day > days_in_month(year, month)
+        || hour > 24
+        || (hour == 24 && (minute != 0 || second != 0 || millis != 0))
+        || minute > 59
+        || second > 60
+    {
+        return None;
+    }
+
+    let days = days_from_civil(year, month, day);
+    let secs = days * 86_400 + i64::from(hour) * 3600 + i64::from(minute) * 60
+        + i64::from(second)
+        - tz_offset_min * 60;
+    Some(secs as f64 * 1000.0 + f64::from(millis))
+}
+
+/// Days from 1970-01-01 (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = y - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // March-based month
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_space() {
+        let d = dfa();
+        for s in [
+            "1966-09-26T00:00:00",
+            "2008-12-31T23:59:59Z",
+            "2008-12-31T23:59:59.123+01:00",
+            " 0001-01-01T00:00:00 ",
+            "-0044-03-15T12:00:00",
+            "12008-01-01T00:00:00", // 5-digit year
+        ] {
+            assert!(d.accepts(s), "{s:?} should be lexically valid");
+        }
+        for s in [
+            "",
+            "1966-09-26",            // date only
+            "1966-9-26T00:00:00",    // short month
+            "1966-09-26 00:00:00",   // missing T
+            "1966-09-26T00:00",      // missing seconds
+            "1966-09-26T00:00:00+1", // bad zone
+            "christmas",
+        ] {
+            assert!(!d.accepts(s), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(cast("1970-01-01T00:00:00Z"), Some(0.0));
+        assert_eq!(cast("1970-01-01T00:00:00"), Some(0.0));
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2000-01-01T00:00:00Z = 946684800 seconds.
+        assert_eq!(cast("2000-01-01T00:00:00Z"), Some(946_684_800_000.0));
+        // One hour east of UTC is one hour earlier in absolute time.
+        assert_eq!(
+            cast("2000-01-01T01:00:00+01:00"),
+            Some(946_684_800_000.0)
+        );
+        // Fractional seconds.
+        assert_eq!(
+            cast("1970-01-01T00:00:00.5Z"),
+            Some(500.0)
+        );
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let times = [
+            "-0044-03-15T12:00:00",
+            "1907-01-01T00:00:00",
+            "1966-09-26T00:00:00",
+            "1970-01-01T00:00:01",
+            "2008-12-31T23:59:59",
+            "2108-01-01T00:00:00",
+        ];
+        let keys: Vec<f64> = times.iter().map(|t| cast(t).unwrap()).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "{keys:?} must be increasing");
+        }
+    }
+
+    #[test]
+    fn range_violations_fail_cast_not_dfa() {
+        let d = dfa();
+        for s in ["2001-13-01T00:00:00", "2001-02-30T00:00:00", "2001-01-01T25:00:00"] {
+            assert!(d.accepts(s), "{s:?} is lexically fine");
+            assert_eq!(cast(s), None, "{s:?} must fail the cast");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(cast("2000-02-29T00:00:00").is_some()); // 400-year leap
+        assert!(cast("1900-02-29T00:00:00").is_none()); // 100-year non-leap
+        assert!(cast("2004-02-29T00:00:00").is_some());
+        assert!(cast("2005-02-29T00:00:00").is_none());
+    }
+}

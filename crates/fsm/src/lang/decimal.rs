@@ -1,0 +1,60 @@
+//! `xs:decimal` — like double but without an exponent:
+//! `ws* sign? ( digits ('.' digits*)? | '.' digits ) ws*`.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the decimal DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let sign = b.class(b"+-");
+    let dot = b.class(b".");
+
+    let start = b.state(false);
+    let signed = b.state(false);
+    let int = b.state(true);
+    let dot_only = b.state(false);
+    let int_dot = b.state(true);
+    let frac = b.state(true);
+    let end_ws = b.state(true);
+
+    b.edge(start, ws, start);
+    b.edge(start, sign, signed);
+    b.edge(start, digit, int);
+    b.edge(start, dot, dot_only);
+    b.edge(signed, digit, int);
+    b.edge(signed, dot, dot_only);
+    b.edge(int, digit, int);
+    b.edge(int, dot, int_dot);
+    b.edge(int, ws, end_ws);
+    b.edge(dot_only, digit, frac);
+    b.edge(int_dot, digit, frac);
+    b.edge(int_dot, ws, end_ws);
+    b.edge(frac, digit, frac);
+    b.edge(frac, ws, end_ws);
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete decimal to an `f64` ordering key.
+pub fn cast(s: &str) -> Option<f64> {
+    crate::lang::double::cast(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_decimals_rejects_exponents() {
+        let d = dfa();
+        assert!(d.accepts("3.14"));
+        assert!(d.accepts(" -2 "));
+        assert!(d.accepts(".5"));
+        assert!(!d.accepts("1e5"));
+        assert!(!d.accepts("."));
+    }
+}

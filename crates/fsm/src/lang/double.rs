@@ -1,0 +1,106 @@
+//! `xs:double` — the paper's Figure 5 language:
+//! `ws* sign? ( digits ('.' digits*)? | '.' digits ) ([eE] sign? digits)? ws*`.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the double DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let sign = b.class(b"+-");
+    let dot = b.class(b".");
+    let exp = b.class(b"eE");
+
+    let start = b.state(false); // leading whitespace loop
+    let signed = b.state(false); // after mantissa sign
+    let int = b.state(true); // integer digits: "42"
+    let dot_only = b.state(false); // "." with no digits yet
+    let int_dot = b.state(true); // "42."
+    let frac = b.state(true); // "42.5" or ".5"
+    let e = b.state(false); // "42e"
+    let e_sign = b.state(false); // "42e-"
+    let e_digits = b.state(true); // "42e-1"
+    let end_ws = b.state(true); // trailing whitespace loop
+
+    b.edge(start, ws, start);
+    b.edge(start, sign, signed);
+    b.edge(start, digit, int);
+    b.edge(start, dot, dot_only);
+
+    b.edge(signed, digit, int);
+    b.edge(signed, dot, dot_only);
+
+    b.edge(int, digit, int);
+    b.edge(int, dot, int_dot);
+    b.edge(int, exp, e);
+    b.edge(int, ws, end_ws);
+
+    b.edge(dot_only, digit, frac);
+
+    b.edge(int_dot, digit, frac);
+    b.edge(int_dot, exp, e);
+    b.edge(int_dot, ws, end_ws);
+
+    b.edge(frac, digit, frac);
+    b.edge(frac, exp, e);
+    b.edge(frac, ws, end_ws);
+
+    b.edge(e, sign, e_sign);
+    b.edge(e, digit, e_digits);
+
+    b.edge(e_sign, digit, e_digits);
+
+    b.edge(e_digits, digit, e_digits);
+    b.edge(e_digits, ws, end_ws);
+
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete lexical representation to its `f64` value.
+///
+/// Must only be called on strings the DFA accepts; returns `None`
+/// otherwise (defensive, not a validation path).
+pub fn cast(s: &str) -> Option<f64> {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    // Rust's f64 parser accepts a superset ("inf", "NaN"); the DFA has
+    // already confined us to the XML lexical space.
+    let t = t.strip_suffix('.').unwrap_or(t); // "42." is valid XML, not valid Rust
+    t.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_examples() {
+        let d = dfa();
+        for s in ["42", "42.0", " +4.2E1", "78.230", "0", "-0.5", ".5", "42.", "1e10",
+                  "  7  ", "+.5E-3"] {
+            assert!(d.accepts(s), "{s:?} should be a valid double");
+        }
+    }
+
+    #[test]
+    fn rejects_non_doubles() {
+        let d = dfa();
+        for s in ["", " ", "42 text", "E+93 ", ".", "+", "4.2.3", "1e", "1e+", "--1",
+                  "1 2", "4 2"] {
+            assert!(!d.accepts(s), "{s:?} should not be a complete double");
+        }
+    }
+
+    #[test]
+    fn casts_match_values() {
+        assert_eq!(cast("42").unwrap(), 42.0);
+        assert_eq!(cast("42.0").unwrap(), 42.0);
+        assert_eq!(cast(" +4.2E1").unwrap(), 42.0);
+        assert_eq!(cast("78.230").unwrap(), 78.230);
+        assert_eq!(cast("42.").unwrap(), 42.0);
+        assert_eq!(cast("-1e-2").unwrap(), -0.01);
+    }
+}

@@ -1,0 +1,51 @@
+//! `xs:integer` — `ws* sign? digits ws*`.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the integer DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let sign = b.class(b"+-");
+
+    let start = b.state(false);
+    let signed = b.state(false);
+    let digits = b.state(true);
+    let end_ws = b.state(true);
+
+    b.edge(start, ws, start);
+    b.edge(start, sign, signed);
+    b.edge(start, digit, digits);
+    b.edge(signed, digit, digits);
+    b.edge(digits, digit, digits);
+    b.edge(digits, ws, end_ws);
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete integer to an `f64` ordering key (exact up to
+/// 2^53; larger literals degrade gracefully to the nearest double,
+/// which preserves coarse ordering).
+pub fn cast(s: &str) -> Option<f64> {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    t.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_language() {
+        let d = dfa();
+        assert!(d.accepts("42"));
+        assert!(d.accepts("-7"));
+        assert!(d.accepts(" +0 "));
+        assert!(!d.accepts("4.2"));
+        assert!(!d.accepts("+"));
+        assert!(!d.accepts(""));
+    }
+}

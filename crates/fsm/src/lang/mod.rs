@@ -1,0 +1,17 @@
+//! Lexical languages of the supported XML typed values.
+//!
+//! Each submodule defines a DFA for one type's lexical space (with the
+//! paper's leading/trailing-whitespace allowance) plus a `cast`
+//! function turning a complete lexical representation into an ordered
+//! numeric key. Adding a type to the index family = adding a module
+//! here; the SCT and all index machinery are derived automatically.
+
+pub mod boolean;
+pub mod date;
+pub mod date_time;
+pub mod decimal;
+pub mod double;
+pub mod integer;
+pub mod time;
+
+pub(crate) const WS: &[u8] = b" \t\r\n";

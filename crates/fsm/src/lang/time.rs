@@ -1,0 +1,156 @@
+//! `xs:time` — `ws* hh ':' mm ':' ss ('.' digits+)?
+//! ( 'Z' | ('+'|'-') hh ':' mm )? ws*`, keyed by milliseconds since
+//! midnight (UTC after zone adjustment, wrapped into one day).
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::lang::WS;
+
+/// Builds the time DFA.
+pub fn dfa() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let ws = b.class(WS);
+    let digit = b.class(b"0123456789");
+    let minus = b.class(b"-");
+    let plus = b.class(b"+");
+    let colon = b.class(b":");
+    let dot = b.class(b".");
+    let zee = b.class(b"Z");
+
+    let start = b.state(false);
+    let h1 = b.state(false);
+    let h2 = b.state(false);
+    let mi0 = b.state(false);
+    let mi1 = b.state(false);
+    let mi2 = b.state(false);
+    let s0 = b.state(false);
+    let s1 = b.state(false);
+    let s2 = b.state(true);
+    let fr0 = b.state(false);
+    let fr1 = b.state(true);
+    let tz0 = b.state(false);
+    let tzh1 = b.state(false);
+    let tzh2 = b.state(false);
+    let tzc = b.state(false);
+    let tzm1 = b.state(false);
+    let tzm2 = b.state(true);
+    let zulu = b.state(true);
+    let end_ws = b.state(true);
+
+    b.edge(start, ws, start);
+    b.edge(start, digit, h1);
+    b.edge(h1, digit, h2);
+    b.edge(h2, colon, mi0);
+    b.edge(mi0, digit, mi1);
+    b.edge(mi1, digit, mi2);
+    b.edge(mi2, colon, s0);
+    b.edge(s0, digit, s1);
+    b.edge(s1, digit, s2);
+    b.edge(s2, dot, fr0);
+    b.edge(s2, zee, zulu);
+    b.edge(s2, plus, tz0);
+    b.edge(s2, minus, tz0);
+    b.edge(s2, ws, end_ws);
+    b.edge(fr0, digit, fr1);
+    b.edge(fr1, digit, fr1);
+    b.edge(fr1, zee, zulu);
+    b.edge(fr1, plus, tz0);
+    b.edge(fr1, minus, tz0);
+    b.edge(fr1, ws, end_ws);
+    b.edge(tz0, digit, tzh1);
+    b.edge(tzh1, digit, tzh2);
+    b.edge(tzh2, colon, tzc);
+    b.edge(tzc, digit, tzm1);
+    b.edge(tzm1, digit, tzm2);
+    b.edge(tzm2, ws, end_ws);
+    b.edge(zulu, ws, end_ws);
+    b.edge(end_ws, ws, end_ws);
+
+    b.build()
+}
+
+/// Casts a complete time to milliseconds since midnight (0 ≤ key <
+/// 86,400,000 after zone wrapping). Returns `None` for out-of-range
+/// fields.
+pub fn cast(s: &str) -> Option<f64> {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    let (body, tz_min) = if let Some(b) = t.strip_suffix('Z') {
+        (b, 0i64)
+    } else if t.len() > 6
+        && (t.as_bytes()[t.len() - 6] == b'+' || t.as_bytes()[t.len() - 6] == b'-')
+    {
+        let (b, z) = t.split_at(t.len() - 6);
+        let sign: i64 = if z.starts_with('-') { -1 } else { 1 };
+        let hh: i64 = z[1..3].parse().ok()?;
+        let mm: i64 = z[4..6].parse().ok()?;
+        if hh > 14 || mm > 59 {
+            return None;
+        }
+        (b, sign * (hh * 60 + mm))
+    } else {
+        (t, 0)
+    };
+
+    let mut parts = body.splitn(3, ':');
+    let hour: u32 = parts.next()?.parse().ok()?;
+    let minute: u32 = parts.next()?.parse().ok()?;
+    let sec_str = parts.next()?;
+    let (whole, millis) = match sec_str.split_once('.') {
+        Some((w, f)) => {
+            let frac: String = f.chars().chain("000".chars()).take(3).collect();
+            (w, frac.parse::<u32>().ok()?)
+        }
+        None => (sec_str, 0),
+    };
+    let second: u32 = whole.parse().ok()?;
+    if hour > 24 || (hour == 24 && (minute != 0 || second != 0 || millis != 0)) {
+        return None;
+    }
+    if minute > 59 || second > 60 {
+        return None;
+    }
+
+    let day_ms = 86_400_000i64;
+    let mut ms = i64::from(hour) * 3_600_000
+        + i64::from(minute) * 60_000
+        + i64::from(second) * 1000
+        + i64::from(millis)
+        - tz_min * 60_000;
+    ms = ms.rem_euclid(day_ms);
+    Some(ms as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_space() {
+        let d = dfa();
+        for s in ["00:00:00", "23:59:59.999Z", " 12:30:00+01:00 ", "07:05:00"] {
+            assert!(d.accepts(s), "{s:?}");
+        }
+        for s in ["", "7:05:00", "12:30", "12:30:00:00", "noon"] {
+            assert!(!d.accepts(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(cast("00:00:00"), Some(0.0));
+        assert_eq!(cast("01:00:00"), Some(3_600_000.0));
+        assert_eq!(cast("00:00:00.250Z"), Some(250.0));
+        // +01:00 zone: 01:00 local is midnight UTC.
+        assert_eq!(cast("01:00:00+01:00"), Some(0.0));
+        // Wrapping keeps keys inside one day: 00:30+01:00 = 23:30 UTC.
+        assert_eq!(cast("00:30:00+01:00"), Some(84_600_000.0));
+        assert_eq!(cast("25:00:00"), None);
+        assert_eq!(cast("12:61:00"), None);
+    }
+
+    #[test]
+    fn ordering_within_a_day() {
+        let times = ["00:00:01", "06:30:00", "12:00:00", "23:59:59"];
+        let keys: Vec<f64> = times.iter().map(|t| cast(t).unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,48 @@
+//! # xvi-fsm — lexical FSMs, state combination tables, typed values
+//!
+//! This crate implements the machinery behind the paper's *typed
+//! range-lookup index* (§4): for each supported XML type a finite state
+//! machine recognises the type's lexical representations, every text
+//! node is assigned the state the FSM stops in (or *reject*), and a
+//! **state combination table** (SCT) combines the states of adjacent
+//! values so that mixed-content nodes like
+//!
+//! ```xml
+//! <weight><kilos>78</kilos>.<grams>230</grams></weight>
+//! ```
+//!
+//! can be recognised as the double `78.230` without re-reading any
+//! character data.
+//!
+//! ## The normalised FSM as a transition monoid
+//!
+//! The paper normalises its FSM by duplicating states until "the path
+//! that leads to each state" is unique, and obtains 60 states for
+//! doubles. We implement the construction this informal recipe
+//! approximates exactly: the **transition monoid** of the DFA. Every
+//! string `w` induces a partial function `f_w : Q → Q` ("if I was in
+//! state `q` before reading `w`, where am I after?"). Two strings get
+//! the same label iff they induce the same function, concatenation is
+//! function composition — which is precisely what the SCT tabulates —
+//! and the everywhere-undefined function is the absorbing *reject*
+//! state. The derivation is automatic for **any** DFA, which is what
+//! makes the index family generic: adding an XML type means writing
+//! only its lexical DFA (see [`lang`]).
+//!
+//! A node's combined state is *complete* ([`Sct::is_complete`]) iff its
+//! string value is a full lexical representation, i.e. `f_w(start) ∈
+//! F`. Only complete nodes enter the range B+tree; non-complete,
+//! non-reject states ("potential" values like `"."` or `"E+93 "`) are
+//! kept as 1-byte-ish per-node states exactly as the paper stores them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod lang;
+mod sct;
+mod types;
+
+pub use dfa::{Dfa, DfaBuilder, DFA_DEAD};
+pub use sct::{Sct, StateId};
+pub use types::{analyzer, TypedAnalyzer, TypedValue, XmlType};

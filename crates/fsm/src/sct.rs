@@ -1,0 +1,299 @@
+//! The state combination table: the DFA's transition monoid.
+//!
+//! Every string `w` over the DFA's alphabet induces a partial function
+//! `f_w : Q → Q` mapping "state before reading `w`" to "state after".
+//! The set of these functions, under composition, is the DFA's
+//! *transition monoid* — a finite set because there are at most
+//! `(|Q|+1)^|Q|` partial functions. The paper's "normalised FSM with
+//! uniquely-identifying paths" (60 states for doubles) is an informal
+//! description of exactly these equivalence classes.
+//!
+//! [`Sct::build`] enumerates the reachable monoid elements
+//! breadth-first from the identity and tabulates
+//!
+//! * `char_step` — element × byte-class → element, used to assign a
+//!   state to a text node in one pass over its bytes, and
+//! * `table` — element × element → element (the SCT of the paper's
+//!   Figure 6), used to combine sibling states during index creation
+//!   and maintenance with a single array probe.
+//!
+//! The everywhere-undefined function is the absorbing **reject** state;
+//! it is stored implicitly (as `None` / the `REJECT` sentinel), exactly
+//! as the paper stores "no state" for rejected nodes.
+
+use std::collections::HashMap;
+
+use crate::dfa::{Dfa, DfaState, DFA_DEAD};
+
+/// A monoid element id ("state" in the paper's terminology).
+pub type StateId = u16;
+
+/// Sentinel for the absorbing reject state inside the dense tables.
+const REJECT: u16 = u16::MAX;
+
+/// Upper bound on monoid size; beyond this the dense `m × m` table
+/// would stop being "succinct" in the paper's sense.
+const MAX_ELEMENTS: usize = 4096;
+
+/// A state combination table for one lexical language.
+#[derive(Debug)]
+pub struct Sct {
+    /// `elems[e]` = the partial function Q → Q (DFA_DEAD = undefined).
+    elems: Vec<Box<[DfaState]>>,
+    /// Identity element = state of the empty string.
+    identity: StateId,
+    /// `char_step[e * n_classes + c]` = element after feeding one byte
+    /// of class `c` to a string with element `e`.
+    char_step: Vec<u16>,
+    /// Dense composition table `table[a * m + b]` = element of the
+    /// concatenation `a ⧺ b`.
+    table: Vec<u16>,
+    /// `complete[e]`: does `e` map the start state to an accept state?
+    complete: Vec<bool>,
+    /// Byte classifier copied from the DFA.
+    classes: Box<[u8; 256]>,
+    n_classes: usize,
+}
+
+impl Sct {
+    /// Builds the transition monoid and its tables for `dfa`.
+    ///
+    /// # Panics
+    /// Panics if the monoid exceeds 4096 elements (`MAX_ELEMENTS`);
+    /// the supported XML types stay well below this.
+    pub fn build(dfa: &Dfa) -> Sct {
+        let nq = dfa.n_states();
+        let n_classes = dfa.n_classes();
+
+        // Identity function.
+        let identity_fn: Box<[DfaState]> = (0..nq as DfaState).collect();
+
+        let mut index: HashMap<Box<[DfaState]>, StateId> = HashMap::new();
+        let mut elems: Vec<Box<[DfaState]>> = Vec::new();
+        let mut char_step: Vec<u16> = Vec::new();
+
+        index.insert(identity_fn.clone(), 0);
+        elems.push(identity_fn);
+
+        // BFS over one-character extensions. Newly discovered elements
+        // are appended to `elems`; `char_step` rows are filled as each
+        // element is processed.
+        let mut next_unprocessed = 0usize;
+        while next_unprocessed < elems.len() {
+            let e = next_unprocessed;
+            next_unprocessed += 1;
+            char_step.resize((e + 1) * n_classes, REJECT);
+            for class in 0..n_classes as u8 {
+                // Compose elems[e] with the one-character function.
+                let f: Box<[DfaState]> = elems[e]
+                    .iter()
+                    .map(|&q| if q == DFA_DEAD { DFA_DEAD } else { dfa.step(q, class) })
+                    .collect();
+                if f.iter().all(|&q| q == DFA_DEAD) {
+                    continue; // reject: leave the REJECT sentinel
+                }
+                let id = *index.entry(f.clone()).or_insert_with(|| {
+                    elems.push(f);
+                    assert!(
+                        elems.len() <= MAX_ELEMENTS,
+                        "transition monoid exceeds {MAX_ELEMENTS} elements"
+                    );
+                    (elems.len() - 1) as StateId
+                });
+                char_step[e * n_classes + class as usize] = id;
+            }
+        }
+
+        // Dense composition table. Closure guarantees every composition
+        // of reachable elements is reachable (it is the element of the
+        // concatenated string).
+        let m = elems.len();
+        let mut table = vec![REJECT; m * m];
+        for a in 0..m {
+            for b in 0..m {
+                let f: Box<[DfaState]> = elems[a]
+                    .iter()
+                    .map(|&q| {
+                        if q == DFA_DEAD {
+                            DFA_DEAD
+                        } else {
+                            elems[b][q as usize]
+                        }
+                    })
+                    .collect();
+                if f.iter().all(|&q| q == DFA_DEAD) {
+                    continue;
+                }
+                let id = *index
+                    .get(&f)
+                    .expect("composition of reachable elements is reachable");
+                table[a * m + b] = id;
+            }
+        }
+
+        let start = dfa.start();
+        let complete = elems
+            .iter()
+            .map(|f| {
+                let q = f[start as usize];
+                q != DFA_DEAD && dfa.is_accept(q)
+            })
+            .collect();
+
+        Sct {
+            elems,
+            identity: 0,
+            char_step,
+            table,
+            complete,
+            classes: Box::new(std::array::from_fn(|b| dfa.class_of(b as u8))),
+            n_classes,
+        }
+    }
+
+    /// Number of non-reject states (the paper reports 60 for doubles,
+    /// counting reject; see [`Sct::num_states_with_reject`]).
+    pub fn num_states(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of states including the implicit reject state.
+    pub fn num_states_with_reject(&self) -> usize {
+        self.elems.len() + 1
+    }
+
+    /// The state of the empty string.
+    pub fn identity(&self) -> StateId {
+        self.identity
+    }
+
+    /// Assigns a state to a text value — the paper's "feed the lexical
+    /// value of each text node to the FSM". `None` is reject.
+    pub fn state_of(&self, text: &str) -> Option<StateId> {
+        let mut e = self.identity as usize;
+        for &b in text.as_bytes() {
+            let class = self.classes[b as usize] as usize;
+            let next = self.char_step[e * self.n_classes + class];
+            if next == REJECT {
+                return None;
+            }
+            e = next as usize;
+        }
+        Some(e as StateId)
+    }
+
+    /// SCT probe: the state of the concatenation of two values with
+    /// states `a` and `b`. Reject is absorbing, and combining with the
+    /// state of `""` is the identity.
+    #[inline]
+    pub fn combine(&self, a: Option<StateId>, b: Option<StateId>) -> Option<StateId> {
+        let (a, b) = (a?, b?);
+        let v = self.table[a as usize * self.elems.len() + b as usize];
+        (v != REJECT).then_some(v)
+    }
+
+    /// Whether state `s` denotes a *complete* lexical representation —
+    /// i.e. a node in this state casts to the indexed type.
+    #[inline]
+    pub fn is_complete(&self, s: StateId) -> bool {
+        self.complete[s as usize]
+    }
+
+    /// Approximate heap size of the tables, for storage accounting.
+    pub fn table_bytes(&self) -> usize {
+        let m = self.elems.len();
+        m * m * 2 + self.char_step.len() * 2 + self.elems.iter().map(|e| e.len() * 2).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::DfaBuilder;
+
+    /// DFA for `a+b*` again; small enough to reason about by hand.
+    fn sample_dfa() -> Dfa {
+        let mut b = DfaBuilder::new();
+        let ca = b.class(b"a");
+        let cb = b.class(b"b");
+        let s0 = b.state(false);
+        let s1 = b.state(true);
+        let s2 = b.state(true);
+        b.edge(s0, ca, s1);
+        b.edge(s1, ca, s1);
+        b.edge(s1, cb, s2);
+        b.edge(s2, cb, s2);
+        b.build()
+    }
+
+    #[test]
+    fn identity_is_empty_string() {
+        let sct = Sct::build(&sample_dfa());
+        assert_eq!(sct.state_of(""), Some(sct.identity()));
+        assert!(!sct.is_complete(sct.identity()), "\"\" is not in a+b*");
+    }
+
+    #[test]
+    fn reject_is_none_and_absorbing() {
+        let sct = Sct::build(&sample_dfa());
+        assert_eq!(sct.state_of("xyz"), None);
+        // "ba" is no infix of a+b*.
+        assert_eq!(sct.state_of("ba"), None);
+        let a = sct.state_of("a");
+        assert_eq!(sct.combine(None, a), None);
+        assert_eq!(sct.combine(a, None), None);
+        assert_eq!(sct.combine(None, None), None);
+    }
+
+    #[test]
+    fn combine_equals_concatenation() {
+        let sct = Sct::build(&sample_dfa());
+        let strings = ["", "a", "b", "aa", "ab", "bb", "aab", "abb", "ba"];
+        for l in strings {
+            for r in strings {
+                let combined = sct.combine(sct.state_of(l), sct.state_of(r));
+                let direct = sct.state_of(&format!("{l}{r}"));
+                assert_eq!(combined, direct, "combine({l:?}, {r:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_matches_dfa_acceptance() {
+        let dfa = sample_dfa();
+        let sct = Sct::build(&dfa);
+        for s in ["", "a", "b", "ab", "ba", "aabbb", "bba"] {
+            let complete = sct.state_of(s).map(|st| sct.is_complete(st)).unwrap_or(false);
+            assert_eq!(complete, dfa.accepts(s), "completeness of {s:?}");
+        }
+    }
+
+    #[test]
+    fn infixes_are_potential_values() {
+        let sct = Sct::build(&sample_dfa());
+        // "b" is not a full value but is a valid suffix → not rejected.
+        let b = sct.state_of("b").expect("b is an infix");
+        assert!(!sct.is_complete(b));
+        // Prepending "a" completes it.
+        let a = sct.state_of("a").unwrap();
+        let ab = sct.combine(Some(a), Some(b)).unwrap();
+        assert!(sct.is_complete(ab));
+    }
+
+    #[test]
+    fn associativity_of_combine() {
+        let sct = Sct::build(&sample_dfa());
+        let states: Vec<Option<StateId>> =
+            ["", "a", "b", "ab", "bb", "zz"].iter().map(|s| sct.state_of(s)).collect();
+        for &x in &states {
+            for &y in &states {
+                for &z in &states {
+                    assert_eq!(
+                        sct.combine(sct.combine(x, y), z),
+                        sct.combine(x, sct.combine(y, z))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Typed-value analyzers: one DFA + SCT + cast per XML type.
+
+use std::sync::OnceLock;
+
+use crate::dfa::Dfa;
+use crate::sct::{Sct, StateId};
+
+/// The XML typed values with a range-lookup index implementation.
+///
+/// `Double` is the paper's primary example ("an index on xs:double can
+/// be used to accelerate predicates on all numerical XQuery types");
+/// `DateTime` is the other type it calls out as "of particular
+/// interest".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum XmlType {
+    /// `xs:double` (covers all numeric XQuery predicates).
+    Double,
+    /// `xs:decimal` (no exponent).
+    Decimal,
+    /// `xs:integer`.
+    Integer,
+    /// `xs:boolean`.
+    Boolean,
+    /// `xs:dateTime`, keyed by epoch milliseconds.
+    DateTime,
+    /// `xs:date`, keyed by the epoch milliseconds of its midnight.
+    Date,
+    /// `xs:time`, keyed by milliseconds since midnight.
+    Time,
+}
+
+impl XmlType {
+    /// All supported types.
+    pub const ALL: [XmlType; 7] = [
+        XmlType::Double,
+        XmlType::Decimal,
+        XmlType::Integer,
+        XmlType::Boolean,
+        XmlType::DateTime,
+        XmlType::Date,
+        XmlType::Time,
+    ];
+
+    /// The type's lexical DFA.
+    pub fn dfa(self) -> Dfa {
+        match self {
+            XmlType::Double => crate::lang::double::dfa(),
+            XmlType::Decimal => crate::lang::decimal::dfa(),
+            XmlType::Integer => crate::lang::integer::dfa(),
+            XmlType::Boolean => crate::lang::boolean::dfa(),
+            XmlType::DateTime => crate::lang::date_time::dfa(),
+            XmlType::Date => crate::lang::date::dfa(),
+            XmlType::Time => crate::lang::time::dfa(),
+        }
+    }
+
+    /// Casts a *complete* lexical representation to the type's ordered
+    /// key (see [`TypedValue`]).
+    pub fn cast(self, s: &str) -> Option<f64> {
+        match self {
+            XmlType::Double => crate::lang::double::cast(s),
+            XmlType::Decimal => crate::lang::decimal::cast(s),
+            XmlType::Integer => crate::lang::integer::cast(s),
+            XmlType::Boolean => crate::lang::boolean::cast(s),
+            XmlType::DateTime => crate::lang::date_time::cast(s),
+            XmlType::Date => crate::lang::date::cast(s),
+            XmlType::Time => crate::lang::time::cast(s),
+        }
+    }
+
+    /// Short lowercase name (for reports and examples).
+    pub fn name(self) -> &'static str {
+        match self {
+            XmlType::Double => "double",
+            XmlType::Decimal => "decimal",
+            XmlType::Integer => "integer",
+            XmlType::Boolean => "boolean",
+            XmlType::DateTime => "dateTime",
+            XmlType::Date => "date",
+            XmlType::Time => "time",
+        }
+    }
+}
+
+/// A typed value as stored in a range index: the type tag plus its
+/// ordered numeric key (`f64` for doubles/decimals/integers, epoch
+/// milliseconds for dateTime, 0/1 for booleans).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypedValue {
+    /// The XML type this value belongs to.
+    pub ty: XmlType,
+    /// The ordered key.
+    pub key: f64,
+}
+
+/// DFA + transition monoid + cast for one XML type.
+///
+/// Obtain shared instances with [`analyzer`]; construction builds the
+/// SCT, so instances are cached per type for the whole process.
+#[derive(Debug)]
+pub struct TypedAnalyzer {
+    ty: XmlType,
+    dfa: Dfa,
+    sct: Sct,
+}
+
+impl TypedAnalyzer {
+    /// Builds an analyzer (prefer [`analyzer`] for a cached instance).
+    pub fn new(ty: XmlType) -> TypedAnalyzer {
+        let dfa = ty.dfa();
+        let sct = Sct::build(&dfa);
+        TypedAnalyzer { ty, dfa, sct }
+    }
+
+    /// The analyzed type.
+    pub fn xml_type(&self) -> XmlType {
+        self.ty
+    }
+
+    /// The underlying lexical DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The state combination table.
+    pub fn sct(&self) -> &Sct {
+        &self.sct
+    }
+
+    /// State of a text value (`None` = reject).
+    pub fn state_of(&self, text: &str) -> Option<StateId> {
+        self.sct.state_of(text)
+    }
+
+    /// SCT probe combining two sibling states.
+    pub fn combine(&self, a: Option<StateId>, b: Option<StateId>) -> Option<StateId> {
+        self.sct.combine(a, b)
+    }
+
+    /// Whether `state` denotes a complete (castable) value.
+    pub fn is_complete(&self, state: StateId) -> bool {
+        self.sct.is_complete(state)
+    }
+
+    /// Casts a string whose state is complete into its typed value.
+    pub fn cast(&self, text: &str) -> Option<TypedValue> {
+        let key = self.ty.cast(text)?;
+        Some(TypedValue { ty: self.ty, key })
+    }
+
+    /// Convenience: full analysis of one value.
+    pub fn analyze(&self, text: &str) -> Option<(StateId, Option<TypedValue>)> {
+        let s = self.state_of(text)?;
+        let v = self.is_complete(s).then(|| self.cast(text)).flatten();
+        Some((s, v))
+    }
+}
+
+/// Returns the process-wide shared analyzer for `ty`. The SCT is built
+/// once per type on first use.
+pub fn analyzer(ty: XmlType) -> &'static TypedAnalyzer {
+    static CELLS: [OnceLock<TypedAnalyzer>; 7] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let idx = match ty {
+        XmlType::Double => 0,
+        XmlType::Decimal => 1,
+        XmlType::Integer => 2,
+        XmlType::Boolean => 3,
+        XmlType::DateTime => 4,
+        XmlType::Date => 5,
+        XmlType::Time => 6,
+    };
+    CELLS[idx].get_or_init(|| TypedAnalyzer::new(ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzers_are_cached() {
+        let a = analyzer(XmlType::Double);
+        let b = analyzer(XmlType::Double);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn paper_examples_states() {
+        let a = analyzer(XmlType::Double);
+        // "78" — complete double.
+        let s78 = a.state_of("78").unwrap();
+        assert!(a.is_complete(s78));
+        // "." — potential but not complete.
+        let sdot = a.state_of(".").unwrap();
+        assert!(!a.is_complete(sdot));
+        // "E+93 " — a valid *suffix* fragment, not complete.
+        let se = a.state_of("E+93 ").unwrap();
+        assert!(!a.is_complete(se));
+        // " +32.3" — complete (leading whitespace allowed).
+        let s32 = a.state_of(" +32.3").unwrap();
+        assert!(a.is_complete(s32));
+        // "42 text" — reject.
+        assert_eq!(a.state_of("42 text"), None);
+    }
+
+    #[test]
+    fn weight_mixed_content_combines_to_78_230() {
+        // <kilos>78</kilos>.<grams>230</grams> → "78" ⧺ "." ⧺ "230"
+        let a = analyzer(XmlType::Double);
+        let s = a.combine(
+            a.combine(a.state_of("78"), a.state_of(".")),
+            a.state_of("230"),
+        );
+        let s = s.expect("78.230 is a potential value");
+        assert!(a.is_complete(s));
+        assert_eq!(a.cast("78.230").unwrap().key, 78.230);
+    }
+
+    #[test]
+    fn all_types_build_and_answer() {
+        for ty in XmlType::ALL {
+            let a = analyzer(ty);
+            assert!(a.sct().num_states() > 1, "{ty:?}");
+            // The empty string is a potential value everywhere.
+            assert!(a.state_of("").is_some());
+        }
+    }
+
+    #[test]
+    fn analyze_returns_state_and_value() {
+        let a = analyzer(XmlType::Double);
+        let (s, v) = a.analyze("42").unwrap();
+        assert!(a.is_complete(s));
+        assert_eq!(v.unwrap().key, 42.0);
+        let (s, v) = a.analyze("42.").unwrap();
+        assert!(a.is_complete(s));
+        assert_eq!(v.unwrap().key, 42.0);
+        let (_, v) = a.analyze(".").unwrap();
+        assert!(v.is_none());
+        assert!(a.analyze("not a number").is_none());
+    }
+
+    #[test]
+    fn typed_value_keys_order_across_types() {
+        let b = analyzer(XmlType::Boolean);
+        assert_eq!(b.cast("true").unwrap().key, 1.0);
+        let i = analyzer(XmlType::Integer);
+        assert_eq!(i.cast(" -42 ").unwrap().key, -42.0);
+        let d = analyzer(XmlType::DateTime);
+        assert_eq!(d.cast("1970-01-01T00:00:00Z").unwrap().key, 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the dateTime analyzer: ordering, timezone
+//! normalisation, and agreement between the DFA and the cast.
+
+use proptest::prelude::*;
+use xvi_fsm::{analyzer, XmlType};
+
+fn fmt(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> String {
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Chronological component order implies key order (days ≤ 28 so
+    /// every generated date is valid in every month).
+    #[test]
+    fn keys_order_chronologically(
+        y1 in 1i32..9999, mo1 in 1u32..=12, d1 in 1u32..=28,
+        h1 in 0u32..24, mi1 in 0u32..60, s1 in 0u32..60,
+        y2 in 1i32..9999, mo2 in 1u32..=12, d2 in 1u32..=28,
+        h2 in 0u32..24, mi2 in 0u32..60, s2 in 0u32..60,
+    ) {
+        let a = (y1, mo1, d1, h1, mi1, s1);
+        let b = (y2, mo2, d2, h2, mi2, s2);
+        let ka = XmlType::DateTime.cast(&fmt(y1, mo1, d1, h1, mi1, s1)).unwrap();
+        let kb = XmlType::DateTime.cast(&fmt(y2, mo2, d2, h2, mi2, s2)).unwrap();
+        prop_assert_eq!(a.cmp(&b), ka.partial_cmp(&kb).unwrap(),
+                        "{:?} vs {:?}", a, b);
+    }
+
+    /// A timezone-shifted literal denotes the same instant: shifting
+    /// the clock forward by the offset yields an equal key.
+    #[test]
+    fn timezone_offsets_normalise(h in 1u32..23, off in 1u32..=12) {
+        let base = format!("2005-06-15T{h:02}:30:00Z");
+        let shifted_h = h + off.min(23 - h); // stay within the day
+        let off = shifted_h - h;
+        if off == 0 {
+            return Ok(());
+        }
+        let shifted = format!("2005-06-15T{shifted_h:02}:30:00+{off:02}:00");
+        prop_assert_eq!(
+            XmlType::DateTime.cast(&base).unwrap(),
+            XmlType::DateTime.cast(&shifted).unwrap()
+        );
+    }
+
+    /// Whatever the DFA accepts with in-range fields must cast; what
+    /// the DFA rejects must never cast via the analyzer pipeline.
+    #[test]
+    fn dfa_and_cast_agree(y in 1i32..9999, mo in 1u32..=12, d in 1u32..=28,
+                          h in 0u32..24, mi in 0u32..60, s in 0u32..60,
+                          ws_pre in 0usize..3, ws_post in 0usize..3) {
+        let an = analyzer(XmlType::DateTime);
+        let lit = format!("{}{}{}",
+            " ".repeat(ws_pre), fmt(y, mo, d, h, mi, s), " ".repeat(ws_post));
+        let st = an.state_of(&lit).expect("valid literal is not rejected");
+        prop_assert!(an.is_complete(st), "{:?}", lit);
+        prop_assert!(an.cast(&lit).is_some(), "{:?}", lit);
+    }
+}
+
+/// The epoch sanity anchors, one per century of interest.
+#[test]
+fn epoch_anchors() {
+    let cast = |s: &str| XmlType::DateTime.cast(s).unwrap();
+    assert_eq!(cast("1970-01-01T00:00:00Z"), 0.0);
+    assert_eq!(cast("1969-12-31T23:59:59Z"), -1000.0);
+    assert_eq!(cast("2001-09-09T01:46:40Z"), 1.0e12); // 10^9 seconds
+    assert!(cast("0001-01-01T00:00:00Z") < cast("1000-01-01T00:00:00Z"));
+    assert!(cast("-0044-03-15T12:00:00") < cast("0033-04-03T12:00:00"));
+}

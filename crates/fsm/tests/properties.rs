@@ -1,0 +1,117 @@
+//! Property tests for the SCT: the monoid homomorphism that makes the
+//! typed index updatable, checked against every supported type.
+
+use proptest::prelude::*;
+use xvi_fsm::{analyzer, XmlType};
+
+/// Strings biased toward the numeric alphabet so that non-reject
+/// states are actually exercised.
+fn arb_numericish() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => proptest::char::range('0', '9'),
+            2 => Just('.'),
+            2 => Just('+'),
+            2 => Just('-'),
+            2 => Just('e'),
+            1 => Just('E'),
+            2 => Just(' '),
+            1 => Just('T'),
+            1 => Just(':'),
+            1 => Just('Z'),
+            1 => proptest::char::range('a', 'z'),
+        ],
+        0..24,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// state(a ⧺ b) == SCT[state(a)][state(b)] for every type.
+    #[test]
+    fn sct_is_a_homomorphism(a in arb_numericish(), b in arb_numericish()) {
+        for ty in XmlType::ALL {
+            let an = analyzer(ty);
+            let joined = format!("{a}{b}");
+            prop_assert_eq!(
+                an.combine(an.state_of(&a), an.state_of(&b)),
+                an.state_of(&joined),
+                "type {:?}, a={:?}, b={:?}", ty, a, b
+            );
+        }
+    }
+
+    /// Splitting at every position recombines to the whole-string state.
+    #[test]
+    fn all_splits_recombine(s in arb_numericish()) {
+        for ty in XmlType::ALL {
+            let an = analyzer(ty);
+            let whole = an.state_of(&s);
+            for (cut, _) in s.char_indices().chain(std::iter::once((s.len(), ' '))) {
+                let (l, r) = s.split_at(cut);
+                prop_assert_eq!(
+                    an.combine(an.state_of(l), an.state_of(r)),
+                    whole,
+                    "type {:?}, split of {:?} at {}", ty, s, cut
+                );
+            }
+        }
+    }
+
+    /// Completeness of the combined state == DFA acceptance of the
+    /// concatenation (the property that makes mixed content like
+    /// `78 ⧺ . ⧺ 230` indexable).
+    #[test]
+    fn completeness_equals_acceptance(parts in proptest::collection::vec(arb_numericish(), 1..5)) {
+        for ty in XmlType::ALL {
+            let an = analyzer(ty);
+            let mut combined = Some(an.sct().identity());
+            for p in &parts {
+                combined = an.combine(combined, an.state_of(p));
+            }
+            let whole: String = parts.concat();
+            let complete = combined.map(|s| an.is_complete(s)).unwrap_or(false);
+            prop_assert_eq!(complete, an.dfa().accepts(&whole), "type {:?}, {:?}", ty, whole);
+        }
+    }
+
+    /// Complete double states always cast; reject strings never do.
+    #[test]
+    fn complete_iff_castable_for_doubles(s in arb_numericish()) {
+        let an = analyzer(XmlType::Double);
+        match an.state_of(&s) {
+            Some(st) if an.is_complete(st) => {
+                prop_assert!(an.cast(&s).is_some(), "complete but uncastable: {:?}", s);
+            }
+            _ => {
+                // Not complete: the paper stores no value for it.
+            }
+        }
+    }
+}
+
+/// Monoid sizes are pinned so accidental language changes are caught.
+/// The paper's hand-normalised double FSM has 60 states including
+/// reject; the *minimal* normalisation (the transition monoid) needs
+/// only 36 — both fit the paper's one-byte-per-state budget.
+#[test]
+fn monoid_sizes_are_stable() {
+    let sizes: Vec<(XmlType, usize)> = XmlType::ALL
+        .iter()
+        .map(|&t| (t, analyzer(t).sct().num_states_with_reject()))
+        .collect();
+    assert_eq!(
+        sizes,
+        vec![
+            (XmlType::Double, 36),
+            (XmlType::Decimal, 16),
+            (XmlType::Integer, 8),
+            (XmlType::Boolean, 26),
+            (XmlType::DateTime, 421),
+            (XmlType::Date, 158),
+            (XmlType::Time, 156),
+        ]
+    );
+}

@@ -1,0 +1,145 @@
+//! Hash-stability analysis (paper Figure 11).
+//!
+//! Figure 11 plots, per dataset, how many hash values are shared by
+//! exactly *k* distinct strings. [`CollisionHistogram`] ingests string
+//! values (deduplicating them first, as the paper counts *distinct*
+//! strings) and produces that distribution plus the headline
+//! collision-rate number quoted in §6.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::{hash_str, HashValue};
+
+/// Accumulates the distinct-strings-per-hash-value distribution.
+///
+/// ```
+/// use xvi_hash::collisions::CollisionHistogram;
+/// let mut h = CollisionHistogram::new();
+/// for s in ["a", "b", "a", "c"] {
+///     h.observe(s);
+/// }
+/// assert_eq!(h.distinct_strings(), 3);
+/// // With only three short strings nothing collides:
+/// assert_eq!(h.distribution().get(&1), Some(&3));
+/// assert_eq!(h.colliding_strings(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CollisionHistogram {
+    /// Distinct strings seen so far (the paper deduplicates inputs).
+    seen: HashSet<String>,
+    /// Number of distinct strings per hash value.
+    per_hash: HashMap<HashValue, u64>,
+}
+
+impl CollisionHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one string value; duplicate strings are ignored.
+    pub fn observe(&mut self, s: &str) {
+        if self.seen.insert(s.to_owned()) {
+            *self.per_hash.entry(hash_str(s)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of distinct strings observed.
+    pub fn distinct_strings(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Number of distinct hash values observed.
+    pub fn distinct_hashes(&self) -> u64 {
+        self.per_hash.len() as u64
+    }
+
+    /// The Figure 11 series: for each collision multiplicity *k* (the
+    /// x-axis), the number of hash values shared by exactly *k*
+    /// distinct strings (the y-axis, log scale in the paper).
+    pub fn distribution(&self) -> BTreeMap<u64, u64> {
+        let mut dist = BTreeMap::new();
+        for &count in self.per_hash.values() {
+            *dist.entry(count).or_insert(0) += 1;
+        }
+        dist
+    }
+
+    /// Number of distinct strings that share their hash value with at
+    /// least one other distinct string (the paper's "<1% of the total
+    /// string values collide" metric counts these).
+    pub fn colliding_strings(&self) -> u64 {
+        self.per_hash.values().filter(|&&c| c > 1).sum()
+    }
+
+    /// Fraction of distinct strings involved in a collision, in `0..=1`.
+    pub fn collision_rate(&self) -> f64 {
+        if self.seen.is_empty() {
+            return 0.0;
+        }
+        self.colliding_strings() as f64 / self.distinct_strings() as f64
+    }
+
+    /// The largest number of distinct strings sharing one hash value
+    /// (the paper observes up to 9 on the Wiki dataset's URLs).
+    pub fn max_multiplicity(&self) -> u64 {
+        self.per_hash.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = CollisionHistogram::new();
+        assert_eq!(h.distinct_strings(), 0);
+        assert_eq!(h.distinct_hashes(), 0);
+        assert_eq!(h.collision_rate(), 0.0);
+        assert_eq!(h.max_multiplicity(), 0);
+        assert!(h.distribution().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_counted_once() {
+        let mut h = CollisionHistogram::new();
+        h.observe("same");
+        h.observe("same");
+        h.observe("same");
+        assert_eq!(h.distinct_strings(), 1);
+        assert_eq!(h.distinct_hashes(), 1);
+        assert_eq!(h.colliding_strings(), 0);
+    }
+
+    #[test]
+    fn url_pathology_shows_up_in_distribution() {
+        // URLs whose distinguishing characters repeat 27 positions apart
+        // collide pairwise (the Wiki anomaly of §6).
+        let filler = "w".repeat(26);
+        let mut h = CollisionHistogram::new();
+        h.observe(&format!("http://A{filler}B.org"));
+        h.observe(&format!("http://B{filler}A.org"));
+        h.observe("http://unrelated.example.org");
+        assert_eq!(h.distinct_strings(), 3);
+        assert_eq!(h.distinct_hashes(), 2);
+        assert_eq!(h.max_multiplicity(), 2);
+        assert_eq!(h.colliding_strings(), 2);
+        let dist = h.distribution();
+        assert_eq!(dist.get(&1), Some(&1));
+        assert_eq!(dist.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn distribution_totals_are_consistent() {
+        let mut h = CollisionHistogram::new();
+        for i in 0..500 {
+            h.observe(&format!("value-{i}"));
+        }
+        let dist = h.distribution();
+        let strings: u64 = dist.iter().map(|(k, v)| k * v).sum();
+        let hashes: u64 = dist.values().sum();
+        assert_eq!(strings, h.distinct_strings());
+        assert_eq!(hashes, h.distinct_hashes());
+    }
+}

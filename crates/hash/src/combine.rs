@@ -1,0 +1,138 @@
+//! The associative combination function `C` (paper Figure 4).
+//!
+//! `C` combines the hashes of two adjacent string values into the hash
+//! of their concatenation without looking at any character data: the
+//! right operand's c-array is rotated left (within the 27-bit circle)
+//! by the left operand's offset and XOR-ed in, and the offsets add
+//! modulo 27. Correctness rests on XOR's associativity/commutativity —
+//! rotating first or XOR-ing first does not change the outcome — which
+//! is also what makes deferred, commutative index maintenance possible
+//! (paper §5.1).
+
+use crate::{HashValue, C_ARRAY_BITS, C_ARRAY_MASK, OFFC_MASK};
+
+/// Combines two hash values: `combine(H(a), H(b)) == H(a ⧺ b)`.
+///
+/// `(HashValue, combine)` is a monoid with identity [`HashValue::EMPTY`]:
+///
+/// ```
+/// use xvi_hash::{combine, hash_str, HashValue};
+/// let (a, b, c) = (hash_str("x"), hash_str("yy"), hash_str("zzz"));
+/// assert_eq!(combine(combine(a, b), c), combine(a, combine(b, c)));
+/// assert_eq!(combine(HashValue::EMPTY, a), a);
+/// assert_eq!(combine(a, HashValue::EMPTY), a);
+/// ```
+#[inline]
+pub fn combine(left: HashValue, right: HashValue) -> HashValue {
+    let off_l = left.raw() & OFFC_MASK;
+    let off_r = right.raw() & OFFC_MASK;
+    let ca_l = left.raw() & C_ARRAY_MASK;
+    let ca_r = right.raw() & C_ARRAY_MASK;
+
+    // Circular left shift of the right c-array by `off_l` positions,
+    // carried out on the MSB-aligned representation exactly as in the
+    // paper: bits pushed past bit 31 are re-inserted just above the
+    // offc field, and anything that leaked into the offc bits is masked.
+    let rotated = (ca_r << off_l) | ((ca_r >> (C_ARRAY_BITS - off_l)) & C_ARRAY_MASK);
+
+    let mut comb = ca_l ^ rotated;
+    comb |= (off_l + off_r) % C_ARRAY_BITS;
+    // Unchecked construction is fine: both inputs carry offc < 27 by
+    // invariant, and the sum mod 27 stays < 27.
+    HashValue::from_raw(comb).expect("combine preserves the offc < 27 invariant")
+}
+
+/// Folds [`combine`] over a sequence of hash values, left to right.
+///
+/// Returns [`HashValue::EMPTY`] for an empty sequence. Because `C` is
+/// associative the fold direction does not affect the result; left to
+/// right matches document order, which is how the index-creation pass
+/// (paper Figure 7) accumulates element hashes.
+pub fn combine_all<I: IntoIterator<Item = HashValue>>(values: I) -> HashValue {
+    values
+        .into_iter()
+        .fold(HashValue::EMPTY, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_str;
+
+    #[test]
+    fn homomorphism_on_the_paper_example() {
+        // Section 3: h<name> = C(h<first>, h<family>).
+        let h_name = combine(hash_str("Arthur"), hash_str("Dent"));
+        assert_eq!(h_name, hash_str("ArthurDent"));
+
+        // h<person> = C(h<name>, C(h<birthday>, C(h<age>, h<weight>))).
+        let h_age = hash_str("42");
+        let h_weight = hash_str("78.230");
+        let h_birthday = hash_str("1966-09-26");
+        let h_person = combine(h_name, combine(h_birthday, combine(h_age, h_weight)));
+        assert_eq!(h_person, hash_str("ArthurDent1966-09-264278.230"));
+    }
+
+    #[test]
+    fn identity_element() {
+        for s in ["", "a", "Arthur", "mixed content with spaces", "\u{1F600}"] {
+            let h = hash_str(s);
+            assert_eq!(combine(HashValue::EMPTY, h), h);
+            assert_eq!(combine(h, HashValue::EMPTY), h);
+        }
+    }
+
+    #[test]
+    fn offsets_add_mod_27() {
+        let a = hash_str(&"x".repeat(13)); // offset 65 % 27 = 11
+        let b = hash_str(&"y".repeat(20)); // offset 100 % 27 = 19
+        assert_eq!(combine(a, b).offset(), (11 + 19) % 27);
+    }
+
+    #[test]
+    fn combine_all_matches_nested_combines() {
+        let parts = ["Arthur", "Dent", "1966-09-26", "42", "78.230"];
+        let hashes: Vec<_> = parts.iter().map(|p| hash_str(p)).collect();
+        let whole = parts.concat();
+        assert_eq!(combine_all(hashes.iter().copied()), hash_str(&whole));
+    }
+
+    #[test]
+    fn combine_all_empty_is_identity() {
+        assert_eq!(combine_all(std::iter::empty()), HashValue::EMPTY);
+    }
+
+    #[test]
+    fn update_scenario_from_section3() {
+        // "Dent" -> "Prefect": only the changed leaf is re-hashed, the
+        // ancestors are recombined from stored sibling hashes.
+        let h_first = hash_str("Arthur");
+        let h_family_new = hash_str("Prefect");
+        let h_name = combine(h_first, h_family_new);
+        assert_eq!(h_name, hash_str("ArthurPrefect"));
+
+        let h_person = combine(
+            h_name,
+            combine(
+                hash_str("1966-09-26"),
+                combine(hash_str("42"), hash_str("78.230")),
+            ),
+        );
+        assert_eq!(h_person, hash_str("ArthurPrefect1966-09-264278.230"));
+    }
+
+    #[test]
+    fn full_rotation_boundary_offsets() {
+        // Left operands whose offsets cover every residue class 0..27,
+        // including the off_l = 0 edge (rotation by zero).
+        for left_len in 0..27usize {
+            let left = "L".repeat(left_len);
+            let right = "the quick brown fox";
+            assert_eq!(
+                combine(hash_str(&left), hash_str(right)),
+                hash_str(&format!("{left}{right}")),
+                "left length {left_len}"
+            );
+        }
+    }
+}

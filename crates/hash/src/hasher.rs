@@ -1,0 +1,157 @@
+//! The hash function `H` (paper Figure 2).
+//!
+//! `H` consumes the characters of an XML string value left to right and
+//! XOR-s the 7 low bits of each character into a 27-bit circular buffer
+//! (the *c-array*), advancing the write offset by 5 bit positions per
+//! character and wrapping at 27. Because `gcd(5, 27) = 1` the offset
+//! visits all 27 positions before repeating, so consecutive characters
+//! land on distinct, interleaved positions — this is what keeps
+//! collisions low for typical text (see the paper's Figure 11 and the
+//! [`crate::collisions`] module).
+
+use crate::{HashValue, C_ARRAY_BITS};
+
+const C_ARRAY_LOW_MASK: u32 = (1 << C_ARRAY_BITS) - 1;
+
+/// Hashes a string value with the paper's hash function `H`.
+///
+/// Operates on the UTF-8 bytes of `s`; each byte contributes its 7 low
+/// bits, exactly as the paper's C implementation does (`*str & 127`).
+/// Hashing bytes (rather than code points) is essential for the
+/// homomorphism `H(a ⧺ b) = C(H(a), H(b))` to hold for *byte*
+/// concatenation, which is how XML string values concatenate.
+///
+/// ```
+/// use xvi_hash::{combine, hash_str};
+/// let h = combine(hash_str("Arthur"), hash_str("Dent"));
+/// assert_eq!(h, hash_str("ArthurDent"));
+/// ```
+#[inline]
+pub fn hash_str(s: &str) -> HashValue {
+    hash_bytes(s.as_bytes())
+}
+
+/// Hashes a byte sequence with the paper's hash function `H`.
+///
+/// This is the workhorse behind [`hash_str`]; it is public because the
+/// XML store hands out string values as byte slices during shredding.
+pub fn hash_bytes(bytes: &[u8]) -> HashValue {
+    let mut acc: u32 = 0; // c-array accumulator, LSB-aligned; bits >= 27 are junk
+    let mut offset: u32 = 0;
+    for &b in bytes {
+        let c = u32::from(b & 127);
+        // XOR the 7 bits of the character at the current offset. For
+        // offsets > 20 the character straddles the end of the 27-bit
+        // circle: the overflowing high bits wrap to the low positions.
+        acc ^= c << offset;
+        if offset > 20 {
+            acc ^= c >> (C_ARRAY_BITS - offset);
+        }
+        offset += 5;
+        if offset > 26 {
+            offset -= 27;
+        }
+    }
+    // The paper's final `hval <<= 5` on a 32-bit word silently discards
+    // the junk accumulated above bit 26; masking achieves the same.
+    HashValue::from_parts(acc & C_ARRAY_LOW_MASK, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine;
+
+    /// Paper Figure 3: the worked example `H("Arthur")`.
+    ///
+    /// The figure lists the resulting c-array MSB-first as
+    /// `011011001011101111000011101` and the offc field as `00011`
+    /// (offset 3 = 6 characters × 5 positions mod 27).
+    #[test]
+    fn figure3_arthur_worked_example() {
+        let h = hash_str("Arthur");
+        #[allow(clippy::unusual_byte_groupings)] // grouped as c-array | offc
+        {
+            assert_eq!(h.c_array(), 0b011011001011101111000011101);
+            assert_eq!(h.offset(), 3);
+            assert_eq!(h.raw(), 0b011011001011101111000011101_00011);
+        }
+    }
+
+    #[test]
+    fn offset_advances_five_positions_per_character_mod_27() {
+        for len in 0..100usize {
+            let s = "x".repeat(len);
+            assert_eq!(
+                hash_bytes(s.as_bytes()).offset(),
+                (len as u32 * 5) % 27,
+                "offset after {len} characters"
+            );
+        }
+    }
+
+    #[test]
+    fn single_character_occupies_its_offset() {
+        // One character at offset 0: c-array == the 7 low bits.
+        assert_eq!(hash_str("A").c_array(), u32::from(b'A'));
+        assert_eq!(hash_str("\x7f").c_array(), 127);
+    }
+
+    #[test]
+    fn only_seven_low_bits_of_each_byte_contribute() {
+        // 'A' (0x41) and 0xC1 share the same 7 low bits.
+        assert_eq!(hash_bytes(&[0x41]), hash_bytes(&[0xC1]));
+    }
+
+    #[test]
+    fn wraparound_region_is_exercised() {
+        // 5 characters put the offset at 25; the 6th character straddles
+        // the circle boundary. Verify against a split-and-combine.
+        let s = "abcdef";
+        let h = combine(hash_str("abcde"), hash_str("f"));
+        assert_eq!(h, hash_str(s));
+    }
+
+    #[test]
+    fn hash_distinguishes_order_for_most_strings() {
+        assert_ne!(hash_str("ab"), hash_str("ba"));
+        assert_ne!(hash_str("Arthur"), hash_str("ruhtrA"));
+    }
+
+    /// The documented pathology behind the paper's Figure 11 tail: the
+    /// write offset has period 27 in the character count, so swapping
+    /// two characters exactly 27 positions apart XORs the same values
+    /// into the same positions and the hashes collide.
+    #[test]
+    fn period_27_character_swap_collides() {
+        let filler = "w".repeat(26);
+        let a = format!("A{filler}B-tail");
+        let b = format!("B{filler}A-tail");
+        assert_ne!(a, b);
+        assert_eq!(hash_str(&a), hash_str(&b));
+    }
+
+    #[test]
+    fn nearby_swaps_do_not_collide() {
+        for dist in 1..27usize {
+            let filler = "w".repeat(dist - 1);
+            let a = format!("A{filler}B");
+            let b = format!("B{filler}A");
+            assert_ne!(
+                hash_str(&a),
+                hash_str(&b),
+                "swap at distance {dist} must not collide"
+            );
+        }
+    }
+
+    #[test]
+    fn long_input_stability() {
+        // A megabyte of repeating text hashes deterministically and the
+        // offset lands where the length predicts.
+        let s = "lorem ipsum ".repeat(87_382);
+        let h = hash_bytes(s.as_bytes());
+        assert_eq!(h.offset(), (s.len() as u32 * 5) % 27);
+        assert_eq!(h, hash_bytes(s.as_bytes()));
+    }
+}

@@ -1,0 +1,92 @@
+//! Index configuration.
+
+use xvi_fsm::XmlType;
+
+/// Which indices to build. The defaults mirror the paper's evaluation:
+/// the string equi-index plus a double range index, covering the whole
+/// document with no path or type declarations (the "self-tuned"
+/// property of §1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Build the string equi-lookup index.
+    pub string_index: bool,
+    /// Typed range indices to build, one per type.
+    pub typed: Vec<XmlType>,
+    /// Build the trigram substring/wildcard index (the paper's §7
+    /// future-work extension; off by default, as in the paper).
+    pub substring_index: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            string_index: true,
+            typed: vec![XmlType::Double],
+            substring_index: false,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// String index only.
+    pub fn string_only() -> IndexConfig {
+        IndexConfig {
+            string_index: true,
+            typed: vec![],
+            substring_index: false,
+        }
+    }
+
+    /// Typed indices only (no string index).
+    pub fn typed_only(types: &[XmlType]) -> IndexConfig {
+        IndexConfig {
+            string_index: false,
+            typed: types.to_vec(),
+            substring_index: false,
+        }
+    }
+
+    /// String index plus the given typed indices.
+    pub fn with_types(types: &[XmlType]) -> IndexConfig {
+        IndexConfig {
+            string_index: true,
+            typed: types.to_vec(),
+            substring_index: false,
+        }
+    }
+
+    /// Enables the trigram substring/wildcard index.
+    pub fn with_substring_index(mut self) -> IndexConfig {
+        self.substring_index = true;
+        self
+    }
+
+    /// Everything the crate supports.
+    pub fn all() -> IndexConfig {
+        IndexConfig {
+            string_index: true,
+            typed: XmlType::ALL.to_vec(),
+            substring_index: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_string_plus_double() {
+        let c = IndexConfig::default();
+        assert!(c.string_index);
+        assert_eq!(c.typed, vec![XmlType::Double]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(IndexConfig::string_only().typed.is_empty());
+        let t = IndexConfig::typed_only(&[XmlType::DateTime]);
+        assert!(!t.string_index);
+        assert_eq!(IndexConfig::all().typed.len(), XmlType::ALL.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Single-pass index creation (paper Figure 7).
+//!
+//! One depth-first traversal builds *all* configured indices
+//! simultaneously: at every text node the hash function `H` and the
+//! typed FSMs run once over the character data; at every element the
+//! children's already-computed hashes/states are folded with the
+//! combination function `C` and the SCTs. The traversal is expressed
+//! over enter/leave events with an explicit frame stack — the same
+//! control structure as the paper's stack-based algorithm, with the
+//! push/pop bookkeeping made explicit by the event stream.
+//!
+//! Attribute nodes are indexed on their own values when their owner
+//! element is entered; per XDM they do **not** contribute to the
+//! element's string value, so they never join a frame. Comments and
+//! processing instructions are not value-indexed and contribute
+//! nothing either.
+
+use xvi_fsm::StateId;
+use xvi_hash::{combine, hash_str, HashValue};
+use xvi_xml::{cursor::dfs_events, DfsEvent, Document, NodeId, NodeKind};
+
+use crate::string_index::StringIndex;
+use crate::typed_index::TypedIndex;
+
+/// Accumulator for one open element (or the document node): the hash
+/// and per-type state of the concatenation of the text content seen so
+/// far.
+struct Frame {
+    hash: HashValue,
+    states: Vec<Option<StateId>>,
+}
+
+/// Indexes the subtree rooted at `root` (inclusive), filling the
+/// string index and every typed index in one pass. Ancestors of
+/// `root` are *not* touched — the caller recombines them when `root`
+/// is not the document node (subtree insertion).
+pub(crate) fn index_subtree(
+    doc: &Document,
+    root: NodeId,
+    mut string: Option<&mut StringIndex>,
+    typed: &mut [TypedIndex],
+) {
+    let identity_states: Vec<Option<StateId>> = typed
+        .iter()
+        .map(|t| Some(t.analyzer().sct().identity()))
+        .collect();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    for event in dfs_events(doc, root) {
+        match event {
+            DfsEvent::Enter(node) => match doc.kind(node) {
+                NodeKind::Text(t) => {
+                    let h = hash_str(t);
+                    if let Some(s) = string.as_deref_mut() {
+                        s.set(node, h);
+                    }
+                    if let Some(top) = stack.last_mut() {
+                        top.hash = combine(top.hash, h);
+                    }
+                    for (i, idx) in typed.iter_mut().enumerate() {
+                        let an = idx.analyzer();
+                        let state = an.state_of(t);
+                        let value = state
+                            .filter(|&s| an.is_complete(s))
+                            .and_then(|_| an.cast(t))
+                            .map(|v| v.key);
+                        idx.set(node, state, value);
+                        if let Some(top) = stack.last_mut() {
+                            top.states[i] = an.combine(top.states[i], state);
+                        }
+                    }
+                }
+                NodeKind::Element(_) | NodeKind::Document => {
+                    // Attributes are indexed on their own values.
+                    for attr in doc.attributes(node) {
+                        if let NodeKind::Attribute { value, .. } = doc.kind(attr) {
+                            if let Some(s) = string.as_deref_mut() {
+                                s.set(attr, hash_str(value));
+                            }
+                            for idx in typed.iter_mut() {
+                                let an = idx.analyzer();
+                                let state = an.state_of(value);
+                                let key = state
+                                    .filter(|&s| an.is_complete(s))
+                                    .and_then(|_| an.cast(value))
+                                    .map(|v| v.key);
+                                idx.set(attr, state, key);
+                            }
+                        }
+                    }
+                    stack.push(Frame {
+                        hash: HashValue::EMPTY,
+                        states: identity_states.clone(),
+                    });
+                }
+                // Comments/PIs carry values but are outside the paper's
+                // index coverage (text/element/attribute) and outside
+                // XDM element string values.
+                NodeKind::Comment(_) | NodeKind::Pi { .. } => {}
+                NodeKind::Attribute { .. } | NodeKind::Free => {
+                    unreachable!("attributes/freed nodes are not in the structural DFS")
+                }
+            },
+            DfsEvent::Leave(node) => match doc.kind(node) {
+                NodeKind::Element(_) | NodeKind::Document => {
+                    let frame = stack.pop().expect("leave matches enter");
+                    if let Some(s) = string.as_deref_mut() {
+                        s.set(node, frame.hash);
+                    }
+                    for (i, idx) in typed.iter_mut().enumerate() {
+                        let an = idx.analyzer();
+                        let state = frame.states[i];
+                        // Complete intermediate nodes are rare (paper
+                        // Table 1's "non-leaf" column), so materialising
+                        // their string value here costs next to nothing.
+                        let value = state
+                            .filter(|&s| an.is_complete(s))
+                            .and_then(|_| an.cast(&doc.string_value(node)))
+                            .map(|v| v.key);
+                        idx.set(node, state, value);
+                    }
+                    if let Some(top) = stack.last_mut() {
+                        top.hash = combine(top.hash, frame.hash);
+                        for (i, idx) in typed.iter().enumerate() {
+                            top.states[i] = idx.analyzer().combine(top.states[i], frame.states[i]);
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    debug_assert!(stack.is_empty(), "every frame is popped");
+}

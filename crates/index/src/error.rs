@@ -1,0 +1,34 @@
+//! Index errors.
+
+use xvi_xml::NodeId;
+
+/// Errors surfaced by index maintenance and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexError {
+    /// A value update targeted a node that has no directly stored
+    /// value (only text and attribute nodes do).
+    NotAValueNode(NodeId),
+    /// The node id does not denote a live node of the indexed document.
+    DeadNode(NodeId),
+    /// A query string failed to parse.
+    QuerySyntax(String),
+    /// A query referenced a typed index that was not configured.
+    TypeNotIndexed(xvi_fsm::XmlType),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::NotAValueNode(n) => {
+                write!(f, "{n:?} is not a text or attribute node")
+            }
+            IndexError::DeadNode(n) => write!(f, "{n:?} is not a live node"),
+            IndexError::QuerySyntax(msg) => write!(f, "query syntax error: {msg}"),
+            IndexError::TypeNotIndexed(t) => {
+                write!(f, "no range index configured for {}", t.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}

@@ -1,0 +1,813 @@
+//! The index manager: ownership of all indices over one document,
+//! lookups, and the maintenance algorithms of paper §5.
+
+use std::collections::HashSet;
+use std::ops::RangeBounds;
+
+use xvi_fsm::{StateId, XmlType};
+use xvi_hash::{combine, hash_str, HashValue};
+use xvi_xml::{Document, NodeId, NodeKind};
+
+use crate::config::IndexConfig;
+use crate::create::index_subtree;
+use crate::error::IndexError;
+use crate::string_index::StringIndex;
+use crate::substring::SubstringIndex;
+use crate::typed_index::TypedIndex;
+
+/// All value indices over one [`Document`].
+///
+/// Build once with [`IndexManager::build`] (paper Figure 7), then keep
+/// it in sync through [`IndexManager::update_value`],
+/// [`IndexManager::update_values`], [`IndexManager::delete_subtree`]
+/// and [`IndexManager::index_new_subtree`] (paper Figure 8); queries go
+/// through [`IndexManager::equi_lookup`] and
+/// [`IndexManager::range_lookup`].
+///
+/// ```
+/// use xvi_index::{IndexConfig, IndexManager};
+/// use xvi_xml::Document;
+///
+/// let doc = Document::parse(
+///     "<person><name><first>Arthur</first><family>Dent</family></name></person>").unwrap();
+/// let idx = IndexManager::build(&doc, IndexConfig::default());
+/// // The paper's query: //*[fn:data(name)="ArthurDent"] — elements
+/// // whose *concatenated* string value matches. In this minimal
+/// // document that is <name>, <person>, and the document node, since
+/// // they all concatenate to the same text.
+/// let hits = idx.equi_lookup(&doc, "ArthurDent");
+/// assert_eq!(hits.len(), 3);
+/// assert!(hits.iter().any(|&n| doc.name(n) == Some("name")));
+/// ```
+#[derive(Debug)]
+pub struct IndexManager {
+    config: IndexConfig,
+    string: Option<StringIndex>,
+    typed: Vec<TypedIndex>,
+    substring: Option<SubstringIndex>,
+}
+
+impl IndexManager {
+    /// Builds all configured indices in a single depth-first pass.
+    pub fn build(doc: &Document, config: IndexConfig) -> IndexManager {
+        let mut string = config
+            .string_index
+            .then(|| StringIndex::new(doc.arena_size()));
+        let mut typed: Vec<TypedIndex> = config.typed.iter().map(|&t| TypedIndex::new(t)).collect();
+        // Creation is append-only, so the B+trees are bulk-loaded from
+        // sorted entry runs instead of filled by random inserts.
+        if let Some(s) = string.as_mut() {
+            s.begin_bulk();
+        }
+        for t in typed.iter_mut() {
+            t.begin_bulk();
+        }
+        index_subtree(doc, doc.document_node(), string.as_mut(), &mut typed);
+        if let Some(s) = string.as_mut() {
+            s.finish_bulk();
+        }
+        for t in typed.iter_mut() {
+            t.finish_bulk();
+        }
+        let substring = config.substring_index.then(|| SubstringIndex::build(doc));
+        IndexManager {
+            config,
+            string,
+            typed,
+            substring,
+        }
+    }
+
+    /// Creates an index shell with the given configuration but no
+    /// computed entries — used by the persistence loader, which then
+    /// fills the structures by bulk load.
+    pub(crate) fn new_empty(doc: &Document, config: IndexConfig) -> IndexManager {
+        IndexManager {
+            string: config
+                .string_index
+                .then(|| StringIndex::new(doc.arena_size())),
+            typed: config.typed.iter().map(|&t| TypedIndex::new(t)).collect(),
+            substring: None,
+            config,
+        }
+    }
+
+    /// Persistence loader: installs string-index entries.
+    pub(crate) fn load_string_entries(
+        &mut self,
+        entries: Vec<(u32, HashValue)>,
+    ) -> std::io::Result<()> {
+        let s = self.string.as_mut().expect("string index configured");
+        s.load_entries(entries);
+        Ok(())
+    }
+
+    /// Persistence loader: installs typed-index entries for `ty`.
+    pub(crate) fn load_typed_entries(
+        &mut self,
+        ty: XmlType,
+        entries: Vec<(u32, StateId, Option<f64>)>,
+    ) -> std::io::Result<()> {
+        let idx = self
+            .typed
+            .iter_mut()
+            .find(|t| t.xml_type() == ty)
+            .expect("typed index configured");
+        idx.load_entries(entries);
+        Ok(())
+    }
+
+    /// Persistence loader: rebuilds the trigram index from `doc`.
+    pub(crate) fn rebuild_substring_index(&mut self, doc: &Document) {
+        self.substring = Some(crate::substring::SubstringIndex::build(doc));
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The string equi-index, if configured.
+    pub fn string_index(&self) -> Option<&StringIndex> {
+        self.string.as_ref()
+    }
+
+    /// The trigram substring index, if configured.
+    pub fn substring_index(&self) -> Option<&SubstringIndex> {
+        self.substring.as_ref()
+    }
+
+    /// Substring lookup: indexed nodes whose stored value contains
+    /// `needle` (verified, exact).
+    ///
+    /// # Panics
+    /// Panics if the substring index is not configured.
+    pub fn contains_lookup(&self, doc: &Document, needle: &str) -> Vec<NodeId> {
+        self.substring
+            .as_ref()
+            .expect("substring index not configured")
+            .contains(doc, needle)
+    }
+
+    /// Wildcard lookup (`*`/`?`) over stored values (verified, exact).
+    ///
+    /// # Panics
+    /// Panics if the substring index is not configured.
+    pub fn wildcard_lookup(&self, doc: &Document, pattern: &str) -> Vec<NodeId> {
+        self.substring
+            .as_ref()
+            .expect("substring index not configured")
+            .matches_wildcard(doc, pattern)
+    }
+
+    /// The typed index for `ty`, if configured.
+    pub fn typed_index(&self, ty: XmlType) -> Option<&TypedIndex> {
+        self.typed.iter().find(|t| t.xml_type() == ty)
+    }
+
+    /// The stored hash of a node's string value.
+    pub fn hash_of(&self, node: NodeId) -> Option<HashValue> {
+        self.string.as_ref()?.hash_of(node)
+    }
+
+    /// The stored FSM state of a node for `ty` (`None` = reject).
+    pub fn state_of(&self, ty: XmlType, node: NodeId) -> Option<StateId> {
+        self.typed_index(ty)?.state_of(node)
+    }
+
+    // ----- lookups ---------------------------------------------------------
+
+    /// Candidate nodes whose string value *hashes* like `value`.
+    /// May contain hash-collision false positives.
+    ///
+    /// # Panics
+    /// Panics if the string index is not configured.
+    pub fn equi_candidates(&self, value: &str) -> Vec<NodeId> {
+        self.string
+            .as_ref()
+            .expect("string index not configured")
+            .candidates(hash_str(value))
+    }
+
+    /// Equality lookup on string values, verified against the document
+    /// (no false positives). Returns text, element and attribute nodes
+    /// whose XDM string value equals `value`, in arena order.
+    pub fn equi_lookup(&self, doc: &Document, value: &str) -> Vec<NodeId> {
+        self.equi_candidates(value)
+            .into_iter()
+            .filter(|&n| doc.is_live(n) && doc.string_value(n) == value)
+            .collect()
+    }
+
+    /// Range lookup on the typed index for `ty`.
+    pub fn range_lookup<R: RangeBounds<f64>>(
+        &self,
+        ty: XmlType,
+        bounds: R,
+    ) -> Result<Vec<NodeId>, IndexError> {
+        Ok(self
+            .typed_index(ty)
+            .ok_or(IndexError::TypeNotIndexed(ty))?
+            .range(bounds))
+    }
+
+    /// Convenience range lookup on the double index.
+    ///
+    /// # Panics
+    /// Panics if no double index is configured (it is by default).
+    pub fn range_lookup_f64<R: RangeBounds<f64>>(&self, bounds: R) -> Vec<NodeId> {
+        self.range_lookup(XmlType::Double, bounds)
+            .expect("double index not configured")
+    }
+
+    /// Typed equality lookup (e.g. the paper's `[.//age = 42]`).
+    pub fn typed_eq_lookup(&self, ty: XmlType, key: f64) -> Result<Vec<NodeId>, IndexError> {
+        self.range_lookup(ty, key..=key)
+    }
+
+    // ----- maintenance (paper Figure 8) -------------------------------------
+
+    /// Updates the value of one text or attribute node and repairs all
+    /// indices by recombining only the node's ancestors.
+    pub fn update_value(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        new_value: &str,
+    ) -> Result<(), IndexError> {
+        self.update_values(doc, std::iter::once((node, new_value)))
+    }
+
+    /// Batch value update. All leaf changes are applied first, then
+    /// every affected ancestor is recombined exactly once from its
+    /// children's stored hashes/states — the batch equivalent of the
+    /// paper's Figure 8 pass over a sequence of updated text nodes.
+    pub fn update_values<'a, I>(&mut self, doc: &mut Document, updates: I) -> Result<(), IndexError>
+    where
+        I: IntoIterator<Item = (NodeId, &'a str)>,
+    {
+        let mut touched_text_nodes = Vec::new();
+        for (node, value) in updates {
+            if !doc.is_live(node) {
+                return Err(IndexError::DeadNode(node));
+            }
+            match doc.kind(node) {
+                NodeKind::Text(_) => {
+                    let old = doc.set_value(node, value);
+                    self.reindex_value_node(doc, node);
+                    if let Some(sub) = self.substring.as_mut() {
+                        sub.replace_value(node, &old, value);
+                    }
+                    touched_text_nodes.push(node);
+                }
+                NodeKind::Attribute { .. } => {
+                    // Attribute values are indexed but, per XDM, do not
+                    // contribute to any element's string value — no
+                    // ancestor propagation needed.
+                    let old = doc.set_value(node, value);
+                    self.reindex_value_node(doc, node);
+                    if let Some(sub) = self.substring.as_mut() {
+                        sub.replace_value(node, &old, value);
+                    }
+                }
+                _ => return Err(IndexError::NotAValueNode(node)),
+            }
+        }
+        self.recombine_ancestors(doc, &touched_text_nodes);
+        Ok(())
+    }
+
+    /// Removes the subtree rooted at `node` from the document and all
+    /// indices, then repairs the ancestors. Returns the former parent.
+    /// (The paper: run the update algorithm with the deleted subtree's
+    /// root as an empty-valued context node.)
+    pub fn delete_subtree(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+    ) -> Result<Option<NodeId>, IndexError> {
+        if !doc.is_live(node) {
+            return Err(IndexError::DeadNode(node));
+        }
+        // Drop index entries before the arena frees the nodes; only the
+        // stored annotations are read, never the string data.
+        let subtree: Vec<NodeId> = doc.descendants_or_self(node).collect();
+        for m in subtree {
+            for a in doc.attributes(m) {
+                if let (Some(sub), Some(v)) = (self.substring.as_mut(), doc.direct_value(a)) {
+                    sub.remove_value(a, v);
+                }
+                self.drop_node(a);
+            }
+            if let (Some(sub), Some(v)) = (self.substring.as_mut(), doc.direct_value(m)) {
+                sub.remove_value(m, v);
+            }
+            self.drop_node(m);
+        }
+        let parent = doc.delete_subtree(node);
+        if let Some(p) = parent {
+            self.recombine_ancestors_from(doc, p);
+        }
+        Ok(parent)
+    }
+
+    /// Indexes a freshly attached subtree (built via the `Document`
+    /// construction API) and repairs the ancestors of its root.
+    pub fn index_new_subtree(&mut self, doc: &Document, node: NodeId) {
+        index_subtree(doc, node, self.string.as_mut(), &mut self.typed);
+        if let Some(sub) = self.substring.as_mut() {
+            for m in doc.descendants_or_self(node) {
+                if let Some(v) = doc.direct_value(m) {
+                    sub.add_value(m, v);
+                }
+                for a in doc.attributes(m) {
+                    if let Some(v) = doc.direct_value(a) {
+                        sub.add_value(a, v);
+                    }
+                }
+            }
+        }
+        if let Some(p) = doc.parent(node) {
+            self.recombine_ancestors_from(doc, p);
+        }
+    }
+
+    /// Recomputes the annotations of one value-carrying node after its
+    /// stored value changed.
+    fn reindex_value_node(&mut self, doc: &Document, node: NodeId) {
+        let value = doc.direct_value(node).expect("text or attribute node");
+        if let Some(s) = self.string.as_mut() {
+            s.set(node, hash_str(value));
+        }
+        for idx in &mut self.typed {
+            let an = idx.analyzer();
+            let state = an.state_of(value);
+            let key = state
+                .filter(|&st| an.is_complete(st))
+                .and_then(|_| an.cast(value))
+                .map(|v| v.key);
+            idx.set(node, state, key);
+        }
+    }
+
+    fn drop_node(&mut self, node: NodeId) {
+        if let Some(s) = self.string.as_mut() {
+            s.remove(node);
+        }
+        for idx in &mut self.typed {
+            idx.remove(node);
+        }
+    }
+
+    /// Recombines every ancestor of the given text nodes, bottom-up,
+    /// each exactly once.
+    fn recombine_ancestors(&mut self, doc: &Document, updated: &[NodeId]) {
+        let mut affected: Vec<(usize, NodeId)> = Vec::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for &n in updated {
+            let mut cur = doc.parent(n);
+            while let Some(p) = cur {
+                if !seen.insert(p) {
+                    break; // the rest of this chain is already queued
+                }
+                affected.push((doc.depth(p), p));
+                cur = doc.parent(p);
+            }
+        }
+        // Children before parents: recombine deepest first.
+        affected.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
+        for (_, node) in affected {
+            self.recombine_node(doc, node);
+        }
+    }
+
+    fn recombine_ancestors_from(&mut self, doc: &Document, start: NodeId) {
+        let mut cur = Some(start);
+        while let Some(p) = cur {
+            self.recombine_node(doc, p);
+            cur = doc.parent(p);
+        }
+    }
+
+    /// Recomputes one element's (or the document node's) hash and
+    /// states from its immediate children's *stored* annotations —
+    /// the heart of the paper's update algorithm: no string data is
+    /// read unless the node turns out to hold a complete typed value.
+    fn recombine_node(&mut self, doc: &Document, node: NodeId) {
+        debug_assert!(matches!(
+            doc.kind(node),
+            NodeKind::Element(_) | NodeKind::Document
+        ));
+        if let Some(s) = self.string.as_mut() {
+            let mut h = HashValue::EMPTY;
+            for c in doc.children(node) {
+                if let Some(ch) = s.hash_of(c) {
+                    h = combine(h, ch);
+                }
+            }
+            s.set(node, h);
+        }
+        for idx in &mut self.typed {
+            let an = idx.analyzer();
+            let mut state = Some(an.sct().identity());
+            for c in doc.children(node) {
+                match doc.kind(c) {
+                    NodeKind::Text(_) | NodeKind::Element(_) => {
+                        state = an.combine(state, idx.state_of(c));
+                        if state.is_none() {
+                            break;
+                        }
+                    }
+                    _ => {} // comments/PIs contribute nothing
+                }
+            }
+            let key = state
+                .filter(|&st| an.is_complete(st))
+                .and_then(|_| an.cast(&doc.string_value(node)))
+                .map(|v| v.key);
+            idx.set(node, state, key);
+        }
+    }
+
+    // ----- statistics & verification ----------------------------------------
+
+    /// Storage accounting for the Figure 9 experiment.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            string_entries: self.string.as_ref().map(|s| s.len()).unwrap_or(0),
+            string_bytes: self.string.as_ref().map(|s| s.approx_bytes()).unwrap_or(0),
+            typed: self
+                .typed
+                .iter()
+                .map(|t| TypedStats {
+                    ty: t.xml_type(),
+                    states: t.stored_states(),
+                    values: t.stored_values(),
+                    bytes: t.approx_bytes(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Compares this (incrementally maintained) index against a fresh
+    /// rebuild; any divergence is a maintenance bug. Test/debug aid.
+    pub fn verify_against(&self, doc: &Document) -> Result<(), String> {
+        let fresh = IndexManager::build(doc, self.config.clone());
+        let mut nodes: Vec<NodeId> = doc.descendants_or_self(doc.document_node()).collect();
+        let attrs: Vec<NodeId> = nodes
+            .iter()
+            .flat_map(|&n| doc.attributes(n).collect::<Vec<_>>())
+            .collect();
+        nodes.extend(attrs);
+        for &n in &nodes {
+            if self.hash_of(n) != fresh.hash_of(n) {
+                return Err(format!(
+                    "hash mismatch at {n:?}: stored {:?}, fresh {:?} (value {:?})",
+                    self.hash_of(n),
+                    fresh.hash_of(n),
+                    doc.string_value(n)
+                ));
+            }
+            for idx in &self.typed {
+                let ty = idx.xml_type();
+                let fresh_idx = fresh.typed_index(ty).expect("same config");
+                if idx.state_of(n) != fresh_idx.state_of(n) {
+                    return Err(format!("{} state mismatch at {n:?}", ty.name()));
+                }
+                if idx.value_of(n) != fresh_idx.value_of(n) {
+                    return Err(format!("{} value mismatch at {n:?}", ty.name()));
+                }
+            }
+        }
+        // Entry counts (catches stale entries for freed nodes).
+        if let (Some(a), Some(b)) = (&self.string, &fresh.string) {
+            if a.len() != b.len() {
+                return Err(format!(
+                    "string index entry count: stored {}, fresh {}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+        }
+        for idx in &self.typed {
+            let f = fresh.typed_index(idx.xml_type()).expect("same config");
+            if idx.stored_states() != f.stored_states()
+                || idx.stored_values() != f.stored_values()
+            {
+                return Err(format!("{} index size mismatch", idx.xml_type().name()));
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.substring, &fresh.substring) {
+            if a.postings() != b.postings() || a.indexed_nodes() != b.indexed_nodes() {
+                return Err(format!(
+                    "substring index mismatch: {}/{} postings, {}/{} nodes",
+                    a.postings(),
+                    b.postings(),
+                    a.indexed_nodes(),
+                    b.indexed_nodes()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-typed-index storage statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedStats {
+    /// The indexed type.
+    pub ty: XmlType,
+    /// Nodes with a stored (non-reject) state.
+    pub states: usize,
+    /// Nodes with a complete, range-indexed value.
+    pub values: usize,
+    /// Approximate heap bytes.
+    pub bytes: usize,
+}
+
+/// Aggregated storage statistics (Figure 9 accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Entries in the string index.
+    pub string_entries: usize,
+    /// Approximate heap bytes of the string index.
+    pub string_bytes: usize,
+    /// One entry per typed index.
+    pub typed: Vec<TypedStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERSON: &str = "<person><name><first>Arthur</first><family>Dent</family></name>\
+        <birthday>1966-09-26</birthday>\
+        <age><decades>4</decades>2<years/></age>\
+        <weight><kilos>78</kilos>.<grams>230</grams></weight></person>";
+
+    fn setup() -> (Document, IndexManager) {
+        let doc = Document::parse(PERSON).unwrap();
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+        (doc, idx)
+    }
+
+    fn find_text(doc: &Document, content: &str) -> NodeId {
+        doc.descendants(doc.document_node())
+            .find(|&n| matches!(doc.kind(n), NodeKind::Text(t) if t == content))
+            .unwrap()
+    }
+
+    fn find_elem(doc: &Document, name: &str) -> NodeId {
+        doc.descendants(doc.document_node())
+            .find(|&n| doc.name(n) == Some(name))
+            .unwrap()
+    }
+
+    #[test]
+    fn element_hashes_equal_string_value_hashes() {
+        let (doc, idx) = setup();
+        for n in doc.descendants_or_self(doc.document_node()) {
+            if matches!(doc.kind(n), NodeKind::Comment(_) | NodeKind::Pi { .. }) {
+                continue;
+            }
+            assert_eq!(
+                idx.hash_of(n),
+                Some(hash_str(&doc.string_value(n))),
+                "hash annotation of {n:?} ({:?})",
+                doc.name(n)
+            );
+        }
+    }
+
+    #[test]
+    fn equi_lookup_paper_queries() {
+        let (doc, idx) = setup();
+        // //person[first/text()="Arthur"] — the text node exists:
+        let hits = idx.equi_lookup(&doc, "Arthur");
+        assert_eq!(hits.len(), 2); // the text node and its <first> parent
+        // fn:data(name) = "ArthurDent":
+        let hits = idx.equi_lookup(&doc, "ArthurDent");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.name(hits[0]), Some("name"));
+        // The mixed-content <age> has string value "42":
+        let hits = idx.equi_lookup(&doc, "42");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.name(hits[0]), Some("age"));
+        // Nothing matches a string that is not a value:
+        assert!(idx.equi_lookup(&doc, "Zaphod").is_empty());
+    }
+
+    #[test]
+    fn range_lookup_respects_mixed_content() {
+        let (doc, idx) = setup();
+        // <age> concatenates to "42", <weight> to "78.230".
+        let hits = idx.range_lookup_f64(40.0..=80.0);
+        let names: Vec<_> = hits.iter().map(|&n| doc.name(n)).collect();
+        assert!(names.contains(&Some("age")));
+        assert!(names.contains(&Some("weight")));
+        // Text node "78" and element <kilos> also cast to 78.
+        assert!(hits.len() >= 4);
+        // Degenerate range
+        assert!(idx.range_lookup_f64(1000.0..).is_empty());
+    }
+
+    #[test]
+    fn update_propagates_to_ancestors() {
+        let (mut doc, mut idx) = setup();
+        let dent = find_text(&doc, "Dent");
+        idx.update_value(&mut doc, dent, "Prefect").unwrap();
+        assert_eq!(doc.string_value(doc.root_element().unwrap()),
+                   "ArthurPrefect1966-09-264278.230");
+        assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
+        let hits = idx.equi_lookup(&doc, "ArthurPrefect");
+        assert_eq!(hits.len(), 1);
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn numeric_update_moves_range_entries() {
+        let (mut doc, mut idx) = setup();
+        let two = find_text(&doc, "2");
+        // <age> becomes "49".
+        idx.update_value(&mut doc, two, "9").unwrap();
+        let age = find_elem(&doc, "age");
+        let hits = idx.range_lookup_f64(48.5..49.5);
+        assert!(hits.contains(&age));
+        assert!(!idx.range_lookup_f64(41.5..42.5).contains(&age));
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn update_can_turn_numbers_into_text_and_back() {
+        let (mut doc, mut idx) = setup();
+        let kilos_text = find_text(&doc, "78");
+        idx.update_value(&mut doc, kilos_text, "heavy").unwrap();
+        // weight = "heavy.230" → reject for doubles.
+        let weight = find_elem(&doc, "weight");
+        assert_eq!(idx.state_of(XmlType::Double, weight), None);
+        idx.verify_against(&doc).unwrap();
+
+        idx.update_value(&mut doc, kilos_text, "80").unwrap();
+        assert!(idx
+            .range_lookup_f64(80.0..81.0)
+            .contains(&weight));
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn attribute_updates_do_not_touch_ancestors() {
+        let mut doc = Document::parse(r#"<r a="42"><c>x</c></r>"#).unwrap();
+        let mut idx = IndexManager::build(&doc, IndexConfig::default());
+        let r = doc.root_element().unwrap();
+        let attr = doc.attribute(r, "a").unwrap();
+        let root_hash_before = idx.hash_of(r);
+
+        idx.update_value(&mut doc, attr, "43").unwrap();
+        assert_eq!(idx.hash_of(r), root_hash_before);
+        assert_eq!(idx.equi_lookup(&doc, "43"), vec![attr]);
+        assert!(idx.range_lookup_f64(42.5..43.5).contains(&attr));
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn update_rejects_non_value_nodes() {
+        let (mut doc, mut idx) = setup();
+        let name = find_elem(&doc, "name");
+        let err = idx.update_value(&mut doc, name, "nope").unwrap_err();
+        assert!(matches!(err, IndexError::NotAValueNode(_)));
+    }
+
+    #[test]
+    fn batch_update_recombines_shared_ancestors_once() {
+        let (mut doc, mut idx) = setup();
+        let arthur = find_text(&doc, "Arthur");
+        let dent = find_text(&doc, "Dent");
+        idx.update_values(&mut doc, [(arthur, "Ford"), (dent, "Prefect")])
+            .unwrap();
+        assert_eq!(idx.equi_lookup(&doc, "FordPrefect").len(), 1);
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn delete_subtree_repairs_indices() {
+        let (mut doc, mut idx) = setup();
+        let age = find_elem(&doc, "age");
+        idx.delete_subtree(&mut doc, age).unwrap();
+        assert!(idx.equi_lookup(&doc, "42").is_empty());
+        let person = doc.root_element().unwrap();
+        assert_eq!(
+            idx.hash_of(person),
+            Some(hash_str("ArthurDent1966-09-2678.230"))
+        );
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn insert_subtree_indexes_new_nodes() {
+        let (mut doc, mut idx) = setup();
+        let person = doc.root_element().unwrap();
+        let height = doc.append_element(person, "height");
+        doc.append_text(height, "1.85");
+        idx.index_new_subtree(&doc, height);
+        assert!(idx.range_lookup_f64(1.8..1.9).contains(&height));
+        assert_eq!(
+            idx.hash_of(person),
+            Some(hash_str("ArthurDent1966-09-264278.2301.85"))
+        );
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_population() {
+        let (_, idx) = setup();
+        let s = idx.stats();
+        assert!(s.string_entries > 10);
+        assert!(s.string_bytes > 0);
+        assert_eq!(s.typed.len(), 1);
+        assert_eq!(s.typed[0].ty, XmlType::Double);
+        // "4","2","78",".","230", age, weight, kilos, grams, decades… —
+        // every non-reject node stores a state, completes store values.
+        assert!(s.typed[0].states >= 9);
+        assert!(s.typed[0].values >= 6);
+        assert!(s.typed[0].states >= s.typed[0].values);
+    }
+
+    #[test]
+    fn multi_type_configuration() {
+        let doc = Document::parse(
+            "<log><when>2008-12-31T23:59:59Z</when><ok>true</ok><n>17</n></log>",
+        )
+        .unwrap();
+        let idx = IndexManager::build(&doc, IndexConfig::all());
+        let when = find_elem(&doc, "when");
+        let hits = idx
+            .range_lookup(XmlType::DateTime, 1.2e12..1.3e12)
+            .unwrap();
+        assert!(hits.contains(&when));
+        let ok = find_elem(&doc, "ok");
+        assert!(idx.typed_eq_lookup(XmlType::Boolean, 1.0).unwrap().contains(&ok));
+        let n = find_elem(&doc, "n");
+        assert!(idx.typed_eq_lookup(XmlType::Integer, 17.0).unwrap().contains(&n));
+        let err = IndexManager::build(&doc, IndexConfig::string_only())
+            .range_lookup(XmlType::Double, 0.0..1.0)
+            .unwrap_err();
+        assert!(matches!(err, IndexError::TypeNotIndexed(_)));
+    }
+
+    /// Regression: `-0e0` and `000` cast to `-0.0` / `0.0`, which are
+    /// equal under `f64::eq` but *distinct* under the tree's total
+    /// order. An update flipping the zero sign must still move the
+    /// range-tree entry, or a later removal leaves it stranded.
+    #[test]
+    fn negative_zero_updates_do_not_strand_entries() {
+        let mut doc = Document::parse("<r><v>-0e0</v></r>").unwrap();
+        let mut idx = IndexManager::build(&doc, IndexConfig::default());
+        let text = find_text(&doc, "-0e0");
+        idx.update_value(&mut doc, text, "000").unwrap();
+        idx.verify_against(&doc).unwrap();
+        idx.update_value(&mut doc, text, "not a number").unwrap();
+        idx.verify_against(&doc).unwrap();
+        assert!(idx.range_lookup_f64(..).is_empty());
+    }
+
+    #[test]
+    fn substring_index_through_the_manager() {
+        let mut doc = Document::parse(PERSON).unwrap();
+        let mut idx =
+            IndexManager::build(&doc, IndexConfig::default().with_substring_index());
+        // Substring of a stored text value.
+        let hits = idx.contains_lookup(&doc, "rthu");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.string_value(hits[0]), "Arthur");
+        // Wildcards over stored values.
+        let hits = idx.wildcard_lookup(&doc, "19??-09-*");
+        assert_eq!(hits.len(), 1);
+        // Updates keep the trigram postings exact.
+        let arthur = find_text(&doc, "Arthur");
+        idx.update_value(&mut doc, arthur, "Zaphod").unwrap();
+        assert!(idx.contains_lookup(&doc, "rthu").is_empty());
+        assert_eq!(idx.contains_lookup(&doc, "apho").len(), 1);
+        idx.verify_against(&doc).unwrap();
+        // Deletion drops postings.
+        let name = find_elem(&doc, "name");
+        idx.delete_subtree(&mut doc, name).unwrap();
+        assert!(idx.contains_lookup(&doc, "apho").is_empty());
+        idx.verify_against(&doc).unwrap();
+        // Insertion adds postings.
+        let person = doc.root_element().unwrap();
+        let e = doc.append_element(person, "nickname");
+        doc.append_text(e, "Beeblebrox");
+        idx.index_new_subtree(&doc, e);
+        assert_eq!(idx.contains_lookup(&doc, "eeble").len(), 1);
+        idx.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn dead_node_errors() {
+        let (mut doc, mut idx) = setup();
+        let age = find_elem(&doc, "age");
+        idx.delete_subtree(&mut doc, age).unwrap();
+        let err = idx.delete_subtree(&mut doc, age).unwrap_err();
+        assert!(matches!(err, IndexError::DeadNode(_)));
+    }
+}

@@ -1,0 +1,315 @@
+//! Index persistence: saving the computed annotations to a compact
+//! binary image and reloading them without re-running the creation
+//! pass.
+//!
+//! The image stores exactly what the paper's design stores — per-node
+//! hashes for the string index and `[node, state, value]` tuples for
+//! each typed index — in node order, so loading is a single
+//! sorted-run **bulk load** per B+tree (no random inserts). The
+//! trigram substring index, when configured, is rebuilt from the
+//! document on load (its source of truth is the character data, which
+//! the document already persists).
+//!
+//! A lightweight fingerprint (node counts + the document node's hash)
+//! guards against loading an image that does not belong to the
+//! document at hand.
+
+use std::io::{self, Read, Write};
+
+use xvi_fsm::XmlType;
+use xvi_hash::HashValue;
+use xvi_xml::{Document, NodeId};
+
+use crate::config::IndexConfig;
+use crate::manager::IndexManager;
+
+const MAGIC: &[u8; 4] = b"XVI1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn type_tag(ty: XmlType) -> u8 {
+    match ty {
+        XmlType::Double => 0,
+        XmlType::Decimal => 1,
+        XmlType::Integer => 2,
+        XmlType::Boolean => 3,
+        XmlType::DateTime => 4,
+        XmlType::Date => 5,
+        XmlType::Time => 6,
+    }
+}
+
+fn type_from_tag(tag: u8) -> io::Result<XmlType> {
+    Ok(match tag {
+        0 => XmlType::Double,
+        1 => XmlType::Decimal,
+        2 => XmlType::Integer,
+        3 => XmlType::Boolean,
+        4 => XmlType::DateTime,
+        5 => XmlType::Date,
+        6 => XmlType::Time,
+        other => return Err(bad(format!("unknown type tag {other}"))),
+    })
+}
+
+impl IndexManager {
+    /// Serialises the index image for later [`IndexManager::load_from`].
+    pub fn save_to(&self, doc: &Document, mut w: impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+
+        // Fingerprint: the image is only valid for this document state.
+        let stats = doc.stats();
+        write_u64(&mut w, stats.total_nodes as u64)?;
+        write_u64(&mut w, stats.text_bytes as u64)?;
+        write_u32(
+            &mut w,
+            self.hash_of(doc.document_node())
+                .unwrap_or(HashValue::EMPTY)
+                .raw(),
+        )?;
+
+        // Config.
+        let cfg = self.config();
+        w.write_all(&[
+            u8::from(cfg.string_index),
+            u8::from(cfg.substring_index),
+            cfg.typed.len() as u8,
+        ])?;
+        for &ty in &cfg.typed {
+            w.write_all(&[type_tag(ty)])?;
+        }
+
+        // String section: (node, hash) in node order.
+        if let Some(s) = self.string_index() {
+            let entries: Vec<(u32, u32)> = (0..doc.arena_size())
+                .filter_map(|i| {
+                    s.hash_of(NodeId::from_index(i))
+                        .map(|h| (i as u32, h.raw()))
+                })
+                .collect();
+            write_u64(&mut w, entries.len() as u64)?;
+            for (n, h) in entries {
+                write_u32(&mut w, n)?;
+                write_u32(&mut w, h)?;
+            }
+        }
+
+        // Typed sections: (node, state, value-or-NaN) in node order.
+        for &ty in &cfg.typed {
+            let idx = self.typed_index(ty).expect("configured type");
+            let entries: Vec<(u32, u16, f64)> = (0..doc.arena_size())
+                .filter_map(|i| {
+                    let node = NodeId::from_index(i);
+                    idx.state_of(node).map(|st| {
+                        (i as u32, st, idx.value_of(node).unwrap_or(f64::NAN))
+                    })
+                })
+                .collect();
+            write_u64(&mut w, entries.len() as u64)?;
+            for (n, st, v) in entries {
+                write_u32(&mut w, n)?;
+                w.write_all(&st.to_le_bytes())?;
+                write_u64(&mut w, v.to_bits())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs an index from a saved image, validating that it
+    /// belongs to `doc`'s current state.
+    pub fn load_from(doc: &Document, mut r: impl Read) -> io::Result<IndexManager> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an xvi index image"));
+        }
+
+        let stats = doc.stats();
+        if read_u64(&mut r)? != stats.total_nodes as u64 {
+            return Err(bad("node count mismatch: image is for a different document"));
+        }
+        if read_u64(&mut r)? != stats.text_bytes as u64 {
+            return Err(bad("text size mismatch: image is for a different document"));
+        }
+        let image_root_hash = read_u32(&mut r)?;
+
+        let mut flags = [0u8; 3];
+        r.read_exact(&mut flags)?;
+        let (string_index, substring_index, n_typed) =
+            (flags[0] != 0, flags[1] != 0, flags[2] as usize);
+        let mut typed_types = Vec::with_capacity(n_typed);
+        for _ in 0..n_typed {
+            let mut t = [0u8; 1];
+            r.read_exact(&mut t)?;
+            typed_types.push(type_from_tag(t[0])?);
+        }
+        let config = IndexConfig {
+            string_index,
+            typed: typed_types.clone(),
+            substring_index,
+        };
+
+        // The strongest cheap staleness check: the document node's hash
+        // covers every text byte of the document, so any value change
+        // since `save_to` is detected. Recomputing it costs one pass
+        // over the character data — far less than a full re-index.
+        if string_index {
+            let current = xvi_hash::hash_str(&doc.string_value(doc.document_node()));
+            if current.raw() != image_root_hash {
+                return Err(bad("root hash mismatch: stale index image"));
+            }
+        }
+
+        let mut mgr = IndexManager::new_empty(doc, config);
+
+        if string_index {
+            let n = read_u64(&mut r)? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = read_u32(&mut r)?;
+                let hash = HashValue::from_raw(read_u32(&mut r)?)
+                    .ok_or_else(|| bad("corrupt hash value in image"))?;
+                if node as usize >= doc.arena_size() {
+                    return Err(bad("node id out of range in image"));
+                }
+                entries.push((node, hash));
+            }
+            mgr.load_string_entries(entries)?;
+        }
+
+        for ty in typed_types {
+            let n = read_u64(&mut r)? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = read_u32(&mut r)?;
+                let mut st = [0u8; 2];
+                r.read_exact(&mut st)?;
+                let state = u16::from_le_bytes(st);
+                let value = f64::from_bits(read_u64(&mut r)?);
+                if node as usize >= doc.arena_size() {
+                    return Err(bad("node id out of range in image"));
+                }
+                entries.push((node, state, (!value.is_nan()).then_some(value)));
+            }
+            mgr.load_typed_entries(ty, entries)?;
+        }
+
+        if substring_index {
+            mgr.rebuild_substring_index(doc);
+        }
+        Ok(mgr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvi_datagen::Dataset;
+
+    fn setup() -> (Document, IndexManager) {
+        let doc = Document::parse(&Dataset::XMark(1).generate(5)).unwrap();
+        let cfg = IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime])
+            .with_substring_index();
+        let idx = IndexManager::build(&doc, cfg);
+        (doc, idx)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (doc, idx) = setup();
+        let mut image = Vec::new();
+        idx.save_to(&doc, &mut image).unwrap();
+        let loaded = IndexManager::load_from(&doc, image.as_slice()).unwrap();
+        loaded.verify_against(&doc).unwrap();
+        // Same answers.
+        assert_eq!(
+            idx.range_lookup_f64(0.0..100.0),
+            loaded.range_lookup_f64(0.0..100.0)
+        );
+        assert_eq!(
+            idx.equi_lookup(&doc, "Creditcard"),
+            loaded.equi_lookup(&doc, "Creditcard")
+        );
+        assert_eq!(
+            idx.contains_lookup(&doc, "mailto"),
+            loaded.contains_lookup(&doc, "mailto")
+        );
+    }
+
+    #[test]
+    fn loaded_index_stays_updatable() {
+        let (mut doc, idx) = setup();
+        let mut image = Vec::new();
+        idx.save_to(&doc, &mut image).unwrap();
+        let mut loaded = IndexManager::load_from(&doc, image.as_slice()).unwrap();
+
+        let some_text = doc
+            .descendants(doc.document_node())
+            .find(|&n| matches!(doc.kind(n), xvi_xml::NodeKind::Text(_)))
+            .unwrap();
+        loaded.update_value(&mut doc, some_text, "42.5").unwrap();
+        loaded.verify_against(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_images_for_other_documents() {
+        let (doc, idx) = setup();
+        let mut image = Vec::new();
+        idx.save_to(&doc, &mut image).unwrap();
+        let other = Document::parse("<tiny>doc</tiny>").unwrap();
+        let err = IndexManager::load_from(&other, image.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("different document"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stale_images_after_updates() {
+        let (mut doc, idx) = setup();
+        let mut image = Vec::new();
+        idx.save_to(&doc, &mut image).unwrap();
+        // Mutate the document without going through the index: the
+        // fingerprint counts stay equal (same-length value) but the
+        // root hash changes.
+        let text = doc
+            .descendants(doc.document_node())
+            .find(|&n| matches!(doc.kind(n), xvi_xml::NodeKind::Text(t) if t.len() >= 2))
+            .unwrap();
+        let old = doc.string_value(text);
+        let mut new = old.into_bytes();
+        new.swap(0, 1);
+        let swapped = String::from_utf8(new).unwrap();
+        let reverted = doc.set_value(text, &swapped);
+        if swapped != reverted {
+            let err = IndexManager::load_from(&doc, image.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("stale"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let doc = Document::parse("<a/>").unwrap();
+        assert!(IndexManager::load_from(&doc, &b"not an image"[..]).is_err());
+        assert!(IndexManager::load_from(&doc, &b"XVI1"[..]).is_err()); // truncated
+    }
+}

@@ -1,0 +1,185 @@
+//! The string equi-lookup index (paper §3).
+//!
+//! One B+tree over composite keys `(hash, node)` — the database idiom
+//! for a multimap — plus a columnar hash annotation per arena slot.
+//! The annotation array is what makes updates cheap: recombining an
+//! ancestor reads its children's *stored* hashes, never their strings.
+
+use xvi_btree::BPlusTree;
+use xvi_hash::HashValue;
+use xvi_xml::NodeId;
+
+/// The hash B+tree and per-node hash annotations.
+#[derive(Debug, Default)]
+pub struct StringIndex {
+    /// `(hash raw, node arena index) → ()`.
+    tree: BPlusTree<(u32, u32), ()>,
+    /// Hash annotation per arena slot. Slots that are not indexed
+    /// (freed nodes, comments, PIs) hold `None`.
+    hashes: Vec<Option<HashValue>>,
+    /// During initial creation, annotations accumulate in the column
+    /// only; the tree is bulk-loaded once at the end.
+    bulk: bool,
+}
+
+impl StringIndex {
+    /// Creates an empty index sized for `arena_size` slots.
+    pub fn new(arena_size: usize) -> StringIndex {
+        StringIndex {
+            tree: BPlusTree::new(),
+            hashes: vec![None; arena_size],
+            bulk: false,
+        }
+    }
+
+    /// Enters bulk-creation mode: [`StringIndex::set`] fills only the
+    /// annotation column until [`StringIndex::finish_bulk`].
+    pub(crate) fn begin_bulk(&mut self) {
+        debug_assert!(self.tree.is_empty(), "bulk mode is for initial creation");
+        self.bulk = true;
+    }
+
+    /// Builds the hash B+tree from the annotation column in one
+    /// sorted pass (the database bulk-load; see `xvi-btree`).
+    pub(crate) fn finish_bulk(&mut self) {
+        let mut entries: Vec<(u32, u32)> = self
+            .hashes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|h| (h.raw(), i as u32)))
+            .collect();
+        entries.sort_unstable();
+        self.tree = BPlusTree::from_sorted_iter(entries.into_iter().map(|k| (k, ())));
+        self.bulk = false;
+    }
+
+    /// Persistence loader: installs `(node, hash)` annotations and
+    /// bulk-loads the tree.
+    pub(crate) fn load_entries(&mut self, entries: Vec<(u32, HashValue)>) {
+        for &(node, hash) in &entries {
+            *self.slot(NodeId::from_index(node as usize)) = Some(hash);
+        }
+        let mut keys: Vec<(u32, u32)> = entries
+            .into_iter()
+            .map(|(node, hash)| (hash.raw(), node))
+            .collect();
+        keys.sort_unstable();
+        self.tree = BPlusTree::from_sorted_iter(keys.into_iter().map(|k| (k, ())));
+    }
+
+    fn slot(&mut self, node: NodeId) -> &mut Option<HashValue> {
+        if node.index() >= self.hashes.len() {
+            self.hashes.resize(node.index() + 1, None);
+        }
+        &mut self.hashes[node.index()]
+    }
+
+    /// The stored hash annotation of `node`, if it is indexed.
+    pub fn hash_of(&self, node: NodeId) -> Option<HashValue> {
+        self.hashes.get(node.index()).copied().flatten()
+    }
+
+    /// Inserts or replaces the hash annotation of `node`, keeping the
+    /// B+tree in sync. No-op if the hash is unchanged.
+    pub fn set(&mut self, node: NodeId, hash: HashValue) {
+        if self.bulk {
+            *self.slot(node) = Some(hash);
+            return;
+        }
+        let old = *self.slot(node);
+        if old == Some(hash) {
+            return;
+        }
+        if let Some(h) = old {
+            self.tree.remove(&(h.raw(), node.index() as u32));
+        }
+        self.tree.insert((hash.raw(), node.index() as u32), ());
+        *self.slot(node) = Some(hash);
+    }
+
+    /// Removes `node` from the index entirely (subtree deletion).
+    pub fn remove(&mut self, node: NodeId) {
+        if let Some(h) = self.slot(node).take() {
+            self.tree.remove(&(h.raw(), node.index() as u32));
+        }
+    }
+
+    /// All candidate nodes whose string value hashes to `hash`.
+    /// Candidates may contain false positives (hash collisions); the
+    /// caller verifies against actual string values.
+    pub fn candidates(&self, hash: HashValue) -> Vec<NodeId> {
+        self.tree
+            .range((hash.raw(), 0)..=(hash.raw(), u32::MAX))
+            .map(|(&(_, n), ())| NodeId::from_index(n as usize))
+            .collect()
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Approximate heap bytes: tree structure + annotation column.
+    pub fn approx_bytes(&self) -> usize {
+        self.tree.approx_bytes() + self.hashes.len() * std::mem::size_of::<Option<HashValue>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvi_hash::hash_str;
+
+    #[test]
+    fn set_lookup_remove() {
+        let mut idx = StringIndex::new(8);
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let h = hash_str("Arthur");
+        idx.set(n1, h);
+        idx.set(n2, h);
+        assert_eq!(idx.candidates(h), vec![n1, n2]);
+        assert_eq!(idx.hash_of(n1), Some(h));
+        idx.remove(n1);
+        assert_eq!(idx.candidates(h), vec![n2]);
+        assert_eq!(idx.hash_of(n1), None);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn replacing_a_hash_removes_the_old_entry() {
+        let mut idx = StringIndex::new(4);
+        let n = NodeId::from_index(1);
+        let h1 = hash_str("Dent");
+        let h2 = hash_str("Prefect");
+        idx.set(n, h1);
+        idx.set(n, h2);
+        assert!(idx.candidates(h1).is_empty());
+        assert_eq!(idx.candidates(h2), vec![n]);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn unchanged_set_is_a_noop() {
+        let mut idx = StringIndex::new(4);
+        let n = NodeId::from_index(1);
+        let h = hash_str("same");
+        idx.set(n, h);
+        idx.set(n, h);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.candidates(h), vec![n]);
+    }
+
+    #[test]
+    fn grows_beyond_initial_arena() {
+        let mut idx = StringIndex::new(1);
+        let n = NodeId::from_index(100);
+        idx.set(n, hash_str("x"));
+        assert_eq!(idx.hash_of(n), Some(hash_str("x")));
+    }
+}

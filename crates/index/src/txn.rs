@@ -1,0 +1,296 @@
+//! Commutative transaction commits (paper §5.1).
+//!
+//! The challenge: every text update changes the hash of *all* its
+//! ancestors, so naive locking would serialise every transaction on
+//! the root. The paper's observation is that because the combination
+//! function `C` is associative and ancestors are recomputed *from
+//! their children's stored values*, index maintenance commutes: no
+//! ancestor needs to be locked while a transaction runs. A committing
+//! transaction re-reads the latest values of the affected ancestors
+//! (and their direct children) and recomputes — and whatever order
+//! concurrent commits interleave in, the final hashes are the ones a
+//! serial execution would produce.
+//!
+//! [`TransactionalStore`] realises that protocol: transactions buffer
+//! value writes without taking any ancestor lock; `commit` applies the
+//! batch and repairs ancestors under a short store-level critical
+//! section (the in-memory stand-in for MonetDB's commit point). The
+//! commutativity property itself — *any* commit order yields identical
+//! indices — is what the tests pin down.
+
+use parking_lot::RwLock;
+
+use xvi_xml::{Document, NodeId};
+
+use crate::config::IndexConfig;
+use crate::error::IndexError;
+use crate::manager::IndexManager;
+
+/// A document plus its indices behind a reader/writer lock.
+#[derive(Debug)]
+pub struct TransactionalStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    doc: Document,
+    idx: IndexManager,
+    commits: u64,
+}
+
+/// A buffered batch of value updates; created by
+/// [`TransactionalStore::begin`], applied atomically by
+/// [`TransactionalStore::commit`].
+#[derive(Debug, Default)]
+pub struct Transaction {
+    writes: Vec<(NodeId, String)>,
+}
+
+impl Transaction {
+    /// Buffers a value write. No locks are taken and no ancestor is
+    /// touched — maintenance is deferred to commit.
+    pub fn set_value(&mut self, node: NodeId, value: impl Into<String>) {
+        self.writes.push((node, value.into()));
+    }
+
+    /// Number of buffered writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the transaction buffers no writes.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+impl TransactionalStore {
+    /// Builds the store and its indices from a document.
+    pub fn new(doc: Document, config: IndexConfig) -> TransactionalStore {
+        let idx = IndexManager::build(&doc, config);
+        TransactionalStore {
+            inner: RwLock::new(Inner {
+                doc,
+                idx,
+                commits: 0,
+            }),
+        }
+    }
+
+    /// Starts a transaction. Read operations remain available to
+    /// everyone; nothing is locked by an open transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction::default()
+    }
+
+    /// Commits a transaction: applies the buffered writes and repairs
+    /// all affected ancestors from the *latest* committed state, per
+    /// the paper's protocol. Returns the number of applied writes.
+    pub fn commit(&self, txn: Transaction) -> Result<usize, IndexError> {
+        if txn.writes.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.write();
+        let n = txn.writes.len();
+        let Inner { doc, idx, commits } = &mut *inner;
+        idx.update_values(doc, txn.writes.iter().map(|(id, v)| (*id, v.as_str())))?;
+        *commits += 1;
+        Ok(n)
+    }
+
+    /// Runs a read-only closure over the document and indices.
+    pub fn read<R>(&self, f: impl FnOnce(&Document, &IndexManager) -> R) -> R {
+        let inner = self.inner.read();
+        f(&inner.doc, &inner.idx)
+    }
+
+    /// Number of committed transactions.
+    pub fn commit_count(&self) -> u64 {
+        self.inner.read().commits
+    }
+
+    /// Consumes the store, returning the document and indices.
+    pub fn into_parts(self) -> (Document, IndexManager) {
+        let inner = self.inner.into_inner();
+        (inner.doc, inner.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xvi_xml::NodeKind;
+
+    const DOC: &str = "<person><name><first>Arthur</first><family>Dent</family></name>\
+                       <age>42</age></person>";
+
+    fn text_node(doc: &Document, content: &str) -> NodeId {
+        doc.descendants(doc.document_node())
+            .find(|&n| matches!(doc.kind(n), NodeKind::Text(t) if t == content))
+            .unwrap()
+    }
+
+    fn fingerprint(store: &TransactionalStore) -> Vec<Option<u32>> {
+        store.read(|doc, idx| {
+            doc.descendants_or_self(doc.document_node())
+                .map(|n| idx.hash_of(n).map(|h| h.raw()))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn single_transaction_commit() {
+        let doc = Document::parse(DOC).unwrap();
+        let first = text_node(&doc, "Arthur");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+
+        let mut t = store.begin();
+        assert!(t.is_empty());
+        t.set_value(first, "Ford");
+        assert_eq!(t.len(), 1);
+        assert_eq!(store.commit(t).unwrap(), 1);
+        assert_eq!(store.commit_count(), 1);
+
+        store.read(|doc, idx| {
+            assert_eq!(idx.equi_lookup(doc, "FordDent").len(), 1);
+            idx.verify_against(doc).unwrap();
+        });
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let doc = Document::parse(DOC).unwrap();
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+        assert_eq!(store.commit(store.begin()).unwrap(), 0);
+        assert_eq!(store.commit_count(), 0);
+    }
+
+    /// §5.1's claim, directly: two transactions touching *sibling*
+    /// leaves (both affecting the same ancestors, including the root)
+    /// produce identical final indices regardless of commit order.
+    #[test]
+    fn commit_order_does_not_matter() {
+        let run = |first_order: bool| {
+            let doc = Document::parse(DOC).unwrap();
+            let a = text_node(&doc, "Arthur");
+            let d = text_node(&doc, "Dent");
+            let store = TransactionalStore::new(doc, IndexConfig::default());
+            let mut t1 = store.begin();
+            t1.set_value(a, "Ford");
+            let mut t2 = store.begin();
+            t2.set_value(d, "Prefect");
+            if first_order {
+                store.commit(t1).unwrap();
+                store.commit(t2).unwrap();
+            } else {
+                store.commit(t2).unwrap();
+                store.commit(t1).unwrap();
+            }
+            store.read(|doc, idx| idx.verify_against(doc).unwrap());
+            fingerprint(&store)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn concurrent_commits_converge() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let d = text_node(&doc, "Dent");
+        let g = text_node(&doc, "42");
+        let store = Arc::new(TransactionalStore::new(doc, IndexConfig::default()));
+
+        let handles: Vec<_> = [(a, "Zaphod"), (d, "Beeblebrox"), (g, "200")]
+            .into_iter()
+            .map(|(node, val)| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut t = store.begin();
+                    t.set_value(node, val);
+                    store.commit(t).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(store.commit_count(), 3);
+        store.read(|doc, idx| {
+            assert_eq!(idx.equi_lookup(doc, "ZaphodBeeblebrox").len(), 1);
+            assert!(idx.range_lookup_f64(199.0..201.0).len() >= 2);
+            idx.verify_against(doc).unwrap();
+        });
+    }
+
+    #[test]
+    fn conflicting_writes_last_commit_wins() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+
+        let mut t1 = store.begin();
+        t1.set_value(a, "Ford");
+        let mut t2 = store.begin();
+        t2.set_value(a, "Zaphod");
+        store.commit(t1).unwrap();
+        store.commit(t2).unwrap();
+
+        store.read(|doc, idx| {
+            assert!(idx.equi_lookup(doc, "FordDent").is_empty());
+            assert_eq!(idx.equi_lookup(doc, "ZaphodDent").len(), 1);
+            idx.verify_against(doc).unwrap();
+        });
+    }
+
+    #[test]
+    fn one_transaction_with_many_writes_is_atomicish() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let d = text_node(&doc, "Dent");
+        let g = text_node(&doc, "42");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+
+        let mut t = store.begin();
+        t.set_value(a, "Tricia");
+        t.set_value(d, "McMillan");
+        t.set_value(g, "30");
+        assert_eq!(store.commit(t).unwrap(), 3);
+        store.read(|doc, idx| {
+            assert_eq!(idx.equi_lookup(doc, "TriciaMcMillan").len(), 1);
+            assert!(idx.range_lookup_f64(29.5..30.5).len() >= 2);
+            idx.verify_against(doc).unwrap();
+        });
+    }
+
+    #[test]
+    fn into_parts_returns_the_final_state() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+        let mut t = store.begin();
+        t.set_value(a, "Random");
+        store.commit(t).unwrap();
+        let (doc, idx) = store.into_parts();
+        assert_eq!(idx.equi_lookup(&doc, "RandomDent").len(), 1);
+    }
+
+    #[test]
+    fn reads_see_committed_state_only() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+        let mut t = store.begin();
+        t.set_value(a, "Ford");
+        // Not yet committed: reads still see Arthur.
+        store.read(|doc, idx| {
+            assert_eq!(idx.equi_lookup(doc, "ArthurDent").len(), 1);
+        });
+        store.commit(t).unwrap();
+        store.read(|doc, idx| {
+            assert!(idx.equi_lookup(doc, "ArthurDent").is_empty());
+        });
+    }
+}

@@ -1,0 +1,239 @@
+//! Maintenance-equals-rebuild: after any sequence of value updates,
+//! subtree deletions and subtree insertions, the incrementally
+//! maintained index must be indistinguishable from an index built
+//! from scratch on the final document. This is the invariant that
+//! makes the paper's Figure 10 measurements meaningful — fast updates
+//! are worthless if they drift.
+
+use proptest::prelude::*;
+use xvi_index::{IndexConfig, IndexManager, XmlType};
+use xvi_xml::{Document, NodeId, NodeKind};
+
+/// Values that exercise all interesting FSM transitions: numbers,
+/// fragments ("potential" values), text, and whitespace forms.
+fn arb_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => "[0-9]{1,4}",
+        2 => "[0-9]{1,3}\\.[0-9]{1,3}",
+        1 => Just(".".to_string()),
+        1 => Just("E+9".to_string()),
+        1 => Just(" +4.2E1".to_string()),
+        1 => Just("".to_string()),
+        2 => "[a-zA-Z ]{1,12}",
+        1 => Just("42 text".to_string()),
+        1 => "-?[0-9]{1,3}e-?[0-9]",
+    ]
+}
+
+/// A small random document with nested elements, mixed content and
+/// attributes.
+#[derive(Debug, Clone)]
+enum Gen {
+    Elem(String, Vec<(String, String)>, Vec<Gen>),
+    Text(String),
+}
+
+fn arb_doc_tree() -> impl Strategy<Value = Gen> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Gen::Text),
+        ("[a-f]{1,3}", proptest::collection::vec(("[g-k]{1,3}", arb_value()), 0..2))
+            .prop_map(|(n, a)| Gen::Elem(n, a, vec![])),
+    ];
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            "[a-f]{1,3}",
+            proptest::collection::vec(("[g-k]{1,3}", arb_value()), 0..2),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(n, a, c)| Gen::Elem(n, a, c))
+    })
+}
+
+fn realize(doc: &mut Document, parent: NodeId, g: &Gen) {
+    match g {
+        Gen::Text(t) => {
+            doc.append_text(parent, t);
+        }
+        Gen::Elem(name, attrs, children) => {
+            let e = doc.append_element(parent, name);
+            for (k, v) in attrs {
+                doc.set_attribute(e, k, v);
+            }
+            for c in children {
+                realize(doc, e, c);
+            }
+        }
+    }
+}
+
+/// Editable nodes: text and attribute nodes of the current document.
+fn value_nodes(doc: &Document) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for n in doc.descendants(doc.document_node()) {
+        if matches!(doc.kind(n), NodeKind::Text(_)) {
+            out.push(n);
+        }
+        for a in doc.attributes(n) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+fn elements(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.document_node())
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Element(_)))
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update(usize, String),
+    BatchUpdate(Vec<(usize, String)>),
+    Delete(usize),
+    Insert(usize, String, String),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<usize>(), arb_value()).prop_map(|(i, v)| Op::Update(i, v)),
+        2 => proptest::collection::vec((any::<usize>(), arb_value()), 1..5)
+            .prop_map(Op::BatchUpdate),
+        1 => any::<usize>().prop_map(Op::Delete),
+        2 => (any::<usize>(), "[a-f]{1,3}", arb_value())
+            .prop_map(|(i, n, v)| Op::Insert(i, n, v)),
+    ]
+}
+
+fn config() -> IndexConfig {
+    IndexConfig::with_types(&[XmlType::Double, XmlType::Integer]).with_substring_index()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild(
+        tree in arb_doc_tree(),
+        ops in proptest::collection::vec(arb_op(), 0..12),
+    ) {
+        let mut doc = Document::new();
+        let root = doc.document_node();
+        realize(&mut doc, root, &tree);
+        let mut idx = IndexManager::build(&doc, config());
+
+        for op in ops {
+            match op {
+                Op::Update(i, v) => {
+                    let nodes = value_nodes(&doc);
+                    if nodes.is_empty() { continue; }
+                    let n = nodes[i % nodes.len()];
+                    idx.update_value(&mut doc, n, &v).unwrap();
+                }
+                Op::BatchUpdate(batch) => {
+                    let nodes = value_nodes(&doc);
+                    if nodes.is_empty() { continue; }
+                    // Deduplicate targets: last write wins either way,
+                    // but keep the test deterministic.
+                    let mut used = std::collections::HashSet::new();
+                    let updates: Vec<(NodeId, &str)> = batch
+                        .iter()
+                        .filter_map(|(i, v)| {
+                            let n = nodes[i % nodes.len()];
+                            used.insert(n).then_some((n, v.as_str()))
+                        })
+                        .collect();
+                    idx.update_values(&mut doc, updates).unwrap();
+                }
+                Op::Delete(i) => {
+                    let elems = elements(&doc);
+                    if elems.is_empty() { continue; }
+                    let n = elems[i % elems.len()];
+                    idx.delete_subtree(&mut doc, n).unwrap();
+                }
+                Op::Insert(i, name, value) => {
+                    let mut targets = elements(&doc);
+                    targets.push(doc.document_node());
+                    let parent = targets[i % targets.len()];
+                    let e = doc.append_element(parent, &name);
+                    doc.append_text(e, &value);
+                    idx.index_new_subtree(&doc, e);
+                }
+            }
+            idx.verify_against(&doc).map_err(|e| {
+                TestCaseError::fail(format!("index drifted from document: {e}"))
+            })?;
+        }
+    }
+
+    /// Every equi-lookup answer is exact (verification removes all
+    /// false positives) and complete (every node with that string
+    /// value is returned).
+    #[test]
+    fn equi_lookup_is_exact_and_complete(tree in arb_doc_tree(), needle in arb_value()) {
+        let mut doc = Document::new();
+        let root = doc.document_node();
+        realize(&mut doc, root, &tree);
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+
+        let hits: std::collections::HashSet<NodeId> =
+            idx.equi_lookup(&doc, &needle).into_iter().collect();
+        let mut expected = std::collections::HashSet::new();
+        for n in doc.descendants_or_self(doc.document_node()) {
+            if matches!(doc.kind(n), NodeKind::Comment(_) | NodeKind::Pi { .. }) {
+                continue;
+            }
+            if doc.string_value(n) == needle {
+                expected.insert(n);
+            }
+            for a in doc.attributes(n) {
+                if doc.string_value(a) == needle {
+                    expected.insert(a);
+                }
+            }
+        }
+        prop_assert_eq!(hits, expected);
+    }
+
+    /// Range lookups return exactly the nodes whose string value casts
+    /// to a double inside the range.
+    #[test]
+    fn range_lookup_is_exact_and_complete(tree in arb_doc_tree(),
+                                          a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut doc = Document::new();
+        let root = doc.document_node();
+        realize(&mut doc, root, &tree);
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+
+        let hits: std::collections::HashSet<NodeId> =
+            idx.range_lookup_f64(lo..=hi).into_iter().collect();
+        let mut expected = std::collections::HashSet::new();
+        for n in doc.descendants_or_self(doc.document_node()) {
+            if matches!(doc.kind(n), NodeKind::Comment(_) | NodeKind::Pi { .. }) {
+                continue;
+            }
+            let mut check = |m: NodeId| {
+                let sv = doc.string_value(m);
+                // The index only stores nodes the *lexical* FSM accepts.
+                let an = xvi_fsm::analyzer(XmlType::Double);
+                let complete = an
+                    .state_of(&sv)
+                    .map(|s| an.is_complete(s))
+                    .unwrap_or(false);
+                if complete {
+                    if let Some(v) = XmlType::Double.cast(&sv) {
+                        if v >= lo && v <= hi {
+                            expected.insert(m);
+                        }
+                    }
+                }
+            };
+            check(n);
+            for attr in doc.attributes(n) {
+                check(attr);
+            }
+        }
+        prop_assert_eq!(hits, expected);
+    }
+}

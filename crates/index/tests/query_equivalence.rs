@@ -1,0 +1,100 @@
+//! The index-accelerated query plan must agree with the full-scan
+//! baseline on randomly generated documents and randomly generated
+//! queries — the evaluator-level analogue of maintenance-equals-
+//! rebuild.
+
+use proptest::prelude::*;
+use xvi_index::query::{Axis, CmpOp, Literal, Predicate, Query, Step, Test};
+use xvi_index::{IndexConfig, IndexManager, QueryEngine};
+use xvi_xml::Document;
+
+/// Random small documents over a tiny tag alphabet so that generated
+/// queries actually hit something.
+fn arb_doc() -> impl Strategy<Value = String> {
+    let value = prop_oneof![
+        2 => (0u32..100).prop_map(|n| n.to_string()),
+        1 => (0u32..80, 0u32..100).prop_map(|(a, b)| format!("{a}.{b:02}")),
+        2 => "[a-d]{1,6}".prop_map(|s| s),
+    ];
+    let leaf = ("[abc]", value.clone()).prop_map(|(t, v)| format!("<{t}>{v}</{t}>"));
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        ("[abc]", proptest::collection::vec(inner, 0..4), value.clone()).prop_map(
+            |(t, kids, v)| {
+                let body: String = kids.concat();
+                // Half the elements get a mixed-content tail.
+                format!("<{t} k=\"{v}\">{body}{v}</{t}>")
+            },
+        )
+    })
+    .prop_map(|inner| format!("<root>{inner}</root>"))
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let test = prop_oneof![
+        Just(Test::Any),
+        "[abc]".prop_map(Test::Name),
+    ];
+    let lit = prop_oneof![
+        (0u32..100).prop_map(|n| Literal::Num(f64::from(n))),
+        "[a-d]{1,4}".prop_map(Literal::Str),
+    ];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Ne),
+    ];
+    let pred_path = prop_oneof![
+        // .//x
+        "[abc]".prop_map(|n| vec![Step {
+            axis: Axis::Descendant,
+            test: Test::Name(n),
+            pred: None
+        }]),
+        // x (child)
+        "[abc]".prop_map(|n| vec![Step {
+            axis: Axis::Child,
+            test: Test::Name(n),
+            pred: None
+        }]),
+        // @k
+        Just(vec![Step {
+            axis: Axis::Child,
+            test: Test::Attr("k".into()),
+            pred: None
+        }]),
+        // . (self)
+        Just(vec![Step {
+            axis: Axis::SelfAxis,
+            test: Test::Any,
+            pred: None
+        }]),
+    ];
+    (test, pred_path, op, lit, any::<bool>()).prop_map(|(test, path, op, lit, use_pred)| {
+        Query {
+            steps: vec![Step {
+                axis: Axis::Descendant,
+                test,
+                pred: use_pred.then_some(Predicate {
+                    path,
+                    cmp: Some((op, lit)),
+                }),
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn index_plan_agrees_with_scan(xml in arb_doc(), query in arb_query()) {
+        let doc = Document::parse(&xml).expect("generated XML is well-formed");
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+        let fast = QueryEngine::evaluate(&doc, &idx, &query);
+        let slow = QueryEngine::evaluate_scan(&doc, &query);
+        prop_assert_eq!(fast, slow, "query {:?} on {}", query, xml);
+    }
+}

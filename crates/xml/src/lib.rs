@@ -1,0 +1,42 @@
+//! # xvi-xml — the XML substrate
+//!
+//! The paper implements its indices inside MonetDB/XQuery, relying on a
+//! document store that "permits efficient depth-first traversal" via a
+//! range encoding of the nodes (§5). This crate is that substrate,
+//! built from scratch:
+//!
+//! * [`parser`] — a hand-written, non-recursive XML parser (elements,
+//!   attributes, text, CDATA, comments, processing instructions,
+//!   character/entity references). *Shredding* a document = parsing it
+//!   into a [`Document`].
+//! * [`Document`] — an arena-allocated, **updatable** tree. Structural
+//!   children (elements/text/comments/PIs) and attributes live on
+//!   separate sibling chains because the XQuery Data Model excludes
+//!   attributes from an element's string value while the paper still
+//!   indexes attribute values.
+//! * [`cursor`] — depth-first traversal: the `DFS.*` primitive set the
+//!   paper's Figures 7 and 8 are written against, plus an event-based
+//!   iterator.
+//! * [`PrePostView`] — the pre/size/level range encoding used for
+//!   document-order and ancestry predicates, as in MonetDB/XQuery.
+//! * [`serialize`] — turning (sub)trees back into XML text.
+//!
+//! String values follow XDM: the string value of an element or the
+//! document node is the concatenation of its descendant text nodes —
+//! which is exactly the property the hash combination function `C` and
+//! the state combination tables exploit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cursor;
+mod doc;
+mod error;
+mod node;
+pub mod parser;
+pub mod serialize;
+
+pub use cursor::{DfsCursor, DfsEvent};
+pub use doc::{DocStats, Document, PrePostView};
+pub use error::ParseError;
+pub use node::{NameId, NodeId, NodeKind};

@@ -1,0 +1,112 @@
+//! Node identifiers and node payloads.
+
+/// Index of a node inside a [`crate::Document`] arena.
+///
+/// `NodeId`s are stable across value updates and across deletions of
+/// *other* subtrees (the arena recycles slots only after an explicit
+/// delete), which is what lets the value indices reference nodes
+/// directly, like the `node id` column of the paper's index tuples.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub(crate) const NONE: NodeId = NodeId(u32::MAX);
+
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from [`NodeId::index`]. The caller is
+    /// responsible for it denoting a live node of the right document.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    #[inline]
+    pub(crate) fn get(self) -> Option<NodeId> {
+        (self != Self::NONE).then_some(self)
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Self::NONE {
+            write!(f, "NodeId(-)")
+        } else {
+            write!(f, "NodeId({})", self.0)
+        }
+    }
+}
+
+/// Interned element/attribute name.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NameId(pub(crate) u32);
+
+/// The payload of a document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// The document node (arena slot 0, exactly one per document).
+    Document,
+    /// An element node; its name is interned in the document.
+    Element(NameId),
+    /// An attribute node. Attributes hang off a separate chain and do
+    /// not contribute to their element's string value.
+    Attribute {
+        /// Interned attribute name.
+        name: NameId,
+        /// Attribute value (already entity-decoded).
+        value: String,
+    },
+    /// A text node. Adjacent text is merged during parsing, so no two
+    /// text siblings are ever adjacent (XDM normal form).
+    Text(String),
+    /// A comment node (`<!-- … -->`).
+    Comment(String),
+    /// A processing instruction (`<?target data?>`).
+    Pi {
+        /// The PI target.
+        target: String,
+        /// The PI data (may be empty).
+        data: String,
+    },
+    /// Recycled arena slot.
+    Free,
+}
+
+impl NodeKind {
+    /// Whether this node kind carries a directly stored string value
+    /// (text or attribute), as opposed to deriving it from descendants.
+    pub fn has_direct_value(&self) -> bool {
+        matches!(self, NodeKind::Text(_) | NodeKind::Attribute { .. })
+    }
+}
+
+/// Arena slot: tree links + payload.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeData {
+    pub(crate) parent: NodeId,
+    pub(crate) first_child: NodeId,
+    pub(crate) last_child: NodeId,
+    pub(crate) next_sibling: NodeId,
+    pub(crate) prev_sibling: NodeId,
+    /// Head of the attribute chain (elements only).
+    pub(crate) first_attr: NodeId,
+    pub(crate) kind: NodeKind,
+}
+
+impl NodeData {
+    pub(crate) fn new(kind: NodeKind) -> NodeData {
+        NodeData {
+            parent: NodeId::NONE,
+            first_child: NodeId::NONE,
+            last_child: NodeId::NONE,
+            next_sibling: NodeId::NONE,
+            prev_sibling: NodeId::NONE,
+            first_attr: NodeId::NONE,
+            kind,
+        }
+    }
+}

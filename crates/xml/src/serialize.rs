@@ -1,0 +1,197 @@
+//! Serialising (sub)trees back to XML text.
+
+use crate::doc::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Serialises the whole document to XML text.
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    for child in doc.children(doc.document_node()) {
+        write_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialises the subtree rooted at `node`.
+pub fn node_to_string(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, node, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Document => {
+            for child in doc.children(node) {
+                write_node(doc, child, out);
+            }
+        }
+        NodeKind::Element(name) => {
+            out.push('<');
+            out.push_str(doc.resolve(*name));
+            for attr in doc.attributes(node) {
+                if let NodeKind::Attribute { name, value } = doc.kind(attr) {
+                    out.push(' ');
+                    out.push_str(doc.resolve(*name));
+                    out.push_str("=\"");
+                    escape_into(value, true, out);
+                    out.push('"');
+                }
+            }
+            if doc.first_child(node).is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                // Children can be arbitrarily deep; recurse with an
+                // explicit stack to stay iterative.
+                let mut stack: Vec<(NodeId, bool)> = Vec::new();
+                let kids: Vec<NodeId> = doc.children(node).collect();
+                for k in kids.into_iter().rev() {
+                    stack.push((k, false));
+                }
+                while let Some((n, closing)) = stack.pop() {
+                    if closing {
+                        out.push_str("</");
+                        out.push_str(doc.name(n).expect("closing an element"));
+                        out.push('>');
+                        continue;
+                    }
+                    match doc.kind(n) {
+                        NodeKind::Element(name) => {
+                            out.push('<');
+                            out.push_str(doc.resolve(*name));
+                            for attr in doc.attributes(n) {
+                                if let NodeKind::Attribute { name, value } = doc.kind(attr) {
+                                    out.push(' ');
+                                    out.push_str(doc.resolve(*name));
+                                    out.push_str("=\"");
+                                    escape_into(value, true, out);
+                                    out.push('"');
+                                }
+                            }
+                            if doc.first_child(n).is_none() {
+                                out.push_str("/>");
+                            } else {
+                                out.push('>');
+                                stack.push((n, true));
+                                let kids: Vec<NodeId> = doc.children(n).collect();
+                                for k in kids.into_iter().rev() {
+                                    stack.push((k, false));
+                                }
+                            }
+                        }
+                        NodeKind::Text(t) => escape_into(t, false, out),
+                        NodeKind::Comment(c) => {
+                            out.push_str("<!--");
+                            out.push_str(c);
+                            out.push_str("-->");
+                        }
+                        NodeKind::Pi { target, data } => {
+                            out.push_str("<?");
+                            out.push_str(target);
+                            if !data.is_empty() {
+                                out.push(' ');
+                                out.push_str(data);
+                            }
+                            out.push_str("?>");
+                        }
+                        NodeKind::Document | NodeKind::Attribute { .. } | NodeKind::Free => {}
+                    }
+                }
+                out.push_str("</");
+                out.push_str(doc.resolve(*name));
+                out.push('>');
+            }
+        }
+        NodeKind::Text(t) => escape_into(t, false, out),
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Attribute { value, .. } => escape_into(value, true, out),
+        NodeKind::Free => {}
+    }
+}
+
+/// Escapes character data; `in_attr` additionally escapes quotes.
+pub fn escape_into(s: &str, in_attr: bool, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a x=\"1\"><b>hi</b><c/>tail</a>";
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(to_string(&doc), src);
+    }
+
+    #[test]
+    fn roundtrip_escapes() {
+        let doc = Document::parse("<a q=\"&quot;&amp;\">&lt;&amp;&gt;</a>").unwrap();
+        let text = to_string(&doc);
+        let doc2 = Document::parse(&text).unwrap();
+        assert_eq!(
+            doc.string_value(doc.document_node()),
+            doc2.string_value(doc2.document_node())
+        );
+        assert_eq!(
+            doc.attribute_value(doc.root_element().unwrap(), "q"),
+            doc2.attribute_value(doc2.root_element().unwrap(), "q")
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_values() {
+        let src = "<r><!--c--><?pi data?><e a=\"v\">text<f>nested</f>more</e></r>";
+        let doc = Document::parse(src).unwrap();
+        let out = to_string(&doc);
+        let doc2 = Document::parse(&out).unwrap();
+        assert_eq!(doc.stats(), doc2.stats());
+        assert_eq!(out, to_string(&doc2), "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn subtree_serialisation() {
+        let doc = Document::parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let r = doc.root_element().unwrap();
+        let b = doc.last_child(r).unwrap();
+        assert_eq!(node_to_string(&doc, b), "<b>2</b>");
+    }
+
+    #[test]
+    fn deep_tree_serialises_iteratively() {
+        let depth = 50_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        s.push('x'); // keep the innermost element non-empty
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let doc = Document::parse(&s).unwrap();
+        assert_eq!(to_string(&doc), s);
+    }
+}

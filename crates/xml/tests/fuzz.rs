@@ -1,0 +1,59 @@
+//! Robustness: the parser must never panic — any byte soup either
+//! parses into a document or returns a positioned `ParseError`.
+
+use proptest::prelude::*;
+use xvi_xml::Document;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 input: parse returns, never panics.
+    #[test]
+    fn parser_never_panics_on_strings(input in ".*") {
+        let _ = Document::parse(&input);
+    }
+
+    /// Markup-flavoured soup: biased toward XML metacharacters so the
+    /// tokenizer's state transitions actually get exercised.
+    #[test]
+    fn parser_never_panics_on_markup_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+                Just("/>".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("<?".to_string()),
+                Just("?>".to_string()),
+                Just("&".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("\"".to_string()),
+                Just("'".to_string()),
+                Just("<!DOCTYPE".to_string()),
+                "[a-z]{1,4}".prop_map(|s| s),
+                Just(" ".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = Document::parse(&soup);
+    }
+
+    /// Anything that *does* parse must serialise and reparse to an
+    /// equal-stat document (parse is idempotent through serialisation).
+    #[test]
+    fn successful_parses_roundtrip(input in "[ -~]{0,200}") {
+        if let Ok(doc) = Document::parse(&input) {
+            let text = xvi_xml::serialize::to_string(&doc);
+            let doc2 = Document::parse(&text)
+                .expect("serialised documents always reparse");
+            prop_assert_eq!(doc.stats(), doc2.stats());
+        }
+    }
+}

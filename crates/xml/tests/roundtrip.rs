@@ -1,0 +1,104 @@
+//! Parse/serialise roundtrip properties over randomly generated trees.
+
+use proptest::prelude::*;
+use xvi_xml::{serialize, Document};
+
+/// A recursive strategy producing random XML fragments as builder
+/// instructions, then realised into a `Document`.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+    Comment(String),
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,6}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Arbitrary printable content including XML-special characters that
+    // must survive escaping, but no raw control characters.
+    "[ -~αβγ一二]{1,20}"
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(Tree::Text),
+        // Comments may not contain `--`.
+        "[a-z ]{0,10}".prop_map(Tree::Comment),
+        (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+            |(name, attrs)| Tree::Element {
+                name,
+                attrs,
+                children: vec![],
+            }
+        ),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 0..6),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn build(doc: &mut Document, parent: xvi_xml::NodeId, t: &Tree) {
+    match t {
+        Tree::Element { name, attrs, children } => {
+            let e = doc.append_element(parent, name);
+            for (k, v) in attrs {
+                doc.set_attribute(e, k, v);
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        Tree::Text(s) => {
+            // Avoid creating adjacent text siblings: merge by hand like
+            // the parser would.
+            doc.append_text(parent, s);
+        }
+        Tree::Comment(c) => {
+            let n = doc.create_comment(c);
+            doc.append_child(parent, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialise → parse → serialise is a fixpoint, and the reparsed
+    /// document has identical string values.
+    #[test]
+    fn roundtrip_fixpoint(name in arb_name(), kids in proptest::collection::vec(arb_tree(), 0..6)) {
+        let mut doc = Document::new();
+        let root = doc.append_element(doc.document_node(), &name);
+        for k in &kids {
+            build(&mut doc, root, k);
+        }
+        let text1 = serialize::to_string(&doc);
+        let doc2 = Document::parse(&text1).unwrap();
+        let text2 = serialize::to_string(&doc2);
+        prop_assert_eq!(&text1, &text2);
+        prop_assert_eq!(
+            doc.string_value(doc.document_node()),
+            doc2.string_value(doc2.document_node())
+        );
+        // Same node population (adjacent generated texts may merge on
+        // reparse, so compare via the serialised form instead of counts).
+        let doc3 = Document::parse(&text2).unwrap();
+        prop_assert_eq!(doc2.stats(), doc3.stats());
+    }
+}

@@ -1,0 +1,58 @@
+//! Index persistence: build once, save the index image, reload it
+//! later with a bulk load instead of re-running the creation pass —
+//! with a staleness guard so an image can never silently serve a
+//! modified document.
+//!
+//! ```sh
+//! cargo run --release --example persistent_index
+//! ```
+
+use std::time::Instant;
+
+use xvi::datagen::Dataset;
+use xvi::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let xml = Dataset::Dblp.generate(100);
+    let mut doc = Document::parse(&xml).expect("generated XML parses");
+
+    let t = Instant::now();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    // Save the image (here to memory; any `Write` works).
+    let mut image = Vec::new();
+    idx.save_to(&doc, &mut image)?;
+    println!(
+        "built index in {build_ms:.0} ms; image is {:.1} MB",
+        image.len() as f64 / 1048576.0
+    );
+
+    // Reload: a bulk load per B+tree, no hashing, no FSM runs.
+    let t = Instant::now();
+    let loaded = IndexManager::load_from(&doc, image.as_slice())?;
+    let load_ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!("reloaded in {load_ms:.0} ms ({:.1}x faster than building)", build_ms / load_ms);
+
+    // Same answers, still updatable.
+    assert_eq!(
+        idx.range_lookup_f64(1999.0..=1999.0).len(),
+        loaded.range_lookup_f64(1999.0..=1999.0).len()
+    );
+    let mut loaded = loaded;
+    let year_text = loaded.range_lookup_f64(1999.0..=1999.0)[0];
+    let year_text = doc
+        .descendants_or_self(year_text)
+        .find(|&n| doc.kind(n).has_direct_value())
+        .unwrap_or(year_text);
+    loaded.update_value(&mut doc, year_text, "2009").expect("text node");
+    loaded.verify_against(&doc).expect("loaded index maintains correctly");
+    println!("loaded index verified after an update ✓");
+
+    // Staleness guard: the image no longer matches the mutated doc.
+    match IndexManager::load_from(&doc, image.as_slice()) {
+        Err(e) => println!("stale image correctly rejected: {e}"),
+        Ok(_) => unreachable!("stale image must not load"),
+    }
+    Ok(())
+}

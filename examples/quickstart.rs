@@ -1,0 +1,69 @@
+//! Quickstart: the paper's running example (Figure 1).
+//!
+//! Builds the "person" document, creates the self-tuned value indices
+//! (no path, no type configuration), runs the motivating lookups from
+//! §1, and performs the §3 update scenario.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xvi::prelude::*;
+
+fn main() {
+    // The document of paper Figure 1, mixed content included: the
+    // string value of <age> is "42" even though it is split across
+    // <decades>4</decades> and a loose text node "2".
+    let mut doc = Document::parse(
+        "<person>\
+           <name><first>Arthur</first><family>Dent</family></name>\
+           <birthday>1966-09-26</birthday>\
+           <age><decades>4</decades>2<years/></age>\
+           <weight><kilos>78</kilos>.<grams>230</grams></weight>\
+         </person>",
+    )
+    .expect("well-formed XML");
+
+    // One pass builds every configured index for the whole document.
+    let mut idx = IndexManager::build(&doc, IndexConfig::default());
+
+    // ── Equality lookup on string values ────────────────────────────
+    // //person[first/text() = "Arthur"]
+    let hits = idx.equi_lookup(&doc, "Arthur");
+    println!("nodes with string value \"Arthur\": {}", hits.len());
+    // //*[fn:data(name) = "ArthurDent"] — element string values are
+    // concatenations of descendant text.
+    for n in idx.equi_lookup(&doc, "ArthurDent") {
+        println!("  \"ArthurDent\" is the value of <{}>", doc.name(n).unwrap_or("?"));
+    }
+
+    // ── Range lookup on doubles, mixed content respected ────────────
+    // //person[.//age = 42] matches <age> although no single text node
+    // spells "42"; likewise <weight> = 78.230 across three nodes.
+    for n in idx.range_lookup_f64(40.0..=80.0) {
+        println!(
+            "double in [40, 80]: <{}> = {}",
+            doc.name(n).unwrap_or("#text"),
+            doc.string_value(n)
+        );
+    }
+
+    // ── The §3 update: "Dent" → "Prefect" ───────────────────────────
+    // Only the changed leaf is re-hashed; every ancestor is recombined
+    // from its children's *stored* hashes via C. ("Dent" matches both
+    // the text node and its <family> parent — update the text node.)
+    let dent = idx
+        .equi_lookup(&doc, "Dent")
+        .into_iter()
+        .find(|&n| doc.kind(n).has_direct_value())
+        .expect("the Dent text node exists");
+    idx.update_value(&mut doc, dent, "Prefect").expect("text node");
+    assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
+    assert_eq!(idx.equi_lookup(&doc, "ArthurPrefect").len(), 1);
+    println!("after update, <name> = {:?}", doc.string_value(doc.root_element().unwrap()));
+
+    // The mini-XPath engine picks the index automatically:
+    let q = QueryEngine::parse("//person[.//age = 42]").expect("query parses");
+    let people = QueryEngine::evaluate(&doc, &idx, &q);
+    println!("//person[.//age = 42] -> {} match(es)", people.len());
+}

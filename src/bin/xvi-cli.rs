@@ -1,0 +1,272 @@
+//! `xvi-cli` — load an XML document (from a file or a built-in
+//! synthetic dataset), build the self-tuned value indices, and explore
+//! them interactively.
+//!
+//! ```sh
+//! cargo run --release --bin xvi-cli -- path/to/doc.xml
+//! cargo run --release --bin xvi-cli -- --dataset xmark1 --scale 100
+//! ```
+//!
+//! Then type `help` at the prompt.
+
+use std::io::{BufRead, Write as _};
+use std::time::Instant;
+
+use xvi::datagen::Dataset;
+use xvi::index::QueryEngine;
+use xvi::prelude::*;
+use xvi::xml::NodeKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (label, xml) = match parse_args(&args) {
+        Ok(src) => src,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: xvi-cli <file.xml> | --dataset <xmark1|xmark2|xmark4|xmark8|epageo|dblp|psd|wiki> [--scale <permille>]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let t = Instant::now();
+    let mut doc = match Document::parse(&xml) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("failed to parse {label}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let parse_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let t = Instant::now();
+    let mut idx = IndexManager::build(
+        &doc,
+        IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime]).with_substring_index(),
+    );
+    let index_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let stats = doc.stats();
+    println!(
+        "loaded {label}: {} nodes ({} text, {} attrs) — shred {parse_ms:.0} ms, index {index_ms:.0} ms",
+        stats.total_nodes, stats.text_nodes, stats.attribute_nodes
+    );
+    println!("type `help` for commands");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("xvi> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let input = line.trim();
+        let (cmd, rest) = input.split_once(' ').unwrap_or((input, ""));
+        let rest = rest.trim();
+        match cmd {
+            "" => {}
+            "quit" | "exit" | "q" => break,
+            "help" => help(),
+            "stats" => print_stats(&doc, &idx),
+            "query" | "scan" => run_query(&doc, &idx, cmd == "query", rest),
+            "eq" => timed_nodes("equi", &doc, || idx.equi_lookup(&doc, rest)),
+            "contains" => timed_nodes("contains", &doc, || idx.contains_lookup(&doc, rest)),
+            "like" => timed_nodes("wildcard", &doc, || idx.wildcard_lookup(&doc, rest)),
+            "range" => match parse_range(rest) {
+                Some((lo, hi)) => {
+                    timed_nodes("range", &doc, || idx.range_lookup_f64(lo..=hi))
+                }
+                None => println!("usage: range <lo> <hi>"),
+            },
+            "set" => match rest.split_once(' ') {
+                Some((id, value)) => match id.parse::<usize>() {
+                    Ok(i) => {
+                        let node = NodeId::from_index(i);
+                        let t = Instant::now();
+                        match idx.update_value(&mut doc, node, value) {
+                            Ok(()) => println!(
+                                "updated node {i} in {:.2} ms",
+                                t.elapsed().as_secs_f64() * 1000.0
+                            ),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(_) => println!("usage: set <node-id> <new value>"),
+                },
+                None => println!("usage: set <node-id> <new value>"),
+            },
+            "show" => match rest.parse::<usize>() {
+                Ok(i) => show_node(&doc, NodeId::from_index(i)),
+                Err(_) => println!("usage: show <node-id>"),
+            },
+            other => println!("unknown command `{other}` — try `help`"),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(String, String), String> {
+    let mut dataset: Option<String> = None;
+    let mut scale: u32 = 100;
+    let mut file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                dataset = Some(args.get(i + 1).ok_or("--dataset needs a name")?.clone());
+                i += 2;
+            }
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--scale needs a number (permille)")?;
+                i += 2;
+            }
+            other => {
+                file = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if let Some(name) = dataset {
+        let ds = match name.to_lowercase().as_str() {
+            "xmark1" => Dataset::XMark(1),
+            "xmark2" => Dataset::XMark(2),
+            "xmark4" => Dataset::XMark(4),
+            "xmark8" => Dataset::XMark(8),
+            "epageo" => Dataset::EpaGeo,
+            "dblp" => Dataset::Dblp,
+            "psd" => Dataset::Psd,
+            "wiki" => Dataset::Wiki,
+            other => return Err(format!("unknown dataset `{other}`")),
+        };
+        Ok((format!("{} ({scale}‰)", ds.name()), ds.generate(scale)))
+    } else if let Some(path) = file {
+        let xml = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        Ok((path, xml))
+    } else {
+        Err("no input given".into())
+    }
+}
+
+fn help() {
+    println!(
+        "commands:\n\
+         \x20 query <mini-xpath>   evaluate with index acceleration, e.g. query //person[.//age = 42]\n\
+         \x20 scan <mini-xpath>    evaluate by full scan (for comparison)\n\
+         \x20 eq <string>          string equality lookup over all nodes\n\
+         \x20 range <lo> <hi>      double range lookup\n\
+         \x20 contains <needle>    substring lookup over stored values\n\
+         \x20 like <pattern>       wildcard lookup (* and ?)\n\
+         \x20 set <node-id> <val>  update a text/attribute value (index maintained)\n\
+         \x20 show <node-id>       print one node\n\
+         \x20 stats                document and index statistics\n\
+         \x20 quit"
+    );
+}
+
+fn parse_range(rest: &str) -> Option<(f64, f64)> {
+    let (a, b) = rest.split_once(' ')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn run_query(doc: &Document, idx: &IndexManager, accelerated: bool, q: &str) {
+    let query = match QueryEngine::parse(q) {
+        Ok(q) => q,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    let t = Instant::now();
+    let result = if accelerated {
+        QueryEngine::evaluate(doc, idx, &query)
+    } else {
+        QueryEngine::evaluate_scan(doc, &query)
+    };
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    preview(doc, &result);
+    println!(
+        "{} node(s) in {ms:.2} ms ({})",
+        result.len(),
+        if accelerated { "index" } else { "scan" }
+    );
+}
+
+fn timed_nodes(label: &str, doc: &Document, f: impl FnOnce() -> Vec<NodeId>) {
+    let t = Instant::now();
+    let result = f();
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    preview(doc, &result);
+    println!("{label}: {} node(s) in {ms:.2} ms", result.len());
+}
+
+fn preview(doc: &Document, nodes: &[NodeId]) {
+    for &n in nodes.iter().take(10) {
+        show_node(doc, n);
+    }
+    if nodes.len() > 10 {
+        println!("  … {} more", nodes.len() - 10);
+    }
+}
+
+fn show_node(doc: &Document, n: NodeId) {
+    if !doc.is_live(n) {
+        println!("  [{}] <dead node>", n.index());
+        return;
+    }
+    let mut value = doc.string_value(n);
+    if value.len() > 60 {
+        value.truncate(57);
+        value.push('…');
+    }
+    let desc = match doc.kind(n) {
+        NodeKind::Element(_) => format!("<{}>", doc.name(n).unwrap_or("?")),
+        NodeKind::Text(_) => "#text".to_string(),
+        NodeKind::Attribute { .. } => format!("@{}", doc.name(n).unwrap_or("?")),
+        NodeKind::Comment(_) => "#comment".to_string(),
+        NodeKind::Pi { .. } => "#pi".to_string(),
+        NodeKind::Document => "#document".to_string(),
+        NodeKind::Free => "<freed>".to_string(),
+    };
+    println!("  [{}] {desc} = {value:?}", n.index());
+}
+
+fn print_stats(doc: &Document, idx: &IndexManager) {
+    let d = doc.stats();
+    println!(
+        "document: {} nodes ({} elements, {} text, {} attributes, {} other), ~{:.1} MB in memory",
+        d.total_nodes,
+        d.element_nodes,
+        d.text_nodes,
+        d.attribute_nodes,
+        d.other_nodes,
+        d.arena_bytes as f64 / 1048576.0
+    );
+    let s = idx.stats();
+    println!(
+        "string index: {} entries, ~{:.1} MB",
+        s.string_entries,
+        s.string_bytes as f64 / 1048576.0
+    );
+    for t in &s.typed {
+        println!(
+            "{} index: {} states / {} values, ~{:.1} MB",
+            t.ty.name(),
+            t.states,
+            t.values,
+            t.bytes as f64 / 1048576.0
+        );
+    }
+    if let Some(sub) = idx.substring_index() {
+        println!(
+            "substring index: {} postings over {} nodes, ~{:.1} MB",
+            sub.postings(),
+            sub.indexed_nodes(),
+            sub.approx_bytes() as f64 / 1048576.0
+        );
+    }
+}

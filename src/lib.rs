@@ -1,0 +1,57 @@
+//! # xvi — Generic and Updatable XML Value Indices
+//!
+//! A from-scratch Rust reproduction of *"Generic and updatable XML value
+//! indices covering equality and range lookups"* (Sidirourgos & Boncz,
+//! EDBT 2009 / CWI INS-E0802).
+//!
+//! The crate is a facade over the workspace members:
+//!
+//! * [`hash`] — the circular-XOR string hash `H` and its associative
+//!   combination function `C` (paper Figures 2–4).
+//! * [`fsm`] — lexical finite state machines for XML typed values, the
+//!   transition-monoid normalisation and state combination tables (SCT,
+//!   paper Figures 5–6).
+//! * [`xml`] — the XML substrate: a hand-written parser and an updatable
+//!   document store with MonetDB/XQuery-style pre/size/level range
+//!   encoding and the DFS cursor interface the paper's algorithms assume.
+//! * [`btree`] — the B+tree substrate used by both index families.
+//! * [`index`] — the index manager: one-pass creation (paper Figure 7),
+//!   ancestor-only updates (Figure 8), equi/range lookups, the
+//!   commutative transaction layer (§5.1) and a mini-XPath evaluator.
+//! * [`datagen`] — XMark-shaped and "real-life-alike" document
+//!   generators plus update workloads used by the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xvi::prelude::*;
+//!
+//! let doc = Document::parse(
+//!     "<person><name><first>Arthur</first><family>Dent</family></name>\
+//!      <age><decades>4</decades>2<years/></age></person>").unwrap();
+//! let idx = IndexManager::build(&doc, IndexConfig::default());
+//!
+//! // Equality lookup on string values (any node, any path).
+//! let hits = idx.equi_lookup(&doc, "ArthurDent");
+//! assert!(hits.iter().any(|&n| doc.name(n) == Some("name")));
+//!
+//! // Range lookup on typed (double) values — the mixed-content <age>
+//! // node concatenates to "42" and is found by a numeric range scan.
+//! let hits = idx.range_lookup_f64(40.0..=50.0);
+//! assert!(hits.iter().any(|&n| doc.name(n) == Some("age")));
+//! ```
+
+pub use xvi_btree as btree;
+pub use xvi_datagen as datagen;
+pub use xvi_fsm as fsm;
+pub use xvi_hash as hash;
+pub use xvi_index as index;
+pub use xvi_xml as xml;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use xvi_fsm::{Sct, TypedValue, XmlType};
+    pub use xvi_hash::{combine, hash_str, HashValue};
+    pub use xvi_index::{IndexConfig, IndexManager, QueryEngine};
+    pub use xvi_xml::{Document, NodeId, NodeKind};
+}

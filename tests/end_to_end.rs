@@ -1,0 +1,124 @@
+//! Cross-crate end-to-end tests: generated datasets through shredding,
+//! indexing, querying and maintenance.
+
+use xvi::datagen::{Dataset, UpdateWorkload};
+use xvi::index::QueryEngine;
+use xvi::prelude::*;
+
+fn small(ds: Dataset) -> (Document, IndexManager) {
+    let xml = ds.generate(15);
+    let doc = Document::parse(&xml).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    (doc, idx)
+}
+
+/// Every stored hash annotation must equal the hash of the node's
+/// actual string value — on every dataset shape.
+#[test]
+fn hash_annotations_are_consistent_on_all_datasets() {
+    for ds in Dataset::paper_suite() {
+        let (doc, idx) = small(ds);
+        let mut checked = 0;
+        for n in doc.descendants_or_self(doc.document_node()) {
+            if matches!(
+                doc.kind(n),
+                xvi::xml::NodeKind::Comment(_) | xvi::xml::NodeKind::Pi { .. }
+            ) {
+                continue;
+            }
+            assert_eq!(
+                idx.hash_of(n),
+                Some(hash_str(&doc.string_value(n))),
+                "{}: node {n:?}",
+                ds.name()
+            );
+            checked += 1;
+        }
+        assert!(checked > 100, "{}: only {checked} nodes", ds.name());
+    }
+}
+
+/// Index-accelerated and scan evaluation agree on every dataset for a
+/// battery of queries.
+#[test]
+fn index_and_scan_agree_on_all_datasets() {
+    let queries = [
+        "//person[.//age = 42]",
+        "//item[quantity >= 5]",
+        "//facility[.//latitude < 30]",
+        "//article[year = 1999]",
+        "//ProteinEntry[.//year > 2000]",
+        "//doc[wordcount < 100]",
+        "//open_auction[current > 450]",
+    ];
+    for ds in Dataset::paper_suite() {
+        let (doc, idx) = small(ds);
+        for q in queries {
+            let query = QueryEngine::parse(q).unwrap();
+            assert_eq!(
+                QueryEngine::evaluate(&doc, &idx, &query),
+                QueryEngine::evaluate_scan(&doc, &query),
+                "{}: {q}",
+                ds.name()
+            );
+        }
+    }
+}
+
+/// Batched random updates keep the index exactly equal to a rebuild,
+/// on every dataset shape.
+#[test]
+fn updates_preserve_consistency_on_all_datasets() {
+    for ds in Dataset::paper_suite() {
+        let xml = ds.generate(10);
+        let mut doc = Document::parse(&xml).unwrap();
+        let mut idx = IndexManager::build(&doc, IndexConfig::default());
+        for round in 0..3u64 {
+            let w = UpdateWorkload::generate(&doc, 50, round);
+            idx.update_values(&mut doc, w.as_pairs()).unwrap();
+        }
+        idx.verify_against(&doc)
+            .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+    }
+}
+
+/// Serialize → reparse → rebuild gives the same index contents
+/// (the document store round-trips everything the indices see).
+#[test]
+fn roundtrip_reindex_is_identical() {
+    let (doc, idx) = small(Dataset::XMark(1));
+    let text = xvi::xml::serialize::to_string(&doc);
+    let doc2 = Document::parse(&text).unwrap();
+    let idx2 = IndexManager::build(&doc2, IndexConfig::default());
+    // Same multiset of (hash -> count) entries.
+    let stats1 = idx.stats();
+    let stats2 = idx2.stats();
+    assert_eq!(stats1.string_entries, stats2.string_entries);
+    assert_eq!(stats1.typed[0].states, stats2.typed[0].states);
+    assert_eq!(stats1.typed[0].values, stats2.typed[0].values);
+}
+
+/// All five typed indices can be built together in one pass and serve
+/// lookups on XMark data.
+#[test]
+fn all_types_on_xmark() {
+    let xml = Dataset::XMark(1).generate(15);
+    let doc = Document::parse(&xml).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::all());
+
+    // Ages are integers.
+    assert!(!idx
+        .range_lookup(XmlType::Integer, 18.0..80.0)
+        .unwrap()
+        .is_empty());
+    // Bidder dates are dateTimes in 1998-2008.
+    let lo = XmlType::DateTime.cast("1998-01-01T00:00:00Z").unwrap();
+    let hi = XmlType::DateTime.cast("2009-01-01T00:00:00Z").unwrap();
+    assert!(!idx
+        .range_lookup(XmlType::DateTime, lo..hi)
+        .unwrap()
+        .is_empty());
+    // Prices are decimals/doubles.
+    assert!(!idx.range_lookup(XmlType::Decimal, 0.0..1e6).unwrap().is_empty());
+    assert!(!idx.range_lookup_f64(0.0..1e6).is_empty());
+}

@@ -1,0 +1,138 @@
+//! Integration tests pinning the paper's §1 motivating scenarios
+//! end-to-end through the public facade.
+
+use xvi::prelude::*;
+
+/// §1: `//person[.//age = 42]` must match <age> nodes in *all* lexical
+/// and structural variants: "42", "42.0", " +4.2E1", and the
+/// mixed-content decomposition <decades>4</decades>2<years/>.
+#[test]
+fn age_42_in_all_its_forms() {
+    let doc = Document::parse(
+        "<persons>\
+           <person><age>42</age></person>\
+           <person><age>42.0</age></person>\
+           <person><age> +4.2E1</age></person>\
+           <person><age><decades>4</decades>2<years/></age></person>\
+           <person><age>43</age></person>\
+           <person><age>fortytwo</age></person>\
+         </persons>",
+    )
+    .unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+
+    let ages_42: Vec<NodeId> = idx
+        .range_lookup_f64(42.0..=42.0)
+        .into_iter()
+        .filter(|&n| doc.name(n) == Some("age"))
+        .collect();
+    assert_eq!(ages_42.len(), 4, "all four lexical variants cast to 42");
+
+    let q = QueryEngine::parse("//person[.//age = 42]").unwrap();
+    let people = QueryEngine::evaluate(&doc, &idx, &q);
+    assert_eq!(people.len(), 4);
+    assert_eq!(people, QueryEngine::evaluate_scan(&doc, &q));
+}
+
+/// §1's critique of path-specific indices: the generic index answers
+/// on paths that were never declared.
+#[test]
+fn no_path_configuration_needed() {
+    let doc = Document::parse(
+        "<catalog>\
+           <book><price>9.99</price></book>\
+           <dvd><cost>9.99</cost></dvd>\
+           <toy discounted=\"9.99\"><tag>9.99</tag></toy>\
+         </catalog>",
+    )
+    .unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    // One numeric lookup finds the value under <price>, <cost>, <tag>,
+    // the attribute, and their text nodes — no xmlpattern declared.
+    let hits = idx.range_lookup_f64(9.99..=9.99);
+    assert!(hits.len() >= 7, "found {} value carriers", hits.len());
+}
+
+/// §1: an index on string values serves equality regardless of which
+/// node *kind* carries the value (text, element, attribute).
+#[test]
+fn equality_across_node_kinds() {
+    let doc = Document::parse(
+        r#"<r><a>hello</a><b key="hello"/><c><d>hel</d><e>lo</e></c></r>"#,
+    )
+    .unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let hits = idx.equi_lookup(&doc, "hello");
+    // <a>, its text, the attribute, and <c> (concatenated "hel"+"lo").
+    assert_eq!(hits.len(), 4);
+}
+
+/// §4: the <weight> example — "78" ⧺ "." ⧺ "230" is the double 78.230.
+#[test]
+fn weight_mixed_content_range_lookup() {
+    let doc = Document::parse(
+        "<weight><kilos>78</kilos>.<grams>230</grams></weight>",
+    )
+    .unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let weights = idx.range_lookup_f64(78.2..78.3);
+    assert!(weights
+        .iter()
+        .any(|&n| doc.name(n) == Some("weight")));
+    // The lone "." text node is *potential* but carries no value.
+    assert!(idx
+        .typed_index(XmlType::Double)
+        .unwrap()
+        .stored_states()
+        > idx.typed_index(XmlType::Double).unwrap().stored_values());
+}
+
+/// dateTime is the paper's other highlighted type.
+#[test]
+fn datetime_range_index() {
+    let doc = Document::parse(
+        "<log>\
+           <event at=\"2008-01-15T10:00:00Z\"><t>2008-06-30T12:00:00Z</t></event>\
+           <event at=\"2009-01-15T10:00:00Z\"><t>2007-06-30T12:00:00Z</t></event>\
+         </log>",
+    )
+    .unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::with_types(&[XmlType::DateTime]));
+    let jan1_2008 = XmlType::DateTime.cast("2008-01-01T00:00:00Z").unwrap();
+    let jan1_2009 = XmlType::DateTime.cast("2009-01-01T00:00:00Z").unwrap();
+    let in_2008 = idx.range_lookup(XmlType::DateTime, jan1_2008..jan1_2009).unwrap();
+    // The attribute, the text node, the <t> element — and the first
+    // <event> element itself, whose XDM string value is exactly its
+    // descendant text "2008-06-30T12:00:00Z".
+    assert_eq!(in_2008.len(), 4);
+}
+
+/// §5: subtree deletion is handled by re-running maintenance with the
+/// parent as context; the root hash must be as if the subtree never
+/// existed.
+#[test]
+fn deletion_scenario() {
+    let mut doc = Document::parse(
+        "<person><name>Arthur</name><age>42</age></person>",
+    )
+    .unwrap();
+    let mut idx = IndexManager::build(&doc, IndexConfig::default());
+    let age = doc
+        .descendants(doc.document_node())
+        .find(|&n| doc.name(n) == Some("age"))
+        .unwrap();
+    idx.delete_subtree(&mut doc, age).unwrap();
+
+    let person = doc.root_element().unwrap();
+    assert_eq!(idx.hash_of(person), Some(hash_str("Arthur")));
+    assert!(idx.range_lookup_f64(..).is_empty());
+    idx.verify_against(&doc).unwrap();
+}
+
+/// The facade's combine/hash re-exports satisfy the §3 equations.
+#[test]
+fn facade_hash_algebra() {
+    let h = combine(hash_str("Arthur"), hash_str("Dent"));
+    assert_eq!(h, hash_str("ArthurDent"));
+    assert_eq!(combine(HashValue::EMPTY, h), h);
+}

@@ -1,0 +1,79 @@
+//! Integration coverage for the two beyond-the-paper features through
+//! the public facade: the §7 substring index and index persistence.
+
+use xvi::datagen::Dataset;
+use xvi::prelude::*;
+
+#[test]
+fn substring_search_on_wiki_urls() {
+    let xml = Dataset::Wiki.generate(10);
+    let doc = Document::parse(&xml).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::string_only().with_substring_index());
+
+    // Every URL contains the common prefix.
+    let all_urls = idx.contains_lookup(&doc, "http://en.wikipedia.org/wiki/");
+    assert!(all_urls.len() > 100);
+    for &n in &all_urls {
+        assert!(doc
+            .direct_value(n)
+            .unwrap()
+            .contains("http://en.wikipedia.org/wiki/"));
+    }
+
+    // A rarer needle narrows it down; results equal the naive scan.
+    let fast = idx.contains_lookup(&doc, "family_000000");
+    let slow: Vec<NodeId> = doc
+        .descendants(doc.document_node())
+        .filter(|&n| {
+            doc.direct_value(n)
+                .is_some_and(|v| v.contains("family_000000"))
+        })
+        .collect();
+    let mut slow = slow;
+    slow.sort();
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn substring_survives_update_workloads() {
+    let xml = Dataset::Dblp.generate(5);
+    let mut doc = Document::parse(&xml).unwrap();
+    let mut idx = IndexManager::build(&doc, IndexConfig::default().with_substring_index());
+    let w = xvi::datagen::UpdateWorkload::generate(&doc, 100, 77);
+    idx.update_values(&mut doc, w.as_pairs()).unwrap();
+    idx.verify_against(&doc).unwrap();
+    // A value written by the workload is findable by substring.
+    if let Some((node, value)) = w.updates.iter().find(|(_, v)| v.len() >= 3) {
+        assert!(idx.contains_lookup(&doc, value).contains(node));
+    }
+}
+
+#[test]
+fn persistence_roundtrip_through_facade() {
+    let xml = Dataset::EpaGeo.generate(5);
+    let doc = Document::parse(&xml).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+
+    let mut image = Vec::new();
+    idx.save_to(&doc, &mut image).unwrap();
+    let loaded = IndexManager::load_from(&doc, image.as_slice()).unwrap();
+    loaded.verify_against(&doc).unwrap();
+    assert_eq!(
+        idx.range_lookup_f64(24.0..49.0).len(),
+        loaded.range_lookup_f64(24.0..49.0).len()
+    );
+}
+
+#[test]
+fn persisted_image_is_compact() {
+    let xml = Dataset::XMark(1).generate(20);
+    let doc = Document::parse(&xml).unwrap();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let mut image = Vec::new();
+    idx.save_to(&doc, &mut image).unwrap();
+    // The image stores ~8 bytes per string entry + ~14 per typed entry;
+    // it must be well below the in-memory structures it reconstructs.
+    let stats = idx.stats();
+    assert!(image.len() < stats.string_bytes + stats.typed[0].bytes);
+    assert!(image.len() > stats.string_entries * 8);
+}
