@@ -9,7 +9,11 @@ use xvi_hash::{combine, combine_all, hash_bytes, hash_str};
 fn bench_hash(c: &mut Criterion) {
     let mut g = c.benchmark_group("hash_H");
     for len in [8usize, 64, 512, 4096] {
-        let s: String = "abcdefghijklmnopqrstuvwxyz".chars().cycle().take(len).collect();
+        let s: String = "abcdefghijklmnopqrstuvwxyz"
+            .chars()
+            .cycle()
+            .take(len)
+            .collect();
         g.throughput(Throughput::Bytes(len as u64));
         g.bench_with_input(BenchmarkId::from_parameter(len), &s, |b, s| {
             b.iter(|| hash_str(black_box(s)));

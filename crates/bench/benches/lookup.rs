@@ -54,10 +54,7 @@ fn bench_range(c: &mut Criterion) {
 
 fn bench_substring(c: &mut Criterion) {
     let doc = Document::parse(&Dataset::Wiki.generate(60)).unwrap();
-    let idx = IndexManager::build(
-        &doc,
-        IndexConfig::string_only().with_substring_index(),
-    );
+    let idx = IndexManager::build(&doc, IndexConfig::string_only().with_substring_index());
     let mut g = c.benchmark_group("substring_lookup");
     g.sample_size(20);
     g.bench_function("contains_trigram", |b| {
@@ -97,5 +94,11 @@ fn bench_raw_lookups(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_equi, bench_range, bench_substring, bench_raw_lookups);
+criterion_group!(
+    benches,
+    bench_equi,
+    bench_range,
+    bench_substring,
+    bench_raw_lookups
+);
 criterion_main!(benches);

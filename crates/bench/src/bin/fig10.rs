@@ -1,72 +1,10 @@
 //! Figure 10: update time vs. number of updated nodes.
 //!
-//! For every dataset, batches of 1 … 100k random text-node updates are
-//! applied through the incremental maintenance path (paper Figure 8)
-//! and timed; the paper reports < 400 ms even for 1M updates on a
-//! 2 GB document, with the double index slightly cheaper than the
-//! string index (SCT probe vs. hash combine).
-//!
-//! As an ablation the full-rebuild alternative (re-running Figure 7)
-//! is printed alongside — the crossover shows why the paper's update
-//! algorithm exists.
+//! Thin wrapper over [`xvi_bench::experiments::run_fig10`]; scale via
+//! `XVI_SCALE`, repetitions via `XVI_REPS`.
 
-use xvi_bench::{load, ms, reps, scale_permille, time, Table};
-use xvi_datagen::{Dataset, UpdateWorkload};
-use xvi_fsm::XmlType;
-use xvi_index::{IndexConfig, IndexManager};
-
-const BATCHES: &[usize] = &[1, 10, 100, 1_000, 10_000, 100_000];
+use xvi_bench::{experiments, reps, scale_permille};
 
 fn main() {
-    let permille = scale_permille();
-    let reps = reps();
-    println!(
-        "Figure 10 — update time (ms) vs. number of updated nodes \
-         (scale {permille}‰, {reps} reps, mean)\n"
-    );
-
-    for (config, label) in [
-        (IndexConfig::string_only(), "string index"),
-        (IndexConfig::typed_only(&[XmlType::Double]), "double index"),
-    ] {
-        println!("== {label} ==");
-        let mut headers = vec![("Data", 8)];
-        for &b in BATCHES {
-            headers.push((Box::leak(format!("{b}").into_boxed_str()), 9));
-        }
-        headers.push(("rebuild", 10));
-        let table = Table::new(&headers);
-
-        for ds in Dataset::paper_suite() {
-            let (_, mut doc) = load(ds, permille);
-            let mut idx = IndexManager::build(&doc, config.clone());
-            let mut cells = vec![ds.name()];
-            for (i, &batch) in BATCHES.iter().enumerate() {
-                let mut total = std::time::Duration::ZERO;
-                for r in 0..reps {
-                    let w =
-                        UpdateWorkload::generate(&doc, batch, (i * 1000 + r) as u64);
-                    let (_, t) = time(|| {
-                        idx.update_values(&mut doc, w.as_pairs()).unwrap();
-                    });
-                    total += t;
-                }
-                cells.push(ms(total / reps as u32));
-            }
-            let (_, rebuild) = time(|| {
-                let fresh = IndexManager::build(&doc, config.clone());
-                std::hint::black_box(fresh);
-            });
-            cells.push(ms(rebuild));
-            table.row(&cells);
-        }
-        println!();
-    }
-
-    println!(
-        "Paper shape: sub-linear growth in the batch size; small batches in\n\
-         single-digit milliseconds; the double index slightly cheaper than the\n\
-         string index; incremental maintenance far below the rebuild column\n\
-         until the batch approaches the document size."
-    );
+    experiments::run_fig10(scale_permille(), reps());
 }

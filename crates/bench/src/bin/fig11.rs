@@ -1,71 +1,10 @@
-//! Figure 11: hash stability.
+//! Figure 11: hash stability (collision distribution).
 //!
-//! For every dataset, the distribution of "how many distinct strings
-//! share one hash value", over the distinct string values of all text
-//! and attribute nodes. The paper: almost all strings hash uniquely,
-//! < 1% collide on most datasets, < 10% even on PSD/Wiki, with the
-//! Wiki tail reaching 9 distinct strings per hash value because of
-//! URL families whose distinguishing characters repeat 27 positions
-//! apart (the period of `H`'s write offset).
+//! Thin wrapper over [`xvi_bench::experiments::run_fig11`]; scale via
+//! `XVI_SCALE`.
 
-use xvi_bench::{load, scale_permille, Table};
-use xvi_datagen::Dataset;
-use xvi_hash::collisions::CollisionHistogram;
-use xvi_xml::NodeKind;
+use xvi_bench::{experiments, scale_permille};
 
 fn main() {
-    let permille = scale_permille();
-    println!("Figure 11 — hash stability (scale {permille}‰)\n");
-
-    let table = Table::new(&[
-        ("Data", 8),
-        ("distinct", 10),
-        ("hashes", 10),
-        ("colliding", 10),
-        ("rate", 7),
-        ("max k", 6),
-        ("k=2", 8),
-        ("k=3", 8),
-        ("k>=4", 8),
-    ]);
-
-    for ds in Dataset::paper_suite() {
-        let (_, doc) = load(ds, permille);
-        let mut hist = CollisionHistogram::new();
-        for n in doc.descendants(doc.document_node()) {
-            match doc.kind(n) {
-                NodeKind::Text(t) => hist.observe(t),
-                NodeKind::Element(_) => {
-                    for a in doc.attributes(n) {
-                        if let NodeKind::Attribute { value, .. } = doc.kind(a) {
-                            hist.observe(value);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        let dist = hist.distribution();
-        let k2 = dist.get(&2).copied().unwrap_or(0);
-        let k3 = dist.get(&3).copied().unwrap_or(0);
-        let k4plus: u64 = dist.iter().filter(|(k, _)| **k >= 4).map(|(_, v)| *v).sum();
-        table.row(&[
-            ds.name(),
-            hist.distinct_strings().to_string(),
-            hist.distinct_hashes().to_string(),
-            hist.colliding_strings().to_string(),
-            format!("{:.2}%", hist.collision_rate() * 100.0),
-            hist.max_multiplicity().to_string(),
-            k2.to_string(),
-            k3.to_string(),
-            k4plus.to_string(),
-        ]);
-    }
-
-    println!(
-        "\nPaper shape: collision rate < 1% on most datasets, < 10% on the\n\
-         large/URL-heavy ones; the Wiki tail (k up to 9) comes from URLs whose\n\
-         distinguishing characters repeat every 27 positions, cancelling out in\n\
-         the circular XOR."
-    );
+    experiments::run_fig11(scale_permille());
 }

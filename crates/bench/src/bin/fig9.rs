@@ -1,94 +1,10 @@
 //! Figure 9: index creation time and storage overhead.
 //!
-//! Top half — time: shred (parse) time per dataset vs. the extra time
-//! to create the string index and the double index. The paper's claim:
-//! string-index overhead ≤ ~10% of shredding, double-index ≤ ~2%
-//! (combining by SCT probe is cheaper than calling the hash
-//! combination function, and most nodes reject).
-//!
-//! Bottom half — storage: database (document store) size vs. index
-//! sizes. The paper's claim: string index ≤ 10-20% of DB size, double
-//! index ≤ 2-3%.
+//! Thin wrapper over [`xvi_bench::experiments::run_fig9`]; scale via
+//! `XVI_SCALE`, repetitions via `XVI_REPS`.
 
-use xvi_bench::{load, mb, ms, pct, reps, scale_permille, time, time_mean, Table};
-use xvi_datagen::Dataset;
-use xvi_fsm::XmlType;
-use xvi_index::{IndexConfig, IndexManager};
-use xvi_xml::Document;
+use xvi_bench::{experiments, reps, scale_permille};
 
 fn main() {
-    let permille = scale_permille();
-    let reps = reps();
-    println!(
-        "Figure 9 — creation time and storage overhead (scale {permille}‰, {reps} reps)\n"
-    );
-
-    let table = Table::new(&[
-        ("Data", 8),
-        ("shred ms", 9),
-        ("string ms", 10),
-        ("str ovh", 8),
-        ("double ms", 10),
-        ("dbl ovh", 8),
-        ("DB MB", 7),
-        ("str MB", 7),
-        ("str ovh", 8),
-        ("dbl MB", 7),
-        ("dbl ovh", 8),
-    ]);
-
-    for ds in Dataset::paper_suite() {
-        let (xml, doc) = load(ds, permille);
-
-        // Shred time: parse the XML text into the document store.
-        let shred = time_mean(reps, |_| {
-            let d = Document::parse(&xml).unwrap();
-            std::hint::black_box(d);
-        });
-
-        // Index creation times, each index family on its own, matching
-        // the paper's separate "string index time" / "double index
-        // time" bars.
-        let string_t = time_mean(reps, |_| {
-            let idx = IndexManager::build(&doc, IndexConfig::string_only());
-            std::hint::black_box(idx);
-        });
-        let double_t = time_mean(reps, |_| {
-            let idx = IndexManager::build(&doc, IndexConfig::typed_only(&[XmlType::Double]));
-            std::hint::black_box(idx);
-        });
-
-        // Storage.
-        let (string_idx, _) = time(|| IndexManager::build(&doc, IndexConfig::string_only()));
-        let (double_idx, _) =
-            time(|| IndexManager::build(&doc, IndexConfig::typed_only(&[XmlType::Double])));
-        let db_bytes = doc.stats().arena_bytes;
-        let str_bytes = string_idx.stats().string_bytes;
-        let dbl_bytes = double_idx.stats().typed[0].bytes;
-
-        let ratio =
-            |t: std::time::Duration, base: std::time::Duration| -> String {
-                format!("{:.1}%", 100.0 * t.as_secs_f64() / base.as_secs_f64())
-            };
-
-        table.row(&[
-            ds.name(),
-            ms(shred),
-            ms(string_t),
-            ratio(string_t, shred),
-            ms(double_t),
-            ratio(double_t, shred),
-            mb(db_bytes),
-            mb(str_bytes),
-            pct(str_bytes, db_bytes),
-            mb(dbl_bytes),
-            pct(dbl_bytes, db_bytes),
-        ]);
-    }
-
-    println!(
-        "\nPaper shape: string-index creation ≤ ~10% of shred time, double ≤ ~2%\n\
-         (SCT array probe beats hash combination); string-index storage 10-20%\n\
-         of DB size, double-index storage 2-3% (1-byte states, few valid doubles)."
-    );
+    experiments::run_fig9(scale_permille(), reps());
 }

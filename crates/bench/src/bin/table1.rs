@@ -1,79 +1,10 @@
 //! Table 1: statistics about the data sets.
 //!
-//! Columns mirror the paper: serialized size, total nodes, text nodes
-//! (with share), text nodes holding a (potential) valid double lexical
-//! representation (with share), and the number of *non-leaf* nodes
-//! whose string value is a complete double — the mixed-content rarity
-//! that motivates the semantics-respecting design.
+//! Thin wrapper over [`xvi_bench::experiments::run_table1`]; scale via
+//! `XVI_SCALE` (permille of the default dataset size).
 
-use xvi_bench::{load, mb, pct, scale_permille, Table};
-use xvi_datagen::Dataset;
-use xvi_fsm::{analyzer, XmlType};
-use xvi_xml::NodeKind;
+use xvi_bench::{experiments, scale_permille};
 
 fn main() {
-    let permille = scale_permille();
-    println!(
-        "Table 1 — dataset statistics (scale {permille}‰ of default ≈ paper/16)\n"
-    );
-    let table = Table::new(&[
-        ("Data", 8),
-        ("Size MB", 8),
-        ("Total Nodes", 12),
-        ("Text Nodes", 12),
-        ("%", 6),
-        ("%struct", 8),
-        ("Double Values", 14),
-        ("%", 6),
-        ("non-leaf", 9),
-    ]);
-
-    let an = analyzer(XmlType::Double);
-    for ds in Dataset::paper_suite() {
-        let (xml, doc) = load(ds, permille);
-        let stats = doc.stats();
-
-        let mut double_texts = 0usize;
-        let mut non_leaf_doubles = 0usize;
-        for n in doc.descendants(doc.document_node()) {
-            match doc.kind(n) {
-                NodeKind::Text(t)
-                    // The paper counts text nodes with a *(potential)*
-                    // valid double lexical representation.
-                    if an.state_of(t).is_some() => {
-                        double_texts += 1;
-                    }
-                NodeKind::Element(_)
-                    if doc.children(n).count() > 1 => {
-                        let sv = doc.string_value(n);
-                        let complete = an
-                            .state_of(&sv)
-                            .map(|s| an.is_complete(s))
-                            .unwrap_or(false);
-                        if complete {
-                            non_leaf_doubles += 1;
-                        }
-                    }
-                _ => {}
-            }
-        }
-
-        table.row(&[
-            ds.name(),
-            mb(xml.len()),
-            stats.total_nodes.to_string(),
-            stats.text_nodes.to_string(),
-            pct(stats.text_nodes, stats.total_nodes),
-            pct(stats.text_nodes, stats.total_nodes - stats.attribute_nodes),
-            double_texts.to_string(),
-            pct(double_texts, stats.total_nodes),
-            non_leaf_doubles.to_string(),
-        ]);
-    }
-    println!(
-        "\nShape targets from the paper: text nodes 56-66% of total (the paper's\n\
-         node counts exclude attribute nodes — see the %struct column); double\n\
-         values 0.1-10% depending on dataset; non-leaf doubles 0 except DBLP (21)\n\
-         and PSD (902) — rare but present, hence the semantics-respecting design."
-    );
+    experiments::run_table1(scale_permille());
 }

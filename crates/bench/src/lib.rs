@@ -23,6 +23,8 @@ use std::time::{Duration, Instant};
 use xvi_datagen::Dataset;
 use xvi_xml::Document;
 
+pub mod experiments;
+
 /// Scale in permille of the default dataset size (`XVI_SCALE`).
 pub fn scale_permille() -> u32 {
     std::env::var("XVI_SCALE")
@@ -74,8 +76,16 @@ impl Table {
     pub fn new(headers: &[(&str, usize)]) -> Table {
         let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
         let t = Table { widths };
-        t.row(&headers.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
-        println!("{}", "-".repeat(t.widths.iter().sum::<usize>() + t.widths.len() * 2));
+        t.row(
+            &headers
+                .iter()
+                .map(|(h, _)| h.to_string())
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "{}",
+            "-".repeat(t.widths.iter().sum::<usize>() + t.widths.len() * 2)
+        );
         t
     }
 

@@ -42,25 +42,27 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let mut values: Vec<V> = Vec::with_capacity(order);
         let mut count = 0usize;
 
-        let flush =
-            |tree: &mut BPlusTree<K, V>, keys: &mut Vec<K>, values: &mut Vec<V>,
-             leaves: &mut Vec<u32>, first_keys: &mut Vec<K>| {
-                if keys.is_empty() {
-                    return;
-                }
-                first_keys.push(keys[0].clone());
-                let prev = leaves.last().copied().unwrap_or(NIL);
-                let id = tree.alloc_node(Node::Leaf {
-                    keys: std::mem::take(keys),
-                    values: std::mem::take(values),
-                    next: NIL,
-                    prev,
-                });
-                if prev != NIL {
-                    tree.set_leaf_next(prev, id);
-                }
-                leaves.push(id);
-            };
+        let flush = |tree: &mut BPlusTree<K, V>,
+                     keys: &mut Vec<K>,
+                     values: &mut Vec<V>,
+                     leaves: &mut Vec<u32>,
+                     first_keys: &mut Vec<K>| {
+            if keys.is_empty() {
+                return;
+            }
+            first_keys.push(keys[0].clone());
+            let prev = leaves.last().copied().unwrap_or(NIL);
+            let id = tree.alloc_node(Node::Leaf {
+                keys: std::mem::take(keys),
+                values: std::mem::take(values),
+                next: NIL,
+                prev,
+            });
+            if prev != NIL {
+                tree.set_leaf_next(prev, id);
+            }
+            leaves.push(id);
+        };
 
         let mut last_key: Option<K> = None;
         for (k, v) in iter {
@@ -72,10 +74,22 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             values.push(v);
             count += 1;
             if keys.len() == order {
-                flush(&mut tree, &mut keys, &mut values, &mut leaves, &mut first_keys);
+                flush(
+                    &mut tree,
+                    &mut keys,
+                    &mut values,
+                    &mut leaves,
+                    &mut first_keys,
+                );
             }
         }
-        flush(&mut tree, &mut keys, &mut values, &mut leaves, &mut first_keys);
+        flush(
+            &mut tree,
+            &mut keys,
+            &mut values,
+            &mut leaves,
+            &mut first_keys,
+        );
 
         if leaves.is_empty() {
             return tree; // stays the empty single-leaf tree
@@ -95,10 +109,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
         // ---- internal levels -------------------------------------------------
         // `level` holds (node id, first key of its subtree).
-        let mut level: Vec<(u32, K)> = leaves
-            .into_iter()
-            .zip(first_keys)
-            .collect();
+        let mut level: Vec<(u32, K)> = leaves.into_iter().zip(first_keys).collect();
         let max_children = order + 1;
         let min_children = min + 1;
         while level.len() > 1 {
@@ -179,8 +190,7 @@ mod tests {
     #[test]
     fn bulk_load_matches_insert_built_tree() {
         let keys: Vec<u32> = (0..2000).map(|i| i * 3).collect();
-        let bulk: BPlusTree<u32, u32> =
-            BPlusTree::from_sorted_iter(keys.iter().map(|&k| (k, k)));
+        let bulk: BPlusTree<u32, u32> = BPlusTree::from_sorted_iter(keys.iter().map(|&k| (k, k)));
         let mut incr: BPlusTree<u32, u32> = BPlusTree::new();
         for &k in &keys {
             incr.insert(k, k);

@@ -51,7 +51,9 @@ impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
                 return None;
             }
             match self.tree.node(self.leaf) {
-                Node::Leaf { keys, values, next, .. } => {
+                Node::Leaf {
+                    keys, values, next, ..
+                } => {
                     if self.idx < keys.len() {
                         let k = &keys[self.idx];
                         if !self.within_end(k) {

@@ -29,5 +29,4 @@ impl<K, V> Node<K, V> {
             Node::Free => 0,
         }
     }
-
 }

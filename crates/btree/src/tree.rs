@@ -138,8 +138,16 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let (l, r) = self.two_nodes_mut(left, right);
         match (l, r) {
             (
-                Node::Leaf { keys: lk, values: lv, .. },
-                Node::Leaf { keys: rk, values: rv, .. },
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                    ..
+                },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    ..
+                },
             ) => {
                 let at = lk.len() - n;
                 let mut moved_k = lk.split_off(at);
@@ -214,9 +222,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let leaf = self.find_leaf(key);
         match self.node(leaf) {
-            Node::Leaf { keys, values, .. } => {
-                keys.binary_search(key).ok().map(|i| &values[i])
-            }
+            Node::Leaf { keys, values, .. } => keys.binary_search(key).ok().map(|i| &values[i]),
             _ => unreachable!(),
         }
     }
@@ -269,9 +275,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     let order = self.order;
                     match self.node_mut(id) {
                         Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
-                            Ok(i) => {
-                                return (Some(std::mem::replace(&mut values[i], value)), None)
-                            }
+                            Ok(i) => return (Some(std::mem::replace(&mut values[i], value)), None),
                             Err(i) => {
                                 keys.insert(i, key);
                                 values.insert(i, value);
@@ -479,8 +483,16 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             let (left, child) = self.two_nodes_mut(left_id, child_id);
             match (left, child) {
                 (
-                    Node::Leaf { keys: lk, values: lv, .. },
-                    Node::Leaf { keys: ck, values: cv, .. },
+                    Node::Leaf {
+                        keys: lk,
+                        values: lv,
+                        ..
+                    },
+                    Node::Leaf {
+                        keys: ck,
+                        values: cv,
+                        ..
+                    },
                 ) => {
                     let k = lk.pop().expect("left leaf has spare key");
                     let v = lv.pop().expect("left leaf has spare value");
@@ -490,7 +502,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     Rot::Leaf(sep)
                 }
                 (
-                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
                     Node::Internal { children: cc, .. },
                 ) => {
                     let rotated_key = lk.pop().expect("left internal has spare key");
@@ -528,8 +543,16 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             let (child, right) = self.two_nodes_mut(child_id, right_id);
             match (child, right) {
                 (
-                    Node::Leaf { keys: ck, values: cv, .. },
-                    Node::Leaf { keys: rk, values: rv, .. },
+                    Node::Leaf {
+                        keys: ck,
+                        values: cv,
+                        ..
+                    },
+                    Node::Leaf {
+                        keys: rk,
+                        values: rv,
+                        ..
+                    },
                 ) => {
                     ck.push(rk.remove(0));
                     cv.push(rv.remove(0));
@@ -537,7 +560,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 }
                 (
                     Node::Internal { children: cc, .. },
-                    Node::Internal { keys: rk, children: rc },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
                 ) => {
                     let rotated_key = rk.remove(0);
                     cc.push(rc.remove(0));
@@ -575,8 +601,18 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             let (left, right) = self.two_nodes_mut(left_id, right_id);
             match (left, right) {
                 (
-                    Node::Leaf { keys: lk, values: lv, next: lnext, .. },
-                    Node::Leaf { keys: rk, values: rv, next: rnext, .. },
+                    Node::Leaf {
+                        keys: lk,
+                        values: lv,
+                        next: lnext,
+                        ..
+                    },
+                    Node::Leaf {
+                        keys: rk,
+                        values: rv,
+                        next: rnext,
+                        ..
+                    },
                 ) => {
                     lk.append(rk);
                     lv.append(rv);
@@ -585,8 +621,14 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     (new_next != NIL).then_some(new_next)
                 }
                 (
-                    Node::Internal { keys: lk, children: lc },
-                    Node::Internal { keys: rk, children: rc },
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
                 ) => {
                     lk.push(sep);
                     lk.append(rk);
@@ -628,7 +670,9 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     id = *children.last().expect("internal node has children")
                 }
                 Node::Leaf { keys, values, .. } => {
-                    return keys.last().map(|k| (k, values.last().expect("parallel vecs")));
+                    return keys
+                        .last()
+                        .map(|k| (k, values.last().expect("parallel vecs")));
                 }
                 Node::Free => unreachable!(),
             }
@@ -705,7 +749,14 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut leaf_entries = Vec::new();
         let mut leaf_order = Vec::new();
-        self.check_node(self.root, None, None, true, &mut leaf_entries, &mut leaf_order)?;
+        self.check_node(
+            self.root,
+            None,
+            None,
+            true,
+            &mut leaf_entries,
+            &mut leaf_order,
+        )?;
 
         if leaf_entries.len() != self.len {
             return Err(format!(
@@ -805,7 +856,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 let mut depth = None;
                 for (i, &child) in children.iter().enumerate() {
                     let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
-                    let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(&keys[i])
+                    };
                     let d = self.check_node(child, lo, hi, false, leaf_entries, leaf_order)?;
                     if let Some(expect) = depth {
                         if d != expect {

@@ -42,10 +42,8 @@ fn run_model(order: usize, ops: Vec<Op>) -> Result<(), TestCaseError> {
             }
             Op::Range(a, b) => {
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                let got: Vec<(u16, u32)> =
-                    tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
-                let want: Vec<(u16, u32)> =
-                    model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                let got: Vec<(u16, u32)> = tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
                 prop_assert_eq!(got, want);
             }
         }

@@ -50,7 +50,11 @@ pub fn epageo(scale: u32, seed: u64) -> String {
         out.push_str("</contact><program>");
         push_words(&mut out, &mut rng, 2);
         out.push_str("</program><status>");
-        out.push_str(if rng.gen_bool(0.8) { "ACTIVE" } else { "CLOSED" });
+        out.push_str(if rng.gen_bool(0.8) {
+            "ACTIVE"
+        } else {
+            "CLOSED"
+        });
         out.push_str("</status></facility>");
     }
     out.push_str("</facilities>");
@@ -65,7 +69,11 @@ pub fn dblp(scale: u32, seed: u64) -> String {
     let mut out = String::with_capacity(pubs * 300);
     out.push_str("<?xml version=\"1.0\"?><dblp>");
     for p in 0..pubs {
-        let kind = if rng.gen_bool(0.55) { "article" } else { "inproceedings" };
+        let kind = if rng.gen_bool(0.55) {
+            "article"
+        } else {
+            "inproceedings"
+        };
         write!(out, "<{kind} key=\"conf/x/{p}\" mdate=\"").unwrap();
         crate::vocab::push_date(&mut out, &mut rng);
         out.push_str("\">");
@@ -112,10 +120,18 @@ pub fn psd(scale: u32, seed: u64) -> String {
     let mut out = String::with_capacity(entries * 420);
     out.push_str("<?xml version=\"1.0\"?><ProteinDatabase>");
     for e in 0..entries {
-        write!(out, "<ProteinEntry id=\"PSD{e:07}\"><header><uid>PIR{:06}</uid>", 100_000 + e)
-            .unwrap();
-        write!(out, "<accession>A{:05}</accession></header>", rng.gen_range(10_000..99_999))
-            .unwrap();
+        write!(
+            out,
+            "<ProteinEntry id=\"PSD{e:07}\"><header><uid>PIR{:06}</uid>",
+            100_000 + e
+        )
+        .unwrap();
+        write!(
+            out,
+            "<accession>A{:05}</accession></header>",
+            rng.gen_range(10_000..99_999)
+        )
+        .unwrap();
         out.push_str("<protein><name>");
         let n_words = rng.gen_range(2..6);
         push_words(&mut out, &mut rng, n_words);
@@ -134,8 +150,12 @@ pub fn psd(scale: u32, seed: u64) -> String {
         write!(out, "{len} aa").unwrap(); // "402 aa" rejects as a double
         out.push_str("</length><reference><author>");
         let (f, l) = full_name(&mut rng);
-        write!(out, "{f} {l}</author><year>{}</year></reference>", rng.gen_range(1975..=2008))
-            .unwrap();
+        write!(
+            out,
+            "{f} {l}</author><year>{}</year></reference>",
+            rng.gen_range(1975..=2008)
+        )
+        .unwrap();
         // Non-leaf doubles, denser than DBLP (paper: 902 vs 21).
         if e % 130 == 7 {
             out.push_str("<weight><kilodaltons>");

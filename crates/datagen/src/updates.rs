@@ -65,10 +65,7 @@ mod tests {
     use super::*;
 
     fn doc() -> Document {
-        Document::parse(
-            "<r><a>1</a><b>two</b><c>3.5</c><d>four</d><e>5</e><f>six</f></r>",
-        )
-        .unwrap()
+        Document::parse("<r><a>1</a><b>two</b><c>3.5</c><d>four</d><e>5</e><f>six</f></r>").unwrap()
     }
 
     #[test]

@@ -4,32 +4,64 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 pub(crate) const WORDS: &[&str] = &[
-    "auction", "bidder", "gold", "silver", "market", "ship", "harbor", "window", "stone",
-    "river", "mountain", "quiet", "rapid", "ancient", "modern", "crystal", "velvet",
-    "thunder", "meadow", "lantern", "copper", "marble", "cedar", "falcon", "ember",
-    "granite", "hollow", "ivory", "juniper", "kestrel", "lichen", "maple", "nectar",
-    "orchid", "pewter", "quarry", "russet", "saffron", "timber", "umber", "willow",
-    "yarrow", "zephyr", "anchor", "breeze", "cobalt", "drift", "echo", "fable", "glade",
+    "auction", "bidder", "gold", "silver", "market", "ship", "harbor", "window", "stone", "river",
+    "mountain", "quiet", "rapid", "ancient", "modern", "crystal", "velvet", "thunder", "meadow",
+    "lantern", "copper", "marble", "cedar", "falcon", "ember", "granite", "hollow", "ivory",
+    "juniper", "kestrel", "lichen", "maple", "nectar", "orchid", "pewter", "quarry", "russet",
+    "saffron", "timber", "umber", "willow", "yarrow", "zephyr", "anchor", "breeze", "cobalt",
+    "drift", "echo", "fable", "glade",
 ];
 
 pub(crate) const FIRST_NAMES: &[&str] = &[
-    "Arthur", "Ford", "Tricia", "Zaphod", "Marvin", "Fenchurch", "Random", "Agrajag",
-    "Slartibartfast", "Eddie", "Benjy", "Frankie", "Deep", "Prak", "Hig", "Roosta",
+    "Arthur",
+    "Ford",
+    "Tricia",
+    "Zaphod",
+    "Marvin",
+    "Fenchurch",
+    "Random",
+    "Agrajag",
+    "Slartibartfast",
+    "Eddie",
+    "Benjy",
+    "Frankie",
+    "Deep",
+    "Prak",
+    "Hig",
+    "Roosta",
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Dent", "Prefect", "McMillan", "Beeblebrox", "Android", "Colluphid", "Hurtenflurst",
-    "Thought", "Jeltz", "Kwaltz", "Vogon", "Magrathea", "Halfrunt", "Bodyguard",
+    "Dent",
+    "Prefect",
+    "McMillan",
+    "Beeblebrox",
+    "Android",
+    "Colluphid",
+    "Hurtenflurst",
+    "Thought",
+    "Jeltz",
+    "Kwaltz",
+    "Vogon",
+    "Magrathea",
+    "Halfrunt",
+    "Bodyguard",
 ];
 
 pub(crate) const COUNTIES: &[&str] = &[
-    "Alameda", "Boulder", "Cook", "Dallas", "Erie", "Fresno", "Greene", "Harris",
-    "Ingham", "Jackson", "Kent", "Lake", "Marion", "Nassau", "Orange", "Pierce",
+    "Alameda", "Boulder", "Cook", "Dallas", "Erie", "Fresno", "Greene", "Harris", "Ingham",
+    "Jackson", "Kent", "Lake", "Marion", "Nassau", "Orange", "Pierce",
 ];
 
 pub(crate) const JOURNALS: &[&str] = &[
-    "VLDB Journal", "TODS", "SIGMOD Record", "Information Systems", "TKDE",
-    "JACM", "Computing Surveys", "Data Engineering Bulletin",
+    "VLDB Journal",
+    "TODS",
+    "SIGMOD Record",
+    "Information Systems",
+    "TKDE",
+    "JACM",
+    "Computing Surveys",
+    "Data Engineering Bulletin",
 ];
 
 /// Amino-acid alphabet for PSD sequences.

@@ -16,7 +16,14 @@ use rand::{Rng, SeedableRng};
 
 use crate::vocab::{full_name, push_date, push_price, push_words};
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates an auction site document. `scale` is in permille of the
 /// default size; deterministic in `seed`.
@@ -124,8 +131,14 @@ fn person(out: &mut String, rng: &mut StdRng, id: usize, categories: usize) {
     )
     .unwrap();
     if rng.gen_bool(0.6) {
-        write!(out, "<phone>+{} ({}) {}</phone>", rng.gen_range(1..99),
-               rng.gen_range(100..999), rng.gen_range(10_000..99_999)).unwrap();
+        write!(
+            out,
+            "<phone>+{} ({}) {}</phone>",
+            rng.gen_range(1..99),
+            rng.gen_range(100..999),
+            rng.gen_range(10_000..99_999)
+        )
+        .unwrap();
     }
     out.push_str("<profile income=\"");
     push_price(out, rng, 99_000);
@@ -209,7 +222,13 @@ mod tests {
         let top: Vec<_> = doc.children(site).filter_map(|n| doc.name(n)).collect();
         assert_eq!(
             top,
-            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+            vec![
+                "regions",
+                "categories",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
         );
     }
 

@@ -162,9 +162,15 @@ impl DfaBuilder {
         let start = self.start.expect("DFA needs at least one state");
         let mut trans = vec![DFA_DEAD; self.n_states * self.n_classes];
         for (from, class, to) in self.edges {
-            assert_ne!(class, ILLEGAL_CLASS, "cannot add edges on the illegal class");
+            assert_ne!(
+                class, ILLEGAL_CLASS,
+                "cannot add edges on the illegal class"
+            );
             let cell = &mut trans[from as usize * self.n_classes + class as usize];
-            assert_eq!(*cell, DFA_DEAD, "duplicate transition from {from} on {class}");
+            assert_eq!(
+                *cell, DFA_DEAD,
+                "duplicate transition from {from} on {class}"
+            );
             *cell = to;
         }
         Dfa {

@@ -101,10 +101,22 @@ mod tests {
     #[test]
     fn lexical_space() {
         let d = dfa();
-        for s in ["1966-09-26", "2008-12-31Z", " 0001-01-01 ", "-0044-03-15", "2000-01-01+05:30"] {
+        for s in [
+            "1966-09-26",
+            "2008-12-31Z",
+            " 0001-01-01 ",
+            "-0044-03-15",
+            "2000-01-01+05:30",
+        ] {
             assert!(d.accepts(s), "{s:?}");
         }
-        for s in ["", "1966-9-26", "1966-09-26T00:00:00", "26-09-1966", "1966/09/26"] {
+        for s in [
+            "",
+            "1966-9-26",
+            "1966-09-26T00:00:00",
+            "26-09-1966",
+            "1966/09/26",
+        ] {
             assert!(!d.accepts(s), "{s:?}");
         }
     }

@@ -118,7 +118,8 @@ pub fn cast(s: &str) -> Option<f64> {
     // Split off the timezone first (Z or ±hh:mm at the very end).
     let (body, tz_offset_min) = if let Some(b) = t.strip_suffix('Z') {
         (b, 0i64)
-    } else if t.len() > 6 && (t.as_bytes()[t.len() - 6] == b'+' || t.as_bytes()[t.len() - 6] == b'-')
+    } else if t.len() > 6
+        && (t.as_bytes()[t.len() - 6] == b'+' || t.as_bytes()[t.len() - 6] == b'-')
     {
         let (b, z) = t.split_at(t.len() - 6);
         let sign: i64 = if z.starts_with('-') { -1 } else { 1 };
@@ -165,8 +166,7 @@ pub fn cast(s: &str) -> Option<f64> {
     }
 
     let days = days_from_civil(year, month, day);
-    let secs = days * 86_400 + i64::from(hour) * 3600 + i64::from(minute) * 60
-        + i64::from(second)
+    let secs = days * 86_400 + i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second)
         - tz_offset_min * 60;
     Some(secs as f64 * 1000.0 + f64::from(millis))
 }
@@ -238,15 +238,9 @@ mod tests {
         // 2000-01-01T00:00:00Z = 946684800 seconds.
         assert_eq!(cast("2000-01-01T00:00:00Z"), Some(946_684_800_000.0));
         // One hour east of UTC is one hour earlier in absolute time.
-        assert_eq!(
-            cast("2000-01-01T01:00:00+01:00"),
-            Some(946_684_800_000.0)
-        );
+        assert_eq!(cast("2000-01-01T01:00:00+01:00"), Some(946_684_800_000.0));
         // Fractional seconds.
-        assert_eq!(
-            cast("1970-01-01T00:00:00.5Z"),
-            Some(500.0)
-        );
+        assert_eq!(cast("1970-01-01T00:00:00.5Z"), Some(500.0));
     }
 
     #[test]
@@ -268,7 +262,11 @@ mod tests {
     #[test]
     fn range_violations_fail_cast_not_dfa() {
         let d = dfa();
-        for s in ["2001-13-01T00:00:00", "2001-02-30T00:00:00", "2001-01-01T25:00:00"] {
+        for s in [
+            "2001-13-01T00:00:00",
+            "2001-02-30T00:00:00",
+            "2001-01-01T25:00:00",
+        ] {
             assert!(d.accepts(s), "{s:?} is lexically fine");
             assert_eq!(cast(s), None, "{s:?} must fail the cast");
         }

@@ -79,8 +79,9 @@ mod tests {
     #[test]
     fn accepts_paper_examples() {
         let d = dfa();
-        for s in ["42", "42.0", " +4.2E1", "78.230", "0", "-0.5", ".5", "42.", "1e10",
-                  "  7  ", "+.5E-3"] {
+        for s in [
+            "42", "42.0", " +4.2E1", "78.230", "0", "-0.5", ".5", "42.", "1e10", "  7  ", "+.5E-3",
+        ] {
             assert!(d.accepts(s), "{s:?} should be a valid double");
         }
     }
@@ -88,8 +89,9 @@ mod tests {
     #[test]
     fn rejects_non_doubles() {
         let d = dfa();
-        for s in ["", " ", "42 text", "E+93 ", ".", "+", "4.2.3", "1e", "1e+", "--1",
-                  "1 2", "4 2"] {
+        for s in [
+            "", " ", "42 text", "E+93 ", ".", "+", "4.2.3", "1e", "1e+", "--1", "1 2", "4 2",
+        ] {
             assert!(!d.accepts(s), "{s:?} should not be a complete double");
         }
     }

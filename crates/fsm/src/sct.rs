@@ -87,7 +87,13 @@ impl Sct {
                 // Compose elems[e] with the one-character function.
                 let f: Box<[DfaState]> = elems[e]
                     .iter()
-                    .map(|&q| if q == DFA_DEAD { DFA_DEAD } else { dfa.step(q, class) })
+                    .map(|&q| {
+                        if q == DFA_DEAD {
+                            DFA_DEAD
+                        } else {
+                            dfa.step(q, class)
+                        }
+                    })
                     .collect();
                 if f.iter().all(|&q| q == DFA_DEAD) {
                     continue; // reject: leave the REJECT sentinel
@@ -263,7 +269,10 @@ mod tests {
         let dfa = sample_dfa();
         let sct = Sct::build(&dfa);
         for s in ["", "a", "b", "ab", "ba", "aabbb", "bba"] {
-            let complete = sct.state_of(s).map(|st| sct.is_complete(st)).unwrap_or(false);
+            let complete = sct
+                .state_of(s)
+                .map(|st| sct.is_complete(st))
+                .unwrap_or(false);
             assert_eq!(complete, dfa.accepts(s), "completeness of {s:?}");
         }
     }
@@ -283,8 +292,10 @@ mod tests {
     #[test]
     fn associativity_of_combine() {
         let sct = Sct::build(&sample_dfa());
-        let states: Vec<Option<StateId>> =
-            ["", "a", "b", "ab", "bb", "zz"].iter().map(|s| sct.state_of(s)).collect();
+        let states: Vec<Option<StateId>> = ["", "a", "b", "ab", "bb", "zz"]
+            .iter()
+            .map(|s| sct.state_of(s))
+            .collect();
         for &x in &states {
             for &y in &states {
                 for &z in &states {

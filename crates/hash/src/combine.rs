@@ -49,9 +49,7 @@ pub fn combine(left: HashValue, right: HashValue) -> HashValue {
 /// right matches document order, which is how the index-creation pass
 /// (paper Figure 7) accumulates element hashes.
 pub fn combine_all<I: IntoIterator<Item = HashValue>>(values: I) -> HashValue {
-    values
-        .into_iter()
-        .fold(HashValue::EMPTY, combine)
+    values.into_iter().fold(HashValue::EMPTY, combine)
 }
 
 #[cfg(test)]

@@ -491,8 +491,7 @@ impl IndexManager {
         }
         for idx in &self.typed {
             let f = fresh.typed_index(idx.xml_type()).expect("same config");
-            if idx.stored_states() != f.stored_states()
-                || idx.stored_values() != f.stored_values()
+            if idx.stored_states() != f.stored_states() || idx.stored_values() != f.stored_values()
             {
                 return Err(format!("{} index size mismatch", idx.xml_type().name()));
             }
@@ -585,7 +584,7 @@ mod tests {
         // //person[first/text()="Arthur"] — the text node exists:
         let hits = idx.equi_lookup(&doc, "Arthur");
         assert_eq!(hits.len(), 2); // the text node and its <first> parent
-        // fn:data(name) = "ArthurDent":
+                                   // fn:data(name) = "ArthurDent":
         let hits = idx.equi_lookup(&doc, "ArthurDent");
         assert_eq!(hits.len(), 1);
         assert_eq!(doc.name(hits[0]), Some("name"));
@@ -616,8 +615,10 @@ mod tests {
         let (mut doc, mut idx) = setup();
         let dent = find_text(&doc, "Dent");
         idx.update_value(&mut doc, dent, "Prefect").unwrap();
-        assert_eq!(doc.string_value(doc.root_element().unwrap()),
-                   "ArthurPrefect1966-09-264278.230");
+        assert_eq!(
+            doc.string_value(doc.root_element().unwrap()),
+            "ArthurPrefect1966-09-264278.230"
+        );
         assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
         let hits = idx.equi_lookup(&doc, "ArthurPrefect");
         assert_eq!(hits.len(), 1);
@@ -648,9 +649,7 @@ mod tests {
         idx.verify_against(&doc).unwrap();
 
         idx.update_value(&mut doc, kilos_text, "80").unwrap();
-        assert!(idx
-            .range_lookup_f64(80.0..81.0)
-            .contains(&weight));
+        assert!(idx.range_lookup_f64(80.0..81.0).contains(&weight));
         idx.verify_against(&doc).unwrap();
     }
 
@@ -734,20 +733,23 @@ mod tests {
 
     #[test]
     fn multi_type_configuration() {
-        let doc = Document::parse(
-            "<log><when>2008-12-31T23:59:59Z</when><ok>true</ok><n>17</n></log>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse("<log><when>2008-12-31T23:59:59Z</when><ok>true</ok><n>17</n></log>")
+                .unwrap();
         let idx = IndexManager::build(&doc, IndexConfig::all());
         let when = find_elem(&doc, "when");
-        let hits = idx
-            .range_lookup(XmlType::DateTime, 1.2e12..1.3e12)
-            .unwrap();
+        let hits = idx.range_lookup(XmlType::DateTime, 1.2e12..1.3e12).unwrap();
         assert!(hits.contains(&when));
         let ok = find_elem(&doc, "ok");
-        assert!(idx.typed_eq_lookup(XmlType::Boolean, 1.0).unwrap().contains(&ok));
+        assert!(idx
+            .typed_eq_lookup(XmlType::Boolean, 1.0)
+            .unwrap()
+            .contains(&ok));
         let n = find_elem(&doc, "n");
-        assert!(idx.typed_eq_lookup(XmlType::Integer, 17.0).unwrap().contains(&n));
+        assert!(idx
+            .typed_eq_lookup(XmlType::Integer, 17.0)
+            .unwrap()
+            .contains(&n));
         let err = IndexManager::build(&doc, IndexConfig::string_only())
             .range_lookup(XmlType::Double, 0.0..1.0)
             .unwrap_err();
@@ -773,8 +775,7 @@ mod tests {
     #[test]
     fn substring_index_through_the_manager() {
         let mut doc = Document::parse(PERSON).unwrap();
-        let mut idx =
-            IndexManager::build(&doc, IndexConfig::default().with_substring_index());
+        let mut idx = IndexManager::build(&doc, IndexConfig::default().with_substring_index());
         // Substring of a stored text value.
         let hits = idx.contains_lookup(&doc, "rthu");
         assert_eq!(hits.len(), 1);

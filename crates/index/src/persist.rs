@@ -122,9 +122,8 @@ impl IndexManager {
             let entries: Vec<(u32, u16, f64)> = (0..doc.arena_size())
                 .filter_map(|i| {
                     let node = NodeId::from_index(i);
-                    idx.state_of(node).map(|st| {
-                        (i as u32, st, idx.value_of(node).unwrap_or(f64::NAN))
-                    })
+                    idx.state_of(node)
+                        .map(|st| (i as u32, st, idx.value_of(node).unwrap_or(f64::NAN)))
                 })
                 .collect();
             write_u64(&mut w, entries.len() as u64)?;
@@ -148,7 +147,9 @@ impl IndexManager {
 
         let stats = doc.stats();
         if read_u64(&mut r)? != stats.total_nodes as u64 {
-            return Err(bad("node count mismatch: image is for a different document"));
+            return Err(bad(
+                "node count mismatch: image is for a different document",
+            ));
         }
         if read_u64(&mut r)? != stats.text_bytes as u64 {
             return Err(bad("text size mismatch: image is for a different document"));
@@ -230,8 +231,8 @@ mod tests {
 
     fn setup() -> (Document, IndexManager) {
         let doc = Document::parse(&Dataset::XMark(1).generate(5)).unwrap();
-        let cfg = IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime])
-            .with_substring_index();
+        let cfg =
+            IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime]).with_substring_index();
         let idx = IndexManager::build(&doc, cfg);
         (doc, idx)
     }

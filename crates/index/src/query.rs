@@ -277,9 +277,7 @@ impl QueryEngine {
         }
         match &pred.cmp {
             None => !selected.is_empty(),
-            Some((op, lit)) => selected
-                .iter()
-                .any(|&m| Self::compare(doc, m, *op, lit)),
+            Some((op, lit)) => selected.iter().any(|&m| Self::compare(doc, m, *op, lit)),
         }
     }
 
@@ -405,7 +403,9 @@ impl QueryEngine {
         v.sort_by_key(|&n| match view.pre(n) {
             Some(p) => (p, 0usize),
             None => (
-                doc.parent(n).and_then(|p| view.pre(p)).unwrap_or(usize::MAX),
+                doc.parent(n)
+                    .and_then(|p| view.pre(p))
+                    .unwrap_or(usize::MAX),
                 n.index() + 1,
             ),
         });
@@ -718,10 +718,7 @@ mod tests {
         // <first> is nested under <name>, so the descendant axis is
         // needed from <person>.
         let q = QueryEngine::parse("//person[.//first/text() = \"Ford\"]").unwrap();
-        assert_eq!(
-            QueryEngine::plan(&idx, &q),
-            Plan::IndexEqui("Ford".into())
-        );
+        assert_eq!(QueryEngine::plan(&idx, &q), Plan::IndexEqui("Ford".into()));
         let hits = QueryEngine::evaluate(&doc, &idx, &q);
         assert_eq!(names_of(&doc, &hits), vec!["p2"]);
         // A direct-child path from <person> correctly finds nothing.

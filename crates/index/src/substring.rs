@@ -130,19 +130,13 @@ impl SubstringIndex {
                 .iter()
                 .copied()
                 .filter(|&n| doc.is_live(n))
-                .filter(|&n| {
-                    doc.direct_value(n)
-                        .is_some_and(|v| v.contains(needle))
-                })
+                .filter(|&n| doc.direct_value(n).is_some_and(|v| v.contains(needle)))
                 .collect()
         } else {
             self.candidates(needle)
                 .into_iter()
                 .filter(|&n| doc.is_live(n))
-                .filter(|&n| {
-                    doc.direct_value(n)
-                        .is_some_and(|v| v.contains(needle))
-                })
+                .filter(|&n| doc.direct_value(n).is_some_and(|v| v.contains(needle)))
                 .collect()
         };
         out.sort();
@@ -160,8 +154,10 @@ impl SubstringIndex {
     pub fn candidates(&self, needle: &str) -> Vec<NodeId> {
         let tris: Vec<u32> = trigrams(needle).into_iter().collect();
         debug_assert!(!tris.is_empty());
-        let mut lists: Vec<Vec<u32>> =
-            tris.iter().filter_map(|&t| self.nodes_with_capped(t)).collect();
+        let mut lists: Vec<Vec<u32>> = tris
+            .iter()
+            .filter_map(|&t| self.nodes_with_capped(t))
+            .collect();
         if lists.is_empty() {
             // Only common trigrams: no useful filter.
             return self.nodes.iter().copied().collect();
@@ -325,9 +321,7 @@ mod tests {
         idx.replace_value(note, "don't panic", "mostly harmless");
         // Old trigrams gone, new ones findable (we bypassed the doc, so
         // candidates() is the honest check here).
-        assert!(idx
-            .candidates("harmless")
-            .contains(&note));
+        assert!(idx.candidates("harmless").contains(&note));
         assert!(!idx.candidates("panic").contains(&note));
     }
 

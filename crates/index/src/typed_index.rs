@@ -70,7 +70,10 @@ impl TypedIndex {
     /// until [`TypedIndex::finish_bulk`] sorts and bulk-loads both
     /// trees.
     pub(crate) fn begin_bulk(&mut self) {
-        debug_assert!(self.node_tree.is_empty(), "bulk mode is for initial creation");
+        debug_assert!(
+            self.node_tree.is_empty(),
+            "bulk mode is for initial creation"
+        );
         self.staging = Some(Vec::new());
     }
 

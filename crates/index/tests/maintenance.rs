@@ -36,7 +36,10 @@ enum Gen {
 fn arb_doc_tree() -> impl Strategy<Value = Gen> {
     let leaf = prop_oneof![
         arb_value().prop_map(Gen::Text),
-        ("[a-f]{1,3}", proptest::collection::vec(("[g-k]{1,3}", arb_value()), 0..2))
+        (
+            "[a-f]{1,3}",
+            proptest::collection::vec(("[g-k]{1,3}", arb_value()), 0..2)
+        )
             .prop_map(|(n, a)| Gen::Elem(n, a, vec![])),
     ];
     leaf.prop_recursive(4, 40, 5, |inner| {

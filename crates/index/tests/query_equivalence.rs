@@ -18,22 +18,22 @@ fn arb_doc() -> impl Strategy<Value = String> {
     ];
     let leaf = ("[abc]", value.clone()).prop_map(|(t, v)| format!("<{t}>{v}</{t}>"));
     leaf.prop_recursive(3, 24, 4, move |inner| {
-        ("[abc]", proptest::collection::vec(inner, 0..4), value.clone()).prop_map(
-            |(t, kids, v)| {
+        (
+            "[abc]",
+            proptest::collection::vec(inner, 0..4),
+            value.clone(),
+        )
+            .prop_map(|(t, kids, v)| {
                 let body: String = kids.concat();
                 // Half the elements get a mixed-content tail.
                 format!("<{t} k=\"{v}\">{body}{v}</{t}>")
-            },
-        )
+            })
     })
     .prop_map(|inner| format!("<root>{inner}</root>"))
 }
 
 fn arb_query() -> impl Strategy<Value = Query> {
-    let test = prop_oneof![
-        Just(Test::Any),
-        "[abc]".prop_map(Test::Name),
-    ];
+    let test = prop_oneof![Just(Test::Any), "[abc]".prop_map(Test::Name),];
     let lit = prop_oneof![
         (0u32..100).prop_map(|n| Literal::Num(f64::from(n))),
         "[a-d]{1,4}".prop_map(Literal::Str),
@@ -72,17 +72,15 @@ fn arb_query() -> impl Strategy<Value = Query> {
             pred: None
         }]),
     ];
-    (test, pred_path, op, lit, any::<bool>()).prop_map(|(test, path, op, lit, use_pred)| {
-        Query {
-            steps: vec![Step {
-                axis: Axis::Descendant,
-                test,
-                pred: use_pred.then_some(Predicate {
-                    path,
-                    cmp: Some((op, lit)),
-                }),
-            }],
-        }
+    (test, pred_path, op, lit, any::<bool>()).prop_map(|(test, path, op, lit, use_pred)| Query {
+        steps: vec![Step {
+            axis: Axis::Descendant,
+            test,
+            pred: use_pred.then_some(Predicate {
+                path,
+                cmp: Some((op, lit)),
+            }),
+        }],
     })
 }
 

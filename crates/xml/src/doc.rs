@@ -111,9 +111,7 @@ impl Document {
     /// The element/attribute name of `id`, if it has one.
     pub fn name(&self, id: NodeId) -> Option<&str> {
         match self.kind(id) {
-            NodeKind::Element(n) | NodeKind::Attribute { name: n, .. } => {
-                Some(self.resolve(*n))
-            }
+            NodeKind::Element(n) | NodeKind::Attribute { name: n, .. } => Some(self.resolve(*n)),
             _ => None,
         }
     }
@@ -171,9 +169,8 @@ impl Document {
     /// Looks up an attribute of `id` by name.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<NodeId> {
         let name_id = self.lookup_name(name)?;
-        self.attributes(id).find(|&a| {
-            matches!(self.kind(a), NodeKind::Attribute { name: n, .. } if *n == name_id)
-        })
+        self.attributes(id)
+            .find(|&a| matches!(self.kind(a), NodeKind::Attribute { name: n, .. } if *n == name_id))
     }
 
     /// The value of an attribute of `id` by name.
@@ -406,9 +403,7 @@ impl Document {
     pub fn set_value(&mut self, id: NodeId, new_value: &str) -> String {
         match &mut self.data_mut(id).kind {
             NodeKind::Text(t) => std::mem::replace(t, new_value.to_owned()),
-            NodeKind::Attribute { value, .. } => {
-                std::mem::replace(value, new_value.to_owned())
-            }
+            NodeKind::Attribute { value, .. } => std::mem::replace(value, new_value.to_owned()),
             other => panic!("set_value on non-valued node kind {other:?}"),
         }
     }
@@ -697,8 +692,8 @@ mod tests {
         assert_eq!(
             elem_names,
             vec![
-                "person", "name", "first", "family", "birthday", "age", "decades",
-                "years", "weight", "kilos", "grams"
+                "person", "name", "first", "family", "birthday", "age", "decades", "years",
+                "weight", "kilos", "grams"
             ]
         );
     }

@@ -317,9 +317,8 @@ impl<'a> Parser<'a> {
     fn name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let is_name_byte = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let is_name_byte =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !is_name_byte {
                 break;
             }
@@ -463,8 +462,7 @@ mod tests {
 
     #[test]
     fn entity_and_character_references_in_text() {
-        let d = parse("<t>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</t>")
-            .unwrap();
+        let d = parse("<t>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</t>").unwrap();
         assert_eq!(
             d.string_value(d.root_element().unwrap()),
             "<tag> & \"q\" 'a' AB"

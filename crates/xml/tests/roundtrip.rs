@@ -31,13 +31,15 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
         arb_text().prop_map(Tree::Text),
         // Comments may not contain `--`.
         "[a-z ]{0,10}".prop_map(Tree::Comment),
-        (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
-            |(name, attrs)| Tree::Element {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3)
+        )
+            .prop_map(|(name, attrs)| Tree::Element {
                 name,
                 attrs,
                 children: vec![],
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(4, 64, 6, |inner| {
         (
@@ -55,7 +57,11 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
 
 fn build(doc: &mut Document, parent: xvi_xml::NodeId, t: &Tree) {
     match t {
-        Tree::Element { name, attrs, children } => {
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let e = doc.append_element(parent, name);
             for (k, v) in attrs {
                 doc.set_attribute(e, k, v);

@@ -46,7 +46,10 @@ fn main() {
 
     // Ad-hoc query 2: exact string match across *all* paths.
     let (hits, t_eq) = timed(|| idx.equi_lookup(&doc, "Creditcard"));
-    println!("nodes with value \"Creditcard\": {} ({t_eq:.2} ms)", hits.len());
+    println!(
+        "nodes with value \"Creditcard\": {} ({t_eq:.2} ms)",
+        hits.len()
+    );
 
     // Ad-hoc query 3: people in a given age bracket.
     let q = QueryEngine::parse("//person[.//age >= 78]").expect("parses");

@@ -32,7 +32,10 @@ fn main() -> std::io::Result<()> {
     let t = Instant::now();
     let loaded = IndexManager::load_from(&doc, image.as_slice())?;
     let load_ms = t.elapsed().as_secs_f64() * 1000.0;
-    println!("reloaded in {load_ms:.0} ms ({:.1}x faster than building)", build_ms / load_ms);
+    println!(
+        "reloaded in {load_ms:.0} ms ({:.1}x faster than building)",
+        build_ms / load_ms
+    );
 
     // Same answers, still updatable.
     assert_eq!(
@@ -45,8 +48,12 @@ fn main() -> std::io::Result<()> {
         .descendants_or_self(year_text)
         .find(|&n| doc.kind(n).has_direct_value())
         .unwrap_or(year_text);
-    loaded.update_value(&mut doc, year_text, "2009").expect("text node");
-    loaded.verify_against(&doc).expect("loaded index maintains correctly");
+    loaded
+        .update_value(&mut doc, year_text, "2009")
+        .expect("text node");
+    loaded
+        .verify_against(&doc)
+        .expect("loaded index maintains correctly");
     println!("loaded index verified after an update ✓");
 
     // Staleness guard: the image no longer matches the mutated doc.

@@ -34,7 +34,10 @@ fn main() {
     // //*[fn:data(name) = "ArthurDent"] — element string values are
     // concatenations of descendant text.
     for n in idx.equi_lookup(&doc, "ArthurDent") {
-        println!("  \"ArthurDent\" is the value of <{}>", doc.name(n).unwrap_or("?"));
+        println!(
+            "  \"ArthurDent\" is the value of <{}>",
+            doc.name(n).unwrap_or("?")
+        );
     }
 
     // ── Range lookup on doubles, mixed content respected ────────────
@@ -57,10 +60,14 @@ fn main() {
         .into_iter()
         .find(|&n| doc.kind(n).has_direct_value())
         .expect("the Dent text node exists");
-    idx.update_value(&mut doc, dent, "Prefect").expect("text node");
+    idx.update_value(&mut doc, dent, "Prefect")
+        .expect("text node");
     assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
     assert_eq!(idx.equi_lookup(&doc, "ArthurPrefect").len(), 1);
-    println!("after update, <name> = {:?}", doc.string_value(doc.root_element().unwrap()));
+    println!(
+        "after update, <name> = {:?}",
+        doc.string_value(doc.root_element().unwrap())
+    );
 
     // The mini-XPath engine picks the index automatically:
     let q = QueryEngine::parse("//person[.//age = 42]").expect("query parses");

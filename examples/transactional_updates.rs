@@ -58,8 +58,12 @@ fn main() {
 
     // The store must be byte-identical to a from-scratch rebuild.
     store.read(|doc, idx| {
-        idx.verify_against(doc).expect("commutative commits converge");
+        idx.verify_against(doc)
+            .expect("commutative commits converge");
         let adults = idx.range_lookup_f64(20.0..=79.0);
-        println!("ages now in [20, 79]: {} nodes — index verified ✓", adults.len());
+        println!(
+            "ages now in [20, 79]: {} nodes — index verified ✓",
+            adults.len()
+        );
     });
 }

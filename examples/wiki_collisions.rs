@@ -40,7 +40,10 @@ fn main() {
     let a = format!("http://en.wikipedia.org/A{filler}B.html");
     let b = format!("http://en.wikipedia.org/B{filler}A.html");
     assert_eq!(hash_str(&a), hash_str(&b));
-    println!("\nperiod-27 swap collision:\n  H({a:?})\n= H({b:?}) = {}", hash_str(&a));
+    println!(
+        "\nperiod-27 swap collision:\n  H({a:?})\n= H({b:?}) = {}",
+        hash_str(&a)
+    );
 
     // Verification makes lookups exact despite collisions: candidates
     // may be superset, results never are.

@@ -1,0 +1,104 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty collection size range");
+        Self { min, max }
+    }
+}
+
+/// A `Vec` of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.min..=self.size.max);
+        (0..n).map(|_| self.element.generate(rng, depth)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element`, sized within `size` when the
+/// element domain permits (duplicates are retried a bounded number of
+/// times, then the smaller set is returned — matching proptest's
+/// best-effort semantics for small domains).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(10) + 16;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.generate(rng, depth));
+            attempts += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the API subset the workspace's property tests use: the `proptest!`
+//! macro, `prop_assert*`, `prop_oneof!`, `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `Just`, `any`, integer-range and
+//! regex-literal strategies, `collection::{vec, btree_set}`,
+//! `char::range`, `ProptestConfig`, and `TestCaseError`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its seed and case number
+//!   instead of a minimised input. Failures stay reproducible because
+//!   generation is fully deterministic per (test name, case index).
+//! * **Regex strategies** support the subset the workspace uses:
+//!   concatenations of `.`/literal/`[class]` atoms with `{m}`, `{m,n}`,
+//!   `?`, `*`, `+` quantifiers. Unsupported syntax panics loudly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod char {
+    //! Character strategies.
+    use crate::strategy::CharRange;
+
+    /// Strategy for a char in `[lo, hi]` (both inclusive).
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "char::range: empty range {lo:?}..={hi:?}");
+        CharRange { lo, hi }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(&config, stringify!($name), |__xvi_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), __xvi_rng, $crate::strategy::DEFAULT_DEPTH);)+
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::with_cases(256))]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition, failing the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality with `Debug` output on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r,
+                             format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality with `Debug` output on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}: {}", l, r,
+                             format!($($fmt)*));
+    }};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,504 @@
+//! Value-generation strategies (no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Recursion budget handed to top-level `generate` calls; only
+/// `prop_recursive` strategies consume it.
+pub const DEFAULT_DEPTH: u32 = 8;
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no `ValueTree`/shrinking layer:
+/// `generate` directly produces a value from the seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erased, reference-counted handle (usable as a `prop_oneof!`
+    /// arm or cloned into recursive positions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng, depth| self.generate(rng, depth)))
+    }
+
+    /// Recursive strategies: `self` generates leaves; `recurse` builds
+    /// a branch strategy from a handle to the whole. `levels` bounds
+    /// the recursion depth; `_desired_size` / `_expected_branch_size`
+    /// are accepted for API compatibility but sizing here is governed
+    /// by the branch strategy's own collection bounds.
+    fn prop_recursive<F, S>(
+        self,
+        levels: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        type Gen<T> = Rc<dyn Fn(&mut TestRng, u32) -> T>;
+        type Slot<T> = Rc<std::cell::RefCell<Option<Gen<T>>>>;
+        // Tie the knot: `inner` recurses through a slot that is filled
+        // with the finished strategy after `recurse` has been applied.
+        let slot: Slot<Self::Value> = Rc::new(std::cell::RefCell::new(None));
+        let leaf: Gen<Self::Value> = Rc::new(move |rng, depth| self.generate(rng, depth));
+
+        let inner_slot = slot.clone();
+        let inner_leaf = leaf.clone();
+        let inner = BoxedStrategy(Rc::new(move |rng: &mut TestRng, depth: u32| {
+            if depth == 0 {
+                inner_leaf(rng, 0)
+            } else {
+                let full = inner_slot.borrow().clone().expect("recursive slot filled");
+                full(rng, depth - 1)
+            }
+        }));
+
+        let branch = recurse(inner);
+        let full_leaf = leaf;
+        let full: Gen<Self::Value> = Rc::new(move |rng, depth| {
+            // Bias toward branching while budget remains so generated
+            // structures actually nest; always leaf at depth 0.
+            if depth == 0 || rng.gen_range(0u32..4) == 0 {
+                full_leaf(rng, depth)
+            } else {
+                branch.generate(rng, depth)
+            }
+        });
+        *slot.borrow_mut() = Some(full.clone());
+
+        BoxedStrategy(Rc::new(move |rng, _depth| full(rng, levels)))
+    }
+}
+
+type GenFn<T> = dyn Fn(&mut TestRng, u32) -> T;
+
+/// Type-erased strategy handle. Cheap to clone.
+pub struct BoxedStrategy<T>(Rc<GenFn<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        (self.0)(rng, depth)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng, _depth: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> O {
+        (self.f)(self.inner.generate(rng, depth))
+    }
+}
+
+/// Weighted union over same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng, depth);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// `any::<T>()`: the full domain of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitive types with a canonical full-domain generator.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Uniform over [0,1): full-bit-pattern doubles (NaNs, infs)
+        // would poison ordering-based tests.
+        rng.gen_range(0.0..1.0)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        random_char(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Inclusive char range (see [`crate::char::range`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    pub(crate) lo: char,
+    pub(crate) hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> char {
+        loop {
+            let v = rng.gen_range(self.lo as u32..=self.hi as u32);
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng, depth),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
+    (A, B, C, D, E, F, G, H, I, J, K);
+    (A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+// ---------------------------------------------------------------------
+// Regex-literal strategies: `"[a-z][a-z0-9_.-]{0,6}"` etc.
+// ---------------------------------------------------------------------
+
+/// One pattern atom with its repetition bounds.
+#[derive(Debug, Clone)]
+struct RegexAtom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// `.` — any char (biased toward printable ASCII).
+    Dot,
+    /// `[...]` or a literal char: inclusive ranges.
+    Ranges(Vec<(char, char)>),
+}
+
+/// Cap for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_CAP: usize = 16;
+
+fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut items: Vec<char> = Vec::new();
+                loop {
+                    match chars.next() {
+                        None => panic!("regex shim: unterminated class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('\\') => items.push(chars.next().unwrap_or_else(|| {
+                            panic!("regex shim: trailing escape in {pattern:?}")
+                        })),
+                        Some(ch) => items.push(ch),
+                    }
+                }
+                // Resolve `a-z` spans; `-` first or last is literal.
+                let mut i = 0;
+                while i < items.len() {
+                    if i + 2 < items.len() && items[i + 1] == '-' {
+                        assert!(
+                            items[i] <= items[i + 2],
+                            "regex shim: inverted range in {pattern:?}"
+                        );
+                        ranges.push((items[i], items[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((items[i], items[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "regex shim: empty class in {pattern:?}");
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("regex shim: trailing escape in {pattern:?}"));
+                match esc {
+                    'd' => CharSet::Ranges(vec![('0', '9')]),
+                    'w' => CharSet::Ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => CharSet::Ranges(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                    lit => CharSet::Ranges(vec![(lit, lit)]),
+                }
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex shim: unsupported syntax {c:?} in {pattern:?}")
+            }
+            lit => CharSet::Ranges(vec![(lit, lit)]),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().unwrap_or_else(|_| {
+                            panic!("regex shim: bad quantifier {{{spec}}} in {pattern:?}")
+                        });
+                        let hi = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            hi.trim().parse().unwrap_or_else(|_| {
+                                panic!("regex shim: bad quantifier {{{spec}}} in {pattern:?}")
+                            })
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().unwrap_or_else(|_| {
+                            panic!("regex shim: bad quantifier {{{spec}}} in {pattern:?}")
+                        });
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            min <= max,
+            "regex shim: empty quantifier range in {pattern:?}"
+        );
+        atoms.push(RegexAtom { set, min, max });
+    }
+    atoms
+}
+
+/// Any char, biased toward printable ASCII so parsers see realistic
+/// text but still meet the occasional astral-plane scalar.
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.gen_range(0u32..10) {
+        0..=7 => rng.gen_range(0x20u32..0x7F).try_into().expect("ASCII"),
+        8 => loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..0xD800)) {
+                break c;
+            }
+        },
+        _ => loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                break c;
+            }
+        },
+    }
+}
+
+fn sample_set(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Dot => random_char(rng),
+        CharSet::Ranges(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    // Ranges over chars may straddle the surrogate gap
+                    // only when constructed from `.`-like escapes; the
+                    // workspace's classes never do, but stay safe.
+                    if let Some(c) = char::from_u32(lo as u32 + pick) {
+                        return c;
+                    }
+                    return lo;
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+thread_local! {
+    // Patterns are compiled once per thread; `generate` runs thousands
+    // of times per property test over the same literal.
+    static REGEX_CACHE: std::cell::RefCell<std::collections::HashMap<&'static str, Rc<Vec<RegexAtom>>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng, _depth: u32) -> String {
+        let atoms = REGEX_CACHE.with(|cache| {
+            cache
+                .borrow_mut()
+                .entry(self)
+                .or_insert_with(|| Rc::new(parse_regex(self)))
+                .clone()
+        });
+        let mut out = String::new();
+        for atom in atoms.iter() {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(sample_set(&atom.set, rng));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic case runner: N seeded cases per test, no shrinking.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies. A newtype so strategy code
+/// doesn't depend on which PRNG backs it.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (subset of proptest's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed (or, in real proptest, rejected) test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail<M: fmt::Display>(msg: M) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn base_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `body` for `config.cases` deterministic cases. Panics (failing
+/// the enclosing `#[test]`) on the first `Err`, reporting the case
+/// index and seed so the failure can be replayed by rerunning the
+/// test — generation is a pure function of (test name, case index).
+pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = base_seed(name);
+    for case in 0..config.cases {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest: test {name} failed at case {case}/{} (seed {seed:#018x}):\n{e}",
+                config.cases
+            );
+        }
+    }
+}

@@ -76,9 +76,7 @@ fn main() {
             "contains" => timed_nodes("contains", &doc, || idx.contains_lookup(&doc, rest)),
             "like" => timed_nodes("wildcard", &doc, || idx.wildcard_lookup(&doc, rest)),
             "range" => match parse_range(rest) {
-                Some((lo, hi)) => {
-                    timed_nodes("range", &doc, || idx.range_lookup_f64(lo..=hi))
-                }
+                Some((lo, hi)) => timed_nodes("range", &doc, || idx.range_lookup_f64(lo..=hi)),
                 None => println!("usage: range <lo> <hi>"),
             },
             "set" => match rest.split_once(' ') {

@@ -1,0 +1,29 @@
+//! Smoke test for the experiment harness: the exact `table1` / `fig9` /
+//! `fig10` / `fig11` logic at permille scale 1 (the `XVI_SCALE=1`
+//! setting of the binaries), so the Figure 9-11 reproductions cannot
+//! silently rot. Runtime correctness of the numbers is covered by the
+//! paper_scenarios / end_to_end suites; here we only require that every
+//! dataset generates, shreds, indexes, updates, and reports without
+//! panicking.
+
+use xvi_bench::experiments;
+
+#[test]
+fn table1_runs_at_tiny_scale() {
+    experiments::run_table1(1);
+}
+
+#[test]
+fn fig9_runs_at_tiny_scale() {
+    experiments::run_fig9(1, 1);
+}
+
+#[test]
+fn fig10_runs_at_tiny_scale() {
+    experiments::run_fig10(1, 1);
+}
+
+#[test]
+fn fig11_runs_at_tiny_scale() {
+    experiments::run_fig11(1);
+}

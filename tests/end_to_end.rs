@@ -119,6 +119,9 @@ fn all_types_on_xmark() {
         .unwrap()
         .is_empty());
     // Prices are decimals/doubles.
-    assert!(!idx.range_lookup(XmlType::Decimal, 0.0..1e6).unwrap().is_empty());
+    assert!(!idx
+        .range_lookup(XmlType::Decimal, 0.0..1e6)
+        .unwrap()
+        .is_empty());
     assert!(!idx.range_lookup_f64(0.0..1e6).is_empty());
 }

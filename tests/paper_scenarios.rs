@@ -57,10 +57,8 @@ fn no_path_configuration_needed() {
 /// node *kind* carries the value (text, element, attribute).
 #[test]
 fn equality_across_node_kinds() {
-    let doc = Document::parse(
-        r#"<r><a>hello</a><b key="hello"/><c><d>hel</d><e>lo</e></c></r>"#,
-    )
-    .unwrap();
+    let doc = Document::parse(r#"<r><a>hello</a><b key="hello"/><c><d>hel</d><e>lo</e></c></r>"#)
+        .unwrap();
     let idx = IndexManager::build(&doc, IndexConfig::default());
     let hits = idx.equi_lookup(&doc, "hello");
     // <a>, its text, the attribute, and <c> (concatenated "hel"+"lo").
@@ -70,21 +68,15 @@ fn equality_across_node_kinds() {
 /// §4: the <weight> example — "78" ⧺ "." ⧺ "230" is the double 78.230.
 #[test]
 fn weight_mixed_content_range_lookup() {
-    let doc = Document::parse(
-        "<weight><kilos>78</kilos>.<grams>230</grams></weight>",
-    )
-    .unwrap();
+    let doc = Document::parse("<weight><kilos>78</kilos>.<grams>230</grams></weight>").unwrap();
     let idx = IndexManager::build(&doc, IndexConfig::default());
     let weights = idx.range_lookup_f64(78.2..78.3);
-    assert!(weights
-        .iter()
-        .any(|&n| doc.name(n) == Some("weight")));
+    assert!(weights.iter().any(|&n| doc.name(n) == Some("weight")));
     // The lone "." text node is *potential* but carries no value.
-    assert!(idx
-        .typed_index(XmlType::Double)
-        .unwrap()
-        .stored_states()
-        > idx.typed_index(XmlType::Double).unwrap().stored_values());
+    assert!(
+        idx.typed_index(XmlType::Double).unwrap().stored_states()
+            > idx.typed_index(XmlType::Double).unwrap().stored_values()
+    );
 }
 
 /// dateTime is the paper's other highlighted type.
@@ -100,7 +92,9 @@ fn datetime_range_index() {
     let idx = IndexManager::build(&doc, IndexConfig::with_types(&[XmlType::DateTime]));
     let jan1_2008 = XmlType::DateTime.cast("2008-01-01T00:00:00Z").unwrap();
     let jan1_2009 = XmlType::DateTime.cast("2009-01-01T00:00:00Z").unwrap();
-    let in_2008 = idx.range_lookup(XmlType::DateTime, jan1_2008..jan1_2009).unwrap();
+    let in_2008 = idx
+        .range_lookup(XmlType::DateTime, jan1_2008..jan1_2009)
+        .unwrap();
     // The attribute, the text node, the <t> element — and the first
     // <event> element itself, whose XDM string value is exactly its
     // descendant text "2008-06-30T12:00:00Z".
@@ -112,10 +106,7 @@ fn datetime_range_index() {
 /// existed.
 #[test]
 fn deletion_scenario() {
-    let mut doc = Document::parse(
-        "<person><name>Arthur</name><age>42</age></person>",
-    )
-    .unwrap();
+    let mut doc = Document::parse("<person><name>Arthur</name><age>42</age></person>").unwrap();
     let mut idx = IndexManager::build(&doc, IndexConfig::default());
     let age = doc
         .descendants(doc.document_node())
