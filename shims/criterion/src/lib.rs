@@ -1,0 +1,302 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the API subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `black_box`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up estimates the
+//! iteration cost, then `sample_size` samples are timed and the
+//! mean/min reported on stdout. `cargo bench -- --test` runs each
+//! benchmark body exactly once and reports nothing, matching real
+//! criterion's smoke-test mode (this is what CI uses).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier, e.g. `BenchmarkId::from_parameter(1024)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` for its id argument.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            repr: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { repr: self }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `--test`: run the payload once, no timing.
+    Test,
+    Measure,
+}
+
+struct Sample {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if self.mode == Mode::Test {
+            black_box(payload());
+            return;
+        }
+        // Warm-up: estimate cost to pick an iteration count that makes
+        // one sample last ~2ms (bounds timer noise without letting slow
+        // benches (index creation at full scale) run for minutes).
+        let start = Instant::now();
+        black_box(payload());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(payload());
+            }
+            let t = start.elapsed() / iters;
+            total += t;
+            min = min.min(t);
+        }
+        *self.result = Some(Sample {
+            mean: total / self.sample_size as u32,
+            min,
+        });
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses the bench binary's CLI args (`--test`, optional filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" | "-t" => self.mode = Mode::Test,
+                "--bench" | "--noplot" | "--quiet" | "--verbose" | "-v" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" => {
+                    args.next();
+                }
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(self.mode, &self.filter, None, &id.repr, 10, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            Some(&self.name),
+            &id.repr,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    filter: &Option<String>,
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(pat) = filter {
+        if !full.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut result = None;
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    if mode == Mode::Test {
+        return;
+    }
+    match result {
+        Some(Sample { mean, min }) => {
+            let tp = match throughput {
+                Some(Throughput::Bytes(b)) => {
+                    let gib = b as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
+                    format!("  thrpt: {gib:.3} GiB/s")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let me = n as f64 / mean.as_secs_f64() / 1e6;
+                    format!("  thrpt: {me:.3} Melem/s")
+                }
+                None => String::new(),
+            };
+            println!("{full:<48} time: [mean {mean:>12.3?}  min {min:>12.3?}]{tp}");
+        }
+        None => println!("{full:<48} (no measurement: bencher never called iter)"),
+    }
+}
+
+/// Declares a group function running each benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
