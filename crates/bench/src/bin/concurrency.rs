@@ -1,0 +1,7 @@
+//! Concurrency experiment: index-service throughput vs. thread count
+//! and group-commit batch-size limit (see
+//! [`xvi_bench::experiments::run_concurrency`]).
+
+fn main() {
+    xvi_bench::experiments::run_concurrency(xvi_bench::scale_permille(), xvi_bench::reps());
+}

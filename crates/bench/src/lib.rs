@@ -8,6 +8,7 @@
 //! | `fig9`   | index creation time & storage overhead | `… --bin fig9` |
 //! | `fig10`  | update time vs. number of updated nodes | `… --bin fig10` |
 //! | `fig11`  | hash stability (collision distribution) | `… --bin fig11` |
+//! | `concurrency` | index-service throughput vs. threads × group-commit limit | `… --bin concurrency` |
 //!
 //! Document sizes default to ≈ 1/16 of the paper's (laptop scale); set
 //! `XVI_SCALE` (permille of that default, e.g. `XVI_SCALE=100` for a

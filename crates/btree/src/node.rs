@@ -6,7 +6,7 @@ pub(crate) const NIL: u32 = u32::MAX;
 /// A B+tree node. Nodes live in the tree's arena (`Vec<Node<K, V>>`)
 /// and reference each other by index, which keeps the structure compact
 /// and lets leaves form a doubly-linked list for range scans.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Node<K, V> {
     /// Inner routing node: `keys.len() + 1 == children.len()`, and
     /// `keys[i]` is the smallest key reachable under `children[i + 1]`.

@@ -28,7 +28,7 @@ pub const DEFAULT_ORDER: usize = 32;
 /// let in_range: Vec<u32> = t.range(10..13).map(|(k, _)| *k).collect();
 /// assert_eq!(in_range, vec![10, 11, 12]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BPlusTree<K, V> {
     pub(crate) nodes: Vec<Node<K, V>>,
     pub(crate) root: u32,

@@ -14,14 +14,24 @@ enum Op {
     Remove(u16),
     Get(u16),
     Range(u16, u16),
+    /// Rebuild the tree from the oracle's current contents via the
+    /// bulk loader, then continue point operations on the result —
+    /// bulk-loaded trees must be indistinguishable from insert-built
+    /// ones.
+    BulkReload,
+    /// Degenerate ranges around one key: every empty-by-construction
+    /// bound combination must yield nothing (and must not panic).
+    EmptyRange(u16),
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
-        1 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
-        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+        6 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        4 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+        1 => Just(Op::BulkReload),
+        1 => any::<u16>().prop_map(|k| Op::EmptyRange(k % 512)),
     ]
 }
 
@@ -41,9 +51,54 @@ fn run_model(order: usize, ops: Vec<Op>) -> Result<(), TestCaseError> {
                 prop_assert_eq!(tree.get(&k), model.get(&k));
             }
             Op::Range(a, b) => {
-                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                let got: Vec<(u16, u32)> = tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
-                let want: Vec<(u16, u32)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                if a <= b {
+                    let got: Vec<(u16, u32)> = tree.range(a..b).map(|(k, v)| (*k, *v)).collect();
+                    let want: Vec<(u16, u32)> = model.range(a..b).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                } else {
+                    // Reversed bounds: `BTreeMap::range` panics, the
+                    // B+tree yields the empty range — assert that
+                    // contract for every bound flavour.
+                    for range in [
+                        (Bound::Included(a), Bound::Included(b)),
+                        (Bound::Included(a), Bound::Excluded(b)),
+                        (Bound::Excluded(a), Bound::Included(b)),
+                        (Bound::Excluded(a), Bound::Excluded(b)),
+                    ] {
+                        prop_assert_eq!(tree.range(range).count(), 0, "reversed {:?}", range);
+                    }
+                }
+            }
+            Op::BulkReload => {
+                tree = BPlusTree::from_sorted_iter_with_order(
+                    order,
+                    model.iter().map(|(k, v)| (*k, *v)),
+                );
+                let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want, "bulk reload lost entries");
+            }
+            Op::EmptyRange(k) => {
+                // start == end with at least one exclusive side is
+                // empty by construction. (Excluded, Excluded) on the
+                // same key panics in BTreeMap, so only the tree is
+                // probed for that one.
+                let combos = [
+                    (Bound::Included(k), Bound::Excluded(k)),
+                    (Bound::Excluded(k), Bound::Included(k)),
+                    (Bound::Excluded(k), Bound::Excluded(k)),
+                ];
+                for (s, e) in combos {
+                    prop_assert_eq!(tree.range((s, e)).count(), 0, "empty {:?}..{:?}", s, e);
+                }
+                let got: Vec<u16> = tree
+                    .range((Bound::Included(k), Bound::Excluded(k)))
+                    .map(|(k, _)| *k)
+                    .collect();
+                let want: Vec<u16> = model
+                    .range((Bound::Included(k), Bound::Excluded(k)))
+                    .map(|(k, _)| *k)
+                    .collect();
                 prop_assert_eq!(got, want);
             }
         }

@@ -1,0 +1,342 @@
+//! Concurrent workload generation for the multi-document index
+//! service: mixed reader/writer operation streams with zipf-skewed
+//! document choice, deterministic in the seed.
+//!
+//! Real multi-tenant traffic is skewed — a few hot documents absorb
+//! most operations while a long tail idles. The generator samples the
+//! target document from a Zipf(θ) distribution so the service's
+//! group-commit pipeline actually sees contention on the hot shards,
+//! and fills the rest of the stream with the reader/writer mix the
+//! caller asks for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xvi_xml::{Document, NodeId, NodeKind};
+
+/// One operation of a concurrent workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// Commit a write batch against document `doc`: `(node, value)`
+    /// pairs, all distinct nodes of that document.
+    Write {
+        /// Index of the target document.
+        doc: usize,
+        /// The value writes of the transaction.
+        writes: Vec<(NodeId, String)>,
+    },
+    /// Equality lookup of `value` against document `doc`.
+    ReadEqui {
+        /// Index of the target document.
+        doc: usize,
+        /// The string value to look up.
+        value: String,
+    },
+    /// Double range lookup `[lo, hi]` against document `doc`.
+    ReadRange {
+        /// Index of the target document.
+        doc: usize,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl WorkloadOp {
+    /// The index of the document this operation targets.
+    pub fn doc(&self) -> usize {
+        match self {
+            WorkloadOp::Write { doc, .. }
+            | WorkloadOp::ReadEqui { doc, .. }
+            | WorkloadOp::ReadRange { doc, .. } => *doc,
+        }
+    }
+
+    /// Whether this operation commits writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, WorkloadOp::Write { .. })
+    }
+}
+
+/// Tuning knobs for [`ConcurrentWorkload::generate`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Total number of operations to generate.
+    pub ops: usize,
+    /// Share of write operations in permille (e.g. 200 = 20% writes).
+    pub write_permille: u32,
+    /// Writes per transaction (each targeting distinct nodes).
+    pub writes_per_txn: usize,
+    /// Zipf skew exponent for document choice. `0.0` is uniform;
+    /// `~1.0` is the classic heavy skew.
+    pub zipf_theta: f64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            ops: 1_000,
+            write_permille: 200,
+            writes_per_txn: 4,
+            zipf_theta: 0.99,
+        }
+    }
+}
+
+/// A reproducible stream of mixed read/write operations over a set of
+/// documents.
+#[derive(Debug, Clone)]
+pub struct ConcurrentWorkload {
+    /// The generated operations, in stream order.
+    pub ops: Vec<WorkloadOp>,
+}
+
+impl ConcurrentWorkload {
+    /// Generates a workload over `docs` (indexed by position).
+    ///
+    /// Write targets are text nodes of the chosen document; values mix
+    /// numbers and words so both index families see churn. Read
+    /// queries probe values that exist in the initial documents, so
+    /// lookups are not vacuous.
+    ///
+    /// # Panics
+    /// Panics if `docs` is empty or any document has no text node.
+    pub fn generate(docs: &[Document], config: &ConcurrentConfig, seed: u64) -> ConcurrentWorkload {
+        assert!(!docs.is_empty(), "need at least one document");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = Zipf::new(docs.len(), config.zipf_theta);
+
+        // Per-document text-node pools (write targets) and a sample of
+        // existing values (read probes).
+        let pools: Vec<Vec<NodeId>> = docs
+            .iter()
+            .map(|doc| {
+                let pool: Vec<NodeId> = doc
+                    .descendants(doc.document_node())
+                    .filter(|&n| matches!(doc.kind(n), NodeKind::Text(_)))
+                    .collect();
+                assert!(!pool.is_empty(), "document without text nodes");
+                pool
+            })
+            .collect();
+        let probes: Vec<Vec<String>> = docs
+            .iter()
+            .zip(&pools)
+            .map(|(doc, pool)| {
+                pool.iter()
+                    .step_by((pool.len() / 32).max(1))
+                    .map(|&n| doc.string_value(n))
+                    .collect()
+            })
+            .collect();
+
+        let mut ops = Vec::with_capacity(config.ops);
+        for _ in 0..config.ops {
+            let doc = zipf.sample(&mut rng);
+            if rng.gen_range(0..1000u32) < config.write_permille {
+                let pool = &pools[doc];
+                let n = config.writes_per_txn.max(1).min(pool.len());
+                // Distinct nodes via a partial Fisher-Yates over
+                // sampled indices.
+                let mut picked: Vec<usize> = Vec::with_capacity(n);
+                while picked.len() < n {
+                    let i = rng.gen_range(0..pool.len());
+                    if !picked.contains(&i) {
+                        picked.push(i);
+                    }
+                }
+                let writes = picked
+                    .into_iter()
+                    .map(|i| (pool[i], fresh_value(&mut rng)))
+                    .collect();
+                ops.push(WorkloadOp::Write { doc, writes });
+            } else if rng.gen_range(0..2u32) == 0 {
+                let probe = &probes[doc];
+                let value = probe[rng.gen_range(0..probe.len())].clone();
+                ops.push(WorkloadOp::ReadEqui { doc, value });
+            } else {
+                let lo = rng.gen_range(0.0..100_000.0f64);
+                let hi = lo + rng.gen_range(1.0..10_000.0f64);
+                ops.push(WorkloadOp::ReadRange { doc, lo, hi });
+            }
+        }
+        ConcurrentWorkload { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of write transactions in the stream.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_write()).count()
+    }
+
+    /// Splits the stream round-robin into `n` per-thread slices,
+    /// preserving relative order within each slice.
+    pub fn into_shards(self, n: usize) -> Vec<Vec<WorkloadOp>> {
+        let n = n.max(1);
+        let mut shards: Vec<Vec<WorkloadOp>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, op) in self.ops.into_iter().enumerate() {
+            shards[i % n].push(op);
+        }
+        shards
+    }
+}
+
+fn fresh_value(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4u8) {
+        0 => format!("{}", rng.gen_range(0..100_000)),
+        1 => format!("{}.{:02}", rng.gen_range(0..10_000), rng.gen_range(0..100)),
+        2 => format!("hot value {}", rng.gen_range(0..1_000_000)),
+        _ => format!("w{:x}", rng.gen::<u64>()),
+    }
+}
+
+/// Zipf sampler over `0..n` via the precomputed cumulative
+/// distribution — exact, and fast enough for workload generation.
+#[derive(Debug, Clone)]
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Document> {
+        (0..8)
+            .map(|i| {
+                Document::parse(&format!(
+                    "<r><a>alpha{i}</a><b>{i}1</b><c>gamma</c><d>{i}.5</d></r>"
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = docs();
+        let c = ConcurrentConfig::default();
+        let a = ConcurrentWorkload::generate(&d, &c, 7).ops;
+        let b = ConcurrentWorkload::generate(&d, &c, 7).ops;
+        assert_eq!(a, b);
+        let other = ConcurrentWorkload::generate(&d, &c, 8).ops;
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn respects_write_share() {
+        let d = docs();
+        let c = ConcurrentConfig {
+            ops: 2_000,
+            write_permille: 250,
+            ..ConcurrentConfig::default()
+        };
+        let w = ConcurrentWorkload::generate(&d, &c, 1);
+        assert_eq!(w.len(), 2_000);
+        let share = w.write_count() as f64 / w.len() as f64;
+        assert!((0.18..0.32).contains(&share), "write share {share:.2}");
+    }
+
+    #[test]
+    fn zipf_skews_towards_first_docs() {
+        let d = docs();
+        let c = ConcurrentConfig {
+            ops: 4_000,
+            zipf_theta: 1.2,
+            ..ConcurrentConfig::default()
+        };
+        let w = ConcurrentWorkload::generate(&d, &c, 3);
+        let mut counts = vec![0usize; d.len()];
+        for op in &w.ops {
+            counts[op.doc()] += 1;
+        }
+        // The hottest document must absorb clearly more traffic than
+        // the coldest one.
+        assert!(counts[0] > counts[7] * 3, "counts {counts:?}");
+        // Uniform (theta 0) spreads roughly evenly.
+        let u = ConcurrentWorkload::generate(
+            &d,
+            &ConcurrentConfig {
+                ops: 4_000,
+                zipf_theta: 0.0,
+                ..ConcurrentConfig::default()
+            },
+            3,
+        );
+        let mut ucounts = vec![0usize; d.len()];
+        for op in &u.ops {
+            ucounts[op.doc()] += 1;
+        }
+        assert!(ucounts.iter().all(|&c| c > 4_000 / 8 / 2), "{ucounts:?}");
+    }
+
+    #[test]
+    fn write_targets_are_distinct_text_nodes() {
+        let d = docs();
+        let c = ConcurrentConfig {
+            ops: 500,
+            write_permille: 1000,
+            writes_per_txn: 3,
+            ..ConcurrentConfig::default()
+        };
+        let w = ConcurrentWorkload::generate(&d, &c, 11);
+        for op in &w.ops {
+            if let WorkloadOp::Write { doc, writes } = op {
+                let mut nodes: Vec<NodeId> = writes.iter().map(|(n, _)| *n).collect();
+                let before = nodes.len();
+                nodes.sort();
+                nodes.dedup();
+                assert_eq!(nodes.len(), before, "duplicate write target");
+                for &n in &nodes {
+                    assert!(matches!(d[*doc].kind(n), NodeKind::Text(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_sharding_preserves_everything() {
+        let d = docs();
+        let w = ConcurrentWorkload::generate(&d, &ConcurrentConfig::default(), 5);
+        let total = w.len();
+        let shards = w.into_shards(3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), total);
+        // Balanced to within one op.
+        let (min, max) = (
+            shards.iter().map(Vec::len).min().unwrap(),
+            shards.iter().map(Vec::len).max().unwrap(),
+        );
+        assert!(max - min <= 1);
+    }
+}

@@ -17,11 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod reallife;
 pub mod updates;
 mod vocab;
 pub mod xmark;
 
+pub use concurrent::{ConcurrentConfig, ConcurrentWorkload, WorkloadOp};
 pub use updates::UpdateWorkload;
 
 /// The paper's eight evaluation datasets.

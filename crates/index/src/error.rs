@@ -14,6 +14,15 @@ pub enum IndexError {
     QuerySyntax(String),
     /// A query referenced a typed index that was not configured.
     TypeNotIndexed(xvi_fsm::XmlType),
+    /// A service operation referenced a document id that is not
+    /// registered in the catalog.
+    UnknownDocument(String),
+    /// The target document was replaced or removed while the commit
+    /// was queued; the transaction was not applied.
+    DocumentReplaced(String),
+    /// A group-commit leader panicked before this transaction's round
+    /// completed; the transaction was not applied.
+    CommitPipelinePoisoned,
 }
 
 impl std::fmt::Display for IndexError {
@@ -26,6 +35,21 @@ impl std::fmt::Display for IndexError {
             IndexError::QuerySyntax(msg) => write!(f, "query syntax error: {msg}"),
             IndexError::TypeNotIndexed(t) => {
                 write!(f, "no range index configured for {}", t.name())
+            }
+            IndexError::UnknownDocument(id) => {
+                write!(f, "no document registered under id {id:?}")
+            }
+            IndexError::DocumentReplaced(id) => {
+                write!(
+                    f,
+                    "document {id:?} was replaced or removed while the commit was queued"
+                )
+            }
+            IndexError::CommitPipelinePoisoned => {
+                write!(
+                    f,
+                    "the group-commit leader panicked; transaction not applied"
+                )
             }
         }
     }

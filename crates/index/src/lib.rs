@@ -19,6 +19,10 @@
 //! * [`txn`] — the commutative deferred-maintenance commit protocol of
 //!   §5.1, possible because the hash combination function `C` is
 //!   associative and updates commute.
+//! * [`service`] — the sharded, multi-document [`IndexService`]: the
+//!   §5.1 argument scaled out to many documents, with a group-commit
+//!   pipeline coalescing concurrent write batches and lock-free
+//!   snapshot reads.
 //! * [`query`] — a mini-XPath evaluator demonstrating how the indices
 //!   accelerate the paper's motivating queries, with a full-scan
 //!   fallback as the baseline.
@@ -38,6 +42,7 @@ mod error;
 mod manager;
 mod persist;
 pub mod query;
+pub mod service;
 mod string_index;
 pub mod substring;
 pub mod txn;
@@ -48,9 +53,10 @@ pub use config::IndexConfig;
 pub use error::IndexError;
 pub use manager::{IndexManager, IndexStats};
 pub use query::{Query, QueryEngine};
+pub use service::{DocSnapshot, IndexService, ServiceConfig, ServiceSnapshot};
 pub use string_index::StringIndex;
 pub use substring::SubstringIndex;
-pub use txn::TransactionalStore;
+pub use txn::{Transaction, TransactionalStore};
 pub use typed_index::TypedIndex;
 pub use util::OrdF64;
 

@@ -39,7 +39,7 @@ use crate::typed_index::TypedIndex;
 /// assert_eq!(hits.len(), 3);
 /// assert!(hits.iter().any(|&n| doc.name(n) == Some("name")));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IndexManager {
     config: IndexConfig,
     string: Option<StringIndex>,

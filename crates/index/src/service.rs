@@ -1,0 +1,942 @@
+//! A sharded, multi-document index service with group commit.
+//!
+//! [`TransactionalStore`](crate::TransactionalStore) demonstrates the
+//! paper's §5.1 commutativity argument for a single document behind one
+//! lock. This module scales that argument out: an [`IndexService`]
+//! hosts many `(Document, IndexManager)` pairs across `N` shards
+//! (hash of the document id picks the shard), and turns the
+//! per-commit lock into a **group-commit pipeline**:
+//!
+//! * Committing threads enqueue their write batches on the owning
+//!   shard's queue and wait. The first enqueuer becomes the **leader**;
+//!   it drains the queue (up to [`ServiceConfig::max_group`] batches
+//!   per round), coalesces all batches that target the same document,
+//!   and repairs that document's ancestors **once** via the existing
+//!   [`IndexManager::update_values`] path — exactly the amortisation
+//!   the paper's associative combination function `C` makes sound:
+//!   because commits commute, collapsing a queue of transactions into
+//!   one batch per document yields the same indices as any serial
+//!   order.
+//! * Reads are **lock-free snapshots**. Every document's committed
+//!   state lives in an [`Arc`]; a reader clones the `Arc` (one brief
+//!   shard-lock acquisition) and then queries an immutable version
+//!   with no lock held — commits landing concurrently never move the
+//!   ground under a running query. The leader publishes adaptively:
+//!   while snapshots of the current version are outstanding it uses
+//!   copy-on-write (clone, apply the coalesced batch, swap), and when
+//!   none are it updates the version in place at the paper's
+//!   O(writes + ancestors) cost — uncontended single-writer commits
+//!   pay nothing for the snapshot machinery.
+//!
+//! The service therefore gives every reader a consistent prefix of the
+//! commit history, lets writers on different shards (and different
+//! documents within a shard's group round) proceed in parallel, and
+//! preserves the paper's invariant that the final indices are
+//! byte-identical to a serial replay.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::ops::RangeBounds;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use parking_lot::RwLock;
+
+use xvi_xml::{Document, NodeId, NodeKind};
+
+use crate::config::IndexConfig;
+use crate::error::IndexError;
+use crate::manager::IndexManager;
+use crate::txn::Transaction;
+
+/// Tuning knobs for an [`IndexService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards the document catalog is split over. Commits on
+    /// different shards never contend with each other.
+    pub shards: usize,
+    /// Maximum number of queued transactions a group-commit leader
+    /// drains per round. `1` degenerates to per-transaction commits;
+    /// larger values amortise the copy-on-write publish across more
+    /// transactions under contention.
+    pub max_group: usize,
+    /// Index configuration applied to every hosted document.
+    pub index: IndexConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            max_group: 64,
+            index: IndexConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with the given shard count and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sets the group-commit drain limit.
+    pub fn with_max_group(mut self, max_group: usize) -> ServiceConfig {
+        self.max_group = max_group;
+        self
+    }
+
+    /// Sets the per-document index configuration.
+    pub fn with_index(mut self, index: IndexConfig) -> ServiceConfig {
+        self.index = index;
+        self
+    }
+}
+
+/// One immutable published version of a document and its indices.
+#[derive(Debug)]
+struct DocVersion {
+    doc: Document,
+    idx: IndexManager,
+    /// Number of transactions committed into this version.
+    version: u64,
+}
+
+/// A document slot in the catalog: the currently published version,
+/// swapped atomically by the group-commit leader.
+#[derive(Debug)]
+struct DocHandle {
+    id: String,
+    published: RwLock<Arc<DocVersion>>,
+}
+
+impl DocHandle {
+    fn current(&self) -> Arc<DocVersion> {
+        Arc::clone(&self.published.read())
+    }
+}
+
+/// A committed transaction waiting for its group-commit round.
+struct Pending {
+    handle: Arc<DocHandle>,
+    writes: Vec<(NodeId, String)>,
+    slot: Arc<CommitSlot>,
+}
+
+/// Where a waiting committer picks up its result.
+struct CommitSlot {
+    result: Mutex<Option<Result<usize, IndexError>>>,
+    cv: Condvar,
+    /// Whether `fill` has run — checked by the unwind guards so a
+    /// slot is filled exactly once even if a leader panics mid-round.
+    filled: AtomicBool,
+}
+
+impl CommitSlot {
+    fn new() -> CommitSlot {
+        CommitSlot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+            filled: AtomicBool::new(false),
+        }
+    }
+
+    fn fill(&self, r: Result<usize, IndexError>) {
+        if self.filled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(r);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> Result<usize, IndexError> {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Group-commit queue of one shard.
+struct Pipeline {
+    state: Mutex<PipelineState>,
+}
+
+struct PipelineState {
+    queue: VecDeque<Pending>,
+    leader_active: bool,
+}
+
+impl Pipeline {
+    fn new() -> Pipeline {
+        Pipeline {
+            state: Mutex::new(PipelineState {
+                queue: VecDeque::new(),
+                leader_active: false,
+            }),
+        }
+    }
+}
+
+/// One shard: a slice of the document catalog plus its commit queue.
+struct Shard {
+    catalog: RwLock<HashMap<String, Arc<DocHandle>>>,
+    pipeline: Pipeline,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            catalog: RwLock::new(HashMap::new()),
+            pipeline: Pipeline::new(),
+        }
+    }
+}
+
+/// A sharded, concurrent, multi-document index service (see the
+/// module docs for the commit pipeline and snapshot semantics).
+///
+/// ```
+/// use std::sync::Arc;
+/// use xvi_index::{IndexService, ServiceConfig, Document};
+///
+/// let service = Arc::new(IndexService::new(ServiceConfig::default()));
+/// service.insert_document("crew", Document::parse(
+///     "<person><name>Arthur</name><age>42</age></person>").unwrap());
+///
+/// let mut txn = service.begin();
+/// // The lookup returns both <name> and its text node; updates target
+/// // nodes with a directly stored value.
+/// let node = service.read("crew", |doc, idx| {
+///     *idx.equi_lookup(doc, "Arthur")
+///         .iter()
+///         .find(|&&n| doc.direct_value(n).is_some())
+///         .unwrap()
+/// }).unwrap();
+/// txn.set_value(node, "Ford");
+/// service.commit("crew", txn).unwrap();
+///
+/// let snap = service.snapshot("crew").unwrap();
+/// // <name> and its text node both have string value "Ford".
+/// assert_eq!(snap.index().equi_lookup(snap.document(), "Ford").len(), 2);
+/// ```
+pub struct IndexService {
+    shards: Vec<Shard>,
+    config: ServiceConfig,
+    commits: AtomicU64,
+}
+
+impl std::fmt::Debug for IndexService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexService")
+            .field("shards", &self.shards.len())
+            .field("docs", &self.doc_count())
+            .field("commits", &self.commit_count())
+            .finish()
+    }
+}
+
+impl IndexService {
+    /// Creates an empty service.
+    pub fn new(config: ServiceConfig) -> IndexService {
+        let shards = config.shards.max(1);
+        IndexService {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            config,
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn shard_of(&self, doc_id: &str) -> &Shard {
+        let mut h = DefaultHasher::new();
+        doc_id.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn handle(&self, doc_id: &str) -> Option<Arc<DocHandle>> {
+        self.shard_of(doc_id).catalog.read().get(doc_id).cloned()
+    }
+
+    // ----- catalog ----------------------------------------------------------
+
+    /// Builds indices for `doc` (outside any lock) and registers it
+    /// under `id`, replacing any previous document with that id.
+    pub fn insert_document(&self, id: impl Into<String>, doc: Document) {
+        let id = id.into();
+        let idx = IndexManager::build(&doc, self.config.index.clone());
+        let handle = Arc::new(DocHandle {
+            id: id.clone(),
+            published: RwLock::new(Arc::new(DocVersion {
+                doc,
+                idx,
+                version: 0,
+            })),
+        });
+        self.shard_of(&id).catalog.write().insert(id, handle);
+    }
+
+    /// Removes a document, returning its final state.
+    pub fn remove_document(&self, id: &str) -> Option<(Document, IndexManager)> {
+        let handle = self.shard_of(id).catalog.write().remove(id)?;
+        let version = handle.current();
+        match Arc::try_unwrap(version) {
+            Ok(v) => Some((v.doc, v.idx)),
+            Err(shared) => Some((shared.doc.clone(), shared.idx.clone())),
+        }
+    }
+
+    /// Whether a document is registered under `id`.
+    pub fn contains_document(&self, id: &str) -> bool {
+        self.handle(id).is_some()
+    }
+
+    /// All registered document ids, sorted.
+    pub fn doc_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.catalog.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of hosted documents.
+    pub fn doc_count(&self) -> usize {
+        self.shards.iter().map(|s| s.catalog.read().len()).sum()
+    }
+
+    // ----- reads ------------------------------------------------------------
+
+    /// Snapshot of one document's committed state. The returned value
+    /// is immutable and queried without holding any lock.
+    pub fn snapshot(&self, doc_id: &str) -> Option<DocSnapshot> {
+        Some(DocSnapshot {
+            inner: self.handle(doc_id)?.current(),
+        })
+    }
+
+    /// Runs a closure over a lock-free snapshot of one document.
+    pub fn read<R>(
+        &self,
+        doc_id: &str,
+        f: impl FnOnce(&Document, &IndexManager) -> R,
+    ) -> Option<R> {
+        let snap = self.snapshot(doc_id)?;
+        Some(f(snap.document(), snap.index()))
+    }
+
+    /// Snapshot of the whole catalog (every document's current
+    /// version, id-sorted), for cross-document fan-out queries.
+    pub fn snapshot_all(&self) -> ServiceSnapshot {
+        let mut docs: Vec<Arc<DocHandle>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.catalog.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        docs.sort_by(|a, b| a.id.cmp(&b.id));
+        ServiceSnapshot {
+            docs: docs
+                .into_iter()
+                .map(|h| (h.id.clone(), h.current()))
+                .collect(),
+        }
+    }
+
+    /// Number of transactions committed into `doc_id`'s current
+    /// version.
+    pub fn version_of(&self, doc_id: &str) -> Option<u64> {
+        Some(self.handle(doc_id)?.current().version)
+    }
+
+    /// Total committed transactions across all documents.
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    // ----- commits ----------------------------------------------------------
+
+    /// Starts an empty transaction (a buffered write batch; see
+    /// [`Transaction`]). Nothing is locked by an open transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction::default()
+    }
+
+    /// Commits a transaction against `doc_id` through the shard's
+    /// group-commit pipeline. Blocks until the batch is durably
+    /// published; returns the number of applied writes.
+    ///
+    /// A transaction either applies completely or not at all: if any
+    /// buffered write targets a dead or non-value node, the whole
+    /// transaction is rejected and the document is untouched.
+    pub fn commit(&self, doc_id: &str, txn: Transaction) -> Result<usize, IndexError> {
+        let handle = self
+            .handle(doc_id)
+            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?;
+        if txn.writes.is_empty() {
+            return Ok(0);
+        }
+        let shard = self.shard_of(doc_id);
+        let slot = Arc::new(CommitSlot::new());
+        let became_leader = {
+            let mut st = shard
+                .pipeline
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            st.queue.push_back(Pending {
+                handle,
+                writes: txn.writes,
+                slot: Arc::clone(&slot),
+            });
+            if st.leader_active {
+                false
+            } else {
+                st.leader_active = true;
+                true
+            }
+        };
+        if became_leader {
+            self.run_leader(shard);
+        }
+        slot.wait()
+    }
+
+    /// Drains the shard's queue in group rounds until it is empty,
+    /// then steps down. Called by the thread that found the pipeline
+    /// idle; all other committers merely wait on their slot.
+    ///
+    /// If the leader unwinds (a panic inside a round), the drop guard
+    /// steps it down and fails everything still queued, so no
+    /// committer blocks forever behind a dead leader and the next
+    /// enqueuer can take over.
+    fn run_leader(&self, shard: &Shard) {
+        struct StepDown<'a> {
+            pipeline: &'a Pipeline,
+            clean_exit: bool,
+        }
+        impl Drop for StepDown<'_> {
+            fn drop(&mut self) {
+                if self.clean_exit {
+                    return;
+                }
+                let mut st = self
+                    .pipeline
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                st.leader_active = false;
+                for p in st.queue.drain(..) {
+                    p.slot.fill(Err(IndexError::CommitPipelinePoisoned));
+                }
+            }
+        }
+
+        let mut guard = StepDown {
+            pipeline: &shard.pipeline,
+            clean_exit: false,
+        };
+        let max_group = self.config.max_group.max(1);
+        loop {
+            let round: Vec<Pending> = {
+                let mut st = shard
+                    .pipeline
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if st.queue.is_empty() {
+                    st.leader_active = false;
+                    guard.clean_exit = true;
+                    return;
+                }
+                let n = st.queue.len().min(max_group);
+                st.queue.drain(..n).collect()
+            };
+            self.apply_group(round);
+        }
+    }
+
+    /// Applies one group round: coalesces the batches per document,
+    /// repairs each affected document's ancestors once, publishes the
+    /// new versions, and wakes every waiting committer.
+    fn apply_group(&self, round: Vec<Pending>) {
+        // If this round unwinds partway (a panic inside the apply),
+        // fail every slot that was not yet filled so its committer
+        // wakes up instead of blocking forever. `fill` is idempotent,
+        // so slots completed before the panic keep their result.
+        struct FailUnfilled {
+            slots: Vec<Arc<CommitSlot>>,
+        }
+        impl Drop for FailUnfilled {
+            fn drop(&mut self) {
+                for slot in &self.slots {
+                    slot.fill(Err(IndexError::CommitPipelinePoisoned));
+                }
+            }
+        }
+        let _round_guard = FailUnfilled {
+            slots: round.iter().map(|p| Arc::clone(&p.slot)).collect(),
+        };
+
+        // Group by document, preserving enqueue order within each.
+        let mut order: Vec<Arc<DocHandle>> = Vec::new();
+        let mut by_doc: HashMap<String, Vec<Pending>> = HashMap::new();
+        for p in round {
+            let entry = by_doc.entry(p.handle.id.clone()).or_default();
+            if entry.is_empty() {
+                order.push(Arc::clone(&p.handle));
+            }
+            entry.push(p);
+        }
+
+        for handle in order {
+            let group = by_doc.remove(&handle.id).expect("grouped above");
+            let base = handle.current();
+
+            // Validate each transaction against the base version so a
+            // bad batch is rejected wholesale instead of applying
+            // halfway; surviving batches are coalesced into one
+            // `update_values` pass (writes in enqueue order, so a
+            // later transaction's write to the same node wins — the
+            // serial-replay outcome).
+            let mut results: Vec<(Arc<CommitSlot>, Result<usize, IndexError>)> = Vec::new();
+            let mut coalesced: Vec<(NodeId, String)> = Vec::new();
+            let mut committed = 0u64;
+            for p in group {
+                match validate(&base.doc, &p.writes) {
+                    Ok(()) => {
+                        let n = p.writes.len();
+                        coalesced.extend(p.writes);
+                        committed += 1;
+                        results.push((p.slot, Ok(n)));
+                    }
+                    Err(e) => results.push((p.slot, Err(e))),
+                }
+            }
+            // Release the leader's extra reference before the
+            // uniqueness probe below.
+            drop(base);
+
+            if !coalesced.is_empty() {
+                // Apply under the catalog read lock, after checking
+                // the handle is still the catalog's entry for this id:
+                // `insert_document` / `remove_document` take the
+                // catalog *write* lock, so a concurrent replacement or
+                // removal cannot orphan this apply — the commit either
+                // lands in the live document or fails loudly.
+                let catalog = self.shard_of(&handle.id).catalog.read();
+                let still_current = catalog
+                    .get(&handle.id)
+                    .is_some_and(|h| Arc::ptr_eq(h, &handle));
+                if still_current {
+                    let mut published = handle.published.write();
+                    let writes = coalesced.iter().map(|(n, v)| (*n, v.as_str()));
+                    if let Some(version) = Arc::get_mut(&mut published) {
+                        // No snapshot is outstanding, so nobody can
+                        // observe this version: update it in place at
+                        // the paper's O(writes + ancestors) cost
+                        // (readers briefly queue on the published
+                        // lock, exactly like the pre-service
+                        // TransactionalStore).
+                        version
+                            .idx
+                            .update_values(&mut version.doc, writes)
+                            .expect("writes were validated against this version");
+                        version.version += committed;
+                    } else {
+                        // Live snapshots exist: copy-on-write so they
+                        // stay immutable, and swap in the successor.
+                        let mut doc = published.doc.clone();
+                        let mut idx = published.idx.clone();
+                        idx.update_values(&mut doc, writes)
+                            .expect("writes were validated against this version");
+                        *published = Arc::new(DocVersion {
+                            version: published.version + committed,
+                            doc,
+                            idx,
+                        });
+                    }
+                    drop(published);
+                    drop(catalog);
+                    self.commits.fetch_add(committed, Ordering::Relaxed);
+                } else {
+                    drop(catalog);
+                    for (_, r) in results.iter_mut() {
+                        if r.is_ok() {
+                            *r = Err(IndexError::DocumentReplaced(handle.id.clone()));
+                        }
+                    }
+                }
+            }
+
+            // Wake the committers only after the publish, so a
+            // returned `commit` is visible to every later snapshot.
+            for (slot, r) in results {
+                slot.fill(r);
+            }
+        }
+    }
+}
+
+/// Pre-checks a write batch against a document: every target must be a
+/// live text or attribute node (the same conditions
+/// [`IndexManager::update_values`] enforces, hoisted before any state
+/// is touched).
+fn validate(doc: &Document, writes: &[(NodeId, String)]) -> Result<(), IndexError> {
+    for &(node, _) in writes {
+        if !doc.is_live(node) {
+            return Err(IndexError::DeadNode(node));
+        }
+        match doc.kind(node) {
+            NodeKind::Text(_) | NodeKind::Attribute { .. } => {}
+            _ => return Err(IndexError::NotAValueNode(node)),
+        }
+    }
+    Ok(())
+}
+
+/// An immutable snapshot of one document's committed state.
+///
+/// Cheap to clone (an [`Arc`] bump); queries run without any lock and
+/// are unaffected by concurrent commits.
+#[derive(Debug, Clone)]
+pub struct DocSnapshot {
+    inner: Arc<DocVersion>,
+}
+
+impl DocSnapshot {
+    /// The snapshotted document.
+    pub fn document(&self) -> &Document {
+        &self.inner.doc
+    }
+
+    /// The snapshotted indices.
+    pub fn index(&self) -> &IndexManager {
+        &self.inner.idx
+    }
+
+    /// Number of transactions committed into this version.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+}
+
+/// A catalog-wide snapshot supporting fan-out lookups across every
+/// hosted document (id-sorted, deterministic result order).
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    docs: Vec<(String, Arc<DocVersion>)>,
+}
+
+impl ServiceSnapshot {
+    /// Number of documents in the snapshot.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Iterates over `(id, snapshot)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, DocSnapshot)> + '_ {
+        self.docs.iter().map(|(id, v)| {
+            (
+                id.as_str(),
+                DocSnapshot {
+                    inner: Arc::clone(v),
+                },
+            )
+        })
+    }
+
+    /// Equality lookup fanned out across all documents; returns
+    /// `(doc id, node)` hits.
+    pub fn equi_lookup(&self, value: &str) -> Vec<(&str, NodeId)> {
+        self.docs
+            .iter()
+            .flat_map(|(id, v)| {
+                v.idx
+                    .equi_lookup(&v.doc, value)
+                    .into_iter()
+                    .map(move |n| (id.as_str(), n))
+            })
+            .collect()
+    }
+
+    /// Double range lookup fanned out across all documents.
+    pub fn range_lookup_f64<R: RangeBounds<f64> + Clone>(&self, bounds: R) -> Vec<(&str, NodeId)> {
+        self.docs
+            .iter()
+            .flat_map(|(id, v)| {
+                v.idx
+                    .range_lookup_f64(bounds.clone())
+                    .into_iter()
+                    .map(move |n| (id.as_str(), n))
+            })
+            .collect()
+    }
+
+    /// Substring lookup fanned out across the documents that carry a
+    /// substring index (others are skipped).
+    pub fn contains_lookup(&self, needle: &str) -> Vec<(&str, NodeId)> {
+        self.docs
+            .iter()
+            .filter(|(_, v)| v.idx.substring_index().is_some())
+            .flat_map(|(id, v)| {
+                v.idx
+                    .contains_lookup(&v.doc, needle)
+                    .into_iter()
+                    .map(move |n| (id.as_str(), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use xvi_hash::hash_str;
+
+    const DOC_A: &str = "<person><name>Arthur</name><age>42</age></person>";
+    const DOC_B: &str = "<person><name>Ford</name><age>200</age></person>";
+
+    fn text_node(doc: &Document, content: &str) -> NodeId {
+        doc.descendants(doc.document_node())
+            .find(|&n| matches!(doc.kind(n), NodeKind::Text(t) if t == content))
+            .unwrap()
+    }
+
+    fn service_with_two_docs() -> IndexService {
+        let service = IndexService::new(ServiceConfig::with_shards(4));
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        service.insert_document("b", Document::parse(DOC_B).unwrap());
+        service
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let service = service_with_two_docs();
+        assert_eq!(service.doc_count(), 2);
+        assert_eq!(service.doc_ids(), vec!["a", "b"]);
+        assert!(service.contains_document("a"));
+        assert!(!service.contains_document("c"));
+        let (doc, idx) = service.remove_document("b").unwrap();
+        assert_eq!(idx.equi_lookup(&doc, "Ford").len(), 2);
+        assert_eq!(service.doc_count(), 1);
+        assert!(service.remove_document("b").is_none());
+    }
+
+    #[test]
+    fn commit_against_missing_doc_errors() {
+        let service = service_with_two_docs();
+        let txn = service.begin();
+        let err = service.commit("nope", txn).unwrap_err();
+        assert!(matches!(err, IndexError::UnknownDocument(id) if id == "nope"));
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let service = service_with_two_docs();
+        assert_eq!(service.commit("a", service.begin()).unwrap(), 0);
+        assert_eq!(service.commit_count(), 0);
+        assert_eq!(service.version_of("a"), Some(0));
+    }
+
+    #[test]
+    fn commit_updates_one_doc_only() {
+        let service = service_with_two_docs();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Tricia");
+        assert_eq!(service.commit("a", txn).unwrap(), 1);
+        assert_eq!(service.version_of("a"), Some(1));
+        assert_eq!(service.version_of("b"), Some(0));
+        service
+            .read("a", |doc, idx| {
+                assert_eq!(idx.equi_lookup(doc, "Tricia").len(), 2);
+                idx.verify_against(doc).unwrap();
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_commits() {
+        let service = service_with_two_docs();
+        let before = service.snapshot("a").unwrap();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Zaphod");
+        service.commit("a", txn).unwrap();
+        // The old snapshot still sees the old value...
+        assert_eq!(
+            before
+                .index()
+                .equi_lookup(before.document(), "Arthur")
+                .len(),
+            2
+        );
+        assert_eq!(before.version(), 0);
+        // ...while a fresh one sees the new state.
+        let after = service.snapshot("a").unwrap();
+        assert!(after
+            .index()
+            .equi_lookup(after.document(), "Arthur")
+            .is_empty());
+        assert_eq!(after.version(), 1);
+    }
+
+    #[test]
+    fn atomic_rejection_of_bad_transactions() {
+        let service = service_with_two_docs();
+        let (good, root) = service
+            .read("a", |doc, _| {
+                (text_node(doc, "Arthur"), doc.root_element().unwrap())
+            })
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(good, "Marvin");
+        txn.set_value(root, "not a value node");
+        let err = service.commit("a", txn).unwrap_err();
+        assert!(matches!(err, IndexError::NotAValueNode(_)));
+        // The good write must not have leaked through.
+        service
+            .read("a", |doc, idx| {
+                assert_eq!(idx.equi_lookup(doc, "Arthur").len(), 2);
+                idx.verify_against(doc).unwrap();
+            })
+            .unwrap();
+        assert_eq!(service.commit_count(), 0);
+    }
+
+    #[test]
+    fn fan_out_lookups_across_docs() {
+        let service = service_with_two_docs();
+        let snap = service.snapshot_all();
+        assert_eq!(snap.doc_count(), 2);
+        let ages = snap.range_lookup_f64(40.0..=200.0);
+        assert!(ages.iter().any(|(id, _)| *id == "a"));
+        assert!(ages.iter().any(|(id, _)| *id == "b"));
+        let hits = snap.equi_lookup("Ford");
+        assert!(hits.iter().all(|(id, _)| *id == "b"));
+        assert_eq!(hits.len(), 2);
+        // No substring index configured: empty, not a panic.
+        assert!(snap.contains_lookup("rthu").is_empty());
+    }
+
+    #[test]
+    fn substring_fan_out_when_configured() {
+        let config =
+            ServiceConfig::with_shards(2).with_index(IndexConfig::default().with_substring_index());
+        let service = IndexService::new(config);
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        let snap = service.snapshot_all();
+        assert_eq!(snap.contains_lookup("rthu").len(), 1);
+    }
+
+    /// Many threads, many documents, one service: the final state of
+    /// every document must be byte-identical to a serial replay, and
+    /// every commit must be counted exactly once.
+    #[test]
+    fn concurrent_commits_across_shards_converge() {
+        let service = Arc::new(IndexService::new(ServiceConfig {
+            shards: 4,
+            max_group: 8,
+            index: IndexConfig::default(),
+        }));
+        let n_docs = 6;
+        for i in 0..n_docs {
+            service.insert_document(format!("doc{i}"), Document::parse(DOC_A).unwrap());
+        }
+        // Node ids are stable across versions; resolve the target in
+        // each document once, before any writer changes its value.
+        let targets: Vec<NodeId> = (0..n_docs)
+            .map(|i| {
+                service
+                    .read(&format!("doc{i}"), |doc, _| text_node(doc, "42"))
+                    .unwrap()
+            })
+            .collect();
+        let threads = 8;
+        let commits_per_thread = 10;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let barrier = Arc::clone(&barrier);
+                let targets = targets.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for c in 0..commits_per_thread {
+                        let d = (t + c) % n_docs;
+                        let id = format!("doc{d}");
+                        let mut txn = service.begin();
+                        // All writers converge on the same final value
+                        // per node, so the final state is deterministic
+                        // regardless of interleaving.
+                        txn.set_value(targets[d], "54");
+                        service.commit(&id, txn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            service.commit_count(),
+            (threads * commits_per_thread) as u64
+        );
+        let expected = hash_str("Arthur54");
+        for i in 0..n_docs {
+            service
+                .read(&format!("doc{i}"), |doc, idx| {
+                    let root = doc.root_element().unwrap();
+                    assert_eq!(idx.hash_of(root), Some(expected));
+                    idx.verify_against(doc).unwrap();
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn group_commit_of_one_still_works() {
+        let service = IndexService::new(ServiceConfig {
+            shards: 1,
+            max_group: 1,
+            index: IndexConfig::default(),
+        });
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        // Node ids are stable across versions (values are replaced in
+        // place), so one lookup serves all three commits.
+        let node = service.read("a", |doc, _| text_node(doc, "42")).unwrap();
+        for val in ["1", "2", "3"] {
+            let mut txn = service.begin();
+            txn.set_value(node, val);
+            assert_eq!(service.commit("a", txn).unwrap(), 1);
+        }
+        assert_eq!(service.version_of("a"), Some(3));
+        service
+            .read("a", |doc, idx| {
+                // Both <person> and the document node concatenate to
+                // "Arthur3".
+                assert_eq!(idx.equi_lookup(doc, "Arthur3").len(), 2);
+                idx.verify_against(doc).unwrap();
+            })
+            .unwrap();
+    }
+}

@@ -10,7 +10,7 @@ use xvi_hash::HashValue;
 use xvi_xml::NodeId;
 
 /// The hash B+tree and per-node hash annotations.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StringIndex {
     /// `(hash raw, node arena index) → ()`.
     tree: BPlusTree<(u32, u32), ()>,

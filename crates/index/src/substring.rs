@@ -23,7 +23,7 @@ use xvi_btree::BPlusTree;
 use xvi_xml::{Document, NodeId, NodeKind};
 
 /// A trigram index over the directly stored node values.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SubstringIndex {
     /// `(packed trigram, node) → ()`.
     tree: BPlusTree<(u32, u32), ()>,

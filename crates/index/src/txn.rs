@@ -11,40 +11,38 @@
 //! concurrent commits interleave in, the final hashes are the ones a
 //! serial execution would produce.
 //!
-//! [`TransactionalStore`] realises that protocol: transactions buffer
-//! value writes without taking any ancestor lock; `commit` applies the
-//! batch and repairs ancestors under a short store-level critical
-//! section (the in-memory stand-in for MonetDB's commit point). The
-//! commutativity property itself — *any* commit order yields identical
-//! indices — is what the tests pin down.
-
-use parking_lot::RwLock;
+//! [`TransactionalStore`] realises that protocol for the common
+//! single-document case. It is a thin facade over
+//! [`IndexService`](crate::IndexService) — one shard, one document —
+//! so commits flow through the same group-commit pipeline and reads
+//! are the same lock-free snapshots as in the multi-document service.
+//! The commutativity property itself — *any* commit order yields
+//! identical indices — is what the tests pin down.
 
 use xvi_xml::{Document, NodeId};
 
 use crate::config::IndexConfig;
 use crate::error::IndexError;
 use crate::manager::IndexManager;
+use crate::service::{IndexService, ServiceConfig};
 
-/// A document plus its indices behind a reader/writer lock.
+/// The catalog id the facade registers its single document under.
+const DOC_ID: &str = "doc";
+
+/// A single document plus its indices behind the service's commit
+/// pipeline and snapshot machinery.
 #[derive(Debug)]
 pub struct TransactionalStore {
-    inner: RwLock<Inner>,
-}
-
-#[derive(Debug)]
-struct Inner {
-    doc: Document,
-    idx: IndexManager,
-    commits: u64,
+    service: IndexService,
 }
 
 /// A buffered batch of value updates; created by
-/// [`TransactionalStore::begin`], applied atomically by
-/// [`TransactionalStore::commit`].
+/// [`TransactionalStore::begin`] (or
+/// [`IndexService::begin`](crate::IndexService::begin)), applied
+/// atomically on commit.
 #[derive(Debug, Default)]
 pub struct Transaction {
-    writes: Vec<(NodeId, String)>,
+    pub(crate) writes: Vec<(NodeId, String)>,
 }
 
 impl Transaction {
@@ -68,52 +66,43 @@ impl Transaction {
 impl TransactionalStore {
     /// Builds the store and its indices from a document.
     pub fn new(doc: Document, config: IndexConfig) -> TransactionalStore {
-        let idx = IndexManager::build(&doc, config);
-        TransactionalStore {
-            inner: RwLock::new(Inner {
-                doc,
-                idx,
-                commits: 0,
-            }),
-        }
+        let service = IndexService::new(ServiceConfig::with_shards(1).with_index(config));
+        service.insert_document(DOC_ID, doc);
+        TransactionalStore { service }
     }
 
     /// Starts a transaction. Read operations remain available to
     /// everyone; nothing is locked by an open transaction.
     pub fn begin(&self) -> Transaction {
-        Transaction::default()
+        self.service.begin()
     }
 
-    /// Commits a transaction: applies the buffered writes and repairs
-    /// all affected ancestors from the *latest* committed state, per
-    /// the paper's protocol. Returns the number of applied writes.
+    /// Commits a transaction through the group-commit pipeline:
+    /// applies the buffered writes and repairs all affected ancestors
+    /// from the *latest* committed state, per the paper's protocol.
+    /// Returns the number of applied writes.
     pub fn commit(&self, txn: Transaction) -> Result<usize, IndexError> {
-        if txn.writes.is_empty() {
-            return Ok(0);
-        }
-        let mut inner = self.inner.write();
-        let n = txn.writes.len();
-        let Inner { doc, idx, commits } = &mut *inner;
-        idx.update_values(doc, txn.writes.iter().map(|(id, v)| (*id, v.as_str())))?;
-        *commits += 1;
-        Ok(n)
+        self.service.commit(DOC_ID, txn)
     }
 
-    /// Runs a read-only closure over the document and indices.
+    /// Runs a read-only closure over a lock-free snapshot of the
+    /// document and indices.
     pub fn read<R>(&self, f: impl FnOnce(&Document, &IndexManager) -> R) -> R {
-        let inner = self.inner.read();
-        f(&inner.doc, &inner.idx)
+        self.service
+            .read(DOC_ID, f)
+            .expect("the store's document is always registered")
     }
 
     /// Number of committed transactions.
     pub fn commit_count(&self) -> u64 {
-        self.inner.read().commits
+        self.service.commit_count()
     }
 
     /// Consumes the store, returning the document and indices.
     pub fn into_parts(self) -> (Document, IndexManager) {
-        let inner = self.inner.into_inner();
-        (inner.doc, inner.idx)
+        self.service
+            .remove_document(DOC_ID)
+            .expect("the store's document is always registered")
     }
 }
 

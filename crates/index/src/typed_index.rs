@@ -46,7 +46,7 @@ impl NodeEntry {
 }
 
 /// A range-lookup index for one XML type.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TypedIndex {
     ty: XmlType,
     value_tree: BPlusTree<(OrdF64, u32), ()>,

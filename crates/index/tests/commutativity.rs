@@ -1,0 +1,210 @@
+//! The §5.1 commutativity claim as a property: disjoint transactions
+//! yield byte-identical indices under *every* commit order — serial in
+//! the given order, serial in random permutations, and concurrently
+//! from real threads through the service's group-commit pipeline.
+
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+
+use xvi_index::{Document, IndexConfig, IndexManager, IndexService, NodeId, ServiceConfig};
+use xvi_xml::NodeKind;
+
+/// One generated scenario: a document (as leaf values) plus disjoint
+/// transactions over its text nodes.
+#[derive(Debug, Clone)]
+struct Case {
+    leaves: Vec<String>,
+    /// Disjoint write batches: `txns[t]` holds `(leaf index, value)`.
+    txns: Vec<Vec<(usize, String)>>,
+    perm_seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        proptest::collection::vec(value_strategy(), 2..12),
+        2..5usize,
+        proptest::collection::vec(value_strategy(), 12),
+        any::<u64>(),
+    )
+        .prop_map(|(leaves, txn_count, fresh, perm_seed)| {
+            // Partition the leaves round-robin over the transactions;
+            // every leaf is written by at most one transaction, so the
+            // batches are disjoint by construction (the paper's
+            // commuting case).
+            let txn_count = txn_count.min(leaves.len());
+            let mut txns: Vec<Vec<(usize, String)>> = vec![Vec::new(); txn_count];
+            for (i, value) in fresh.into_iter().enumerate().take(leaves.len()) {
+                txns[i % txn_count].push((i, value));
+            }
+            txns.retain(|t| !t.is_empty());
+            Case {
+                leaves,
+                txns,
+                perm_seed,
+            }
+        })
+}
+
+fn value_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,8}",
+        "[0-9]{1,5}",
+        "-?[0-9]{1,3}\\.[0-9]{1,2}",
+        "[a-z0-9 ]{2,10}",
+    ]
+}
+
+/// Builds a small two-level document whose text leaves carry the
+/// generated values (groups of three leaves share an ancestor, so
+/// different transactions do touch common ancestors — the interesting
+/// case for commutativity).
+fn build_doc(leaves: &[String]) -> Document {
+    let mut xml = String::from("<r>");
+    for (i, chunk) in leaves.chunks(3).enumerate() {
+        xml.push_str(&format!("<g{i}>"));
+        for v in chunk {
+            // A whitespace-only leaf would parse to an empty element
+            // and break the leaf-index ↔ text-node mapping.
+            let v = if v.trim().is_empty() { "x" } else { v.trim() };
+            xml.push_str(&format!("<v>{v}</v>"));
+        }
+        xml.push_str(&format!("</g{i}>"));
+    }
+    xml.push_str("</r>");
+    Document::parse(&xml).unwrap_or_else(|e| panic!("generated doc parses: {e}\n{xml}"))
+}
+
+fn text_nodes(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.document_node())
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Text(_)))
+        .collect()
+}
+
+fn config() -> IndexConfig {
+    IndexConfig::default().with_substring_index()
+}
+
+/// Byte-level identity of all three index families: per-node string
+/// hash, double state and typed value, plus the structural sizes of
+/// the string and trigram indices.
+fn fingerprint(doc: &Document, idx: &IndexManager) -> Vec<(Option<u32>, Option<u16>, Option<u64>)> {
+    use xvi_index::XmlType;
+    let mut fp: Vec<(Option<u32>, Option<u16>, Option<u64>)> = doc
+        .descendants_or_self(doc.document_node())
+        .map(|n| {
+            (
+                idx.hash_of(n).map(|h| h.raw()),
+                idx.state_of(XmlType::Double, n),
+                idx.typed_index(XmlType::Double)
+                    .and_then(|t| t.value_of(n))
+                    .map(f64::to_bits),
+            )
+        })
+        .collect();
+    let sub = idx.substring_index().expect("substring index configured");
+    fp.push((
+        Some(idx.string_index().expect("string index").len() as u32),
+        None,
+        Some(((sub.postings() as u64) << 32) | sub.indexed_nodes() as u64),
+    ));
+    fp
+}
+
+/// Serial replay with `IndexManager::update_values`, one call per
+/// transaction, in the given order.
+fn serial_replay(case: &Case, order: &[usize]) -> Vec<(Option<u32>, Option<u16>, Option<u64>)> {
+    let mut doc = build_doc(&case.leaves);
+    let nodes = text_nodes(&doc);
+    let mut idx = IndexManager::build(&doc, config());
+    for &t in order {
+        let writes: Vec<(NodeId, &str)> = case.txns[t]
+            .iter()
+            .map(|(leaf, v)| (nodes[*leaf], v.as_str()))
+            .collect();
+        idx.update_values(&mut doc, writes).unwrap();
+    }
+    fingerprint(&doc, &idx)
+}
+
+/// A deterministic permutation of `0..n` from a seed (xorshift-driven
+/// Fisher-Yates; avoids depending on `rand` here).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        p.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any serial permutation of disjoint transactions produces the
+    /// same final string, typed and substring indices.
+    #[test]
+    fn serial_permutations_commute(case in case_strategy()) {
+        let n = case.txns.len();
+        let baseline = serial_replay(&case, &(0..n).collect::<Vec<_>>());
+        for round in 0..3u64 {
+            let order = permutation(n, case.perm_seed.wrapping_add(round));
+            let fp = serial_replay(&case, &order);
+            prop_assert_eq!(&fp, &baseline, "order {:?} diverged", order);
+        }
+    }
+
+    /// Real threads committing the same disjoint transactions through
+    /// the service's group-commit pipeline converge to the serial
+    /// replay, and the maintained indices match a fresh rebuild.
+    #[test]
+    fn concurrent_commits_match_serial_replay(case in case_strategy()) {
+        let n = case.txns.len();
+        let baseline = serial_replay(&case, &(0..n).collect::<Vec<_>>());
+
+        let doc = build_doc(&case.leaves);
+        let nodes = text_nodes(&doc);
+        let service = Arc::new(IndexService::new(
+            ServiceConfig::with_shards(2).with_max_group(4).with_index(config()),
+        ));
+        service.insert_document("doc", doc);
+
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let barrier = Arc::clone(&barrier);
+                let writes: Vec<(NodeId, String)> = case.txns[t]
+                    .iter()
+                    .map(|(leaf, v)| (nodes[*leaf], v.clone()))
+                    .collect();
+                std::thread::spawn(move || {
+                    let mut txn = service.begin();
+                    for (node, value) in writes {
+                        txn.set_value(node, value);
+                    }
+                    barrier.wait();
+                    service.commit("doc", txn).unwrap()
+                })
+            })
+            .collect();
+        let mut applied = 0usize;
+        for h in handles {
+            applied += h.join().expect("committer panicked");
+        }
+        prop_assert_eq!(
+            applied,
+            case.txns.iter().map(Vec::len).sum::<usize>()
+        );
+        prop_assert_eq!(service.commit_count(), n as u64);
+
+        let snap = service.snapshot("doc").unwrap();
+        let fp = fingerprint(snap.document(), snap.index());
+        prop_assert_eq!(&fp, &baseline, "concurrent run diverged from serial replay");
+        snap.index()
+            .verify_against(snap.document())
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+    }
+}

@@ -5,20 +5,38 @@
 //! ```sh
 //! cargo run --release --bin xvi-cli -- path/to/doc.xml
 //! cargo run --release --bin xvi-cli -- --dataset xmark1 --scale 100
+//! cargo run --release --bin xvi-cli -- stress --threads 8 --ops 5000
 //! ```
 //!
-//! Then type `help` at the prompt.
+//! Then type `help` at the prompt (interactive mode), or let the
+//! `stress` subcommand drive the sharded index service with a mixed
+//! concurrent workload and report throughput.
 
 use std::io::{BufRead, Write as _};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use xvi::datagen::Dataset;
+use xvi::datagen::{ConcurrentConfig, ConcurrentWorkload, Dataset, WorkloadOp};
 use xvi::index::QueryEngine;
 use xvi::prelude::*;
 use xvi::xml::NodeKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stress") {
+        match run_stress(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: xvi-cli stress [--docs <n>] [--threads <n>] [--ops <n>] \
+                     [--scale <permille>] [--write-pct <0-100>] [--group <n>] \
+                     [--shards <n>] [--seed <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let (label, xml) = match parse_args(&args) {
         Ok(src) => src,
         Err(msg) => {
@@ -103,6 +121,155 @@ fn main() {
             other => println!("unknown command `{other}` — try `help`"),
         }
     }
+}
+
+/// `stress`: host several synthetic documents in an [`IndexService`]
+/// and hammer it with a zipf-skewed mixed reader/writer workload from
+/// many threads, then report throughput and verify the indices.
+fn run_stress(args: &[String]) -> Result<(), String> {
+    let mut docs_n = 8usize;
+    let mut threads = 4usize;
+    let mut ops = 5_000usize;
+    let mut scale = 10u32;
+    let mut write_pct = 20u32;
+    let mut group = 64usize;
+    let mut shards = 8usize;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |j: usize| -> Result<&String, String> {
+            args.get(j)
+                .ok_or_else(|| format!("{} needs a value", args[j - 1]))
+        };
+        match args[i].as_str() {
+            "--docs" => docs_n = val(i + 1)?.parse().map_err(|e| format!("--docs: {e}"))?,
+            "--threads" => threads = val(i + 1)?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--ops" => ops = val(i + 1)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--scale" => scale = val(i + 1)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--write-pct" => {
+                write_pct = val(i + 1)?
+                    .parse()
+                    .map_err(|e| format!("--write-pct: {e}"))?;
+                if write_pct > 100 {
+                    return Err("--write-pct must be 0-100".into());
+                }
+            }
+            "--group" => group = val(i + 1)?.parse().map_err(|e| format!("--group: {e}"))?,
+            "--shards" => shards = val(i + 1)?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--seed" => seed = val(i + 1)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown stress option `{other}`")),
+        }
+        i += 2;
+    }
+    if docs_n == 0 || threads == 0 || ops == 0 {
+        return Err("--docs, --threads and --ops must be positive".into());
+    }
+
+    let suite = Dataset::paper_suite();
+    println!("generating {docs_n} documents at {scale}‰ …");
+    let docs: Vec<Document> = (0..docs_n)
+        .map(|i| {
+            let xml = suite[i % suite.len()].generate(scale);
+            Document::parse(&xml).expect("generated datasets parse")
+        })
+        .collect();
+
+    let service = Arc::new(IndexService::new(
+        ServiceConfig::with_shards(shards).with_max_group(group),
+    ));
+    let t = Instant::now();
+    for (i, doc) in docs.iter().enumerate() {
+        service.insert_document(format!("d{i}"), doc.clone());
+    }
+    println!(
+        "indexed {} documents in {:.0} ms ({} shards, group limit {group})",
+        docs_n,
+        t.elapsed().as_secs_f64() * 1000.0,
+        shards
+    );
+
+    let workload = ConcurrentWorkload::generate(
+        &docs,
+        &ConcurrentConfig {
+            ops,
+            write_permille: write_pct * 10,
+            writes_per_txn: 4,
+            zipf_theta: 0.99,
+        },
+        seed,
+    );
+    let writes = workload.write_count();
+    let shards_of_work = workload.into_shards(threads);
+
+    // Precomputed so the timed loop does not allocate an id per op.
+    let ids: Arc<Vec<String>> = Arc::new((0..docs_n).map(|i| format!("d{i}")).collect());
+    let barrier = Arc::new(Barrier::new(threads));
+    let t = Instant::now();
+    let handles: Vec<_> = shards_of_work
+        .into_iter()
+        .map(|stream| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let ids = Arc::clone(&ids);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut hits = 0usize;
+                for op in stream {
+                    let id = &ids[op.doc()];
+                    match op {
+                        WorkloadOp::Write { writes, .. } => {
+                            let mut txn = service.begin();
+                            for (node, value) in writes {
+                                txn.set_value(node, value);
+                            }
+                            service.commit(id, txn).expect("stress writes are valid");
+                        }
+                        WorkloadOp::ReadEqui { value, .. } => {
+                            hits += service
+                                .read(id, |doc, idx| idx.equi_lookup(doc, &value).len())
+                                .expect("stress documents are registered");
+                        }
+                        WorkloadOp::ReadRange { lo, hi, .. } => {
+                            hits += service
+                                .read(id, |_, idx| idx.range_lookup_f64(lo..=hi).len())
+                                .expect("stress documents are registered");
+                        }
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let mut total_hits = 0usize;
+    for h in handles {
+        total_hits += h.join().expect("stress worker panicked");
+    }
+    let elapsed = t.elapsed();
+
+    println!(
+        "{ops} ops ({writes} commits, {} reads, {total_hits} read hits) on {threads} threads \
+         in {:.0} ms — {:.0} ops/s",
+        ops - writes,
+        elapsed.as_secs_f64() * 1000.0,
+        ops as f64 / elapsed.as_secs_f64()
+    );
+    assert_eq!(
+        service.commit_count(),
+        writes as u64,
+        "commit accounting diverged"
+    );
+    print!("verifying maintained indices against fresh rebuilds … ");
+    std::io::stdout().flush().ok();
+    for i in 0..docs_n {
+        service
+            .read(&format!("d{i}"), |doc, idx| {
+                idx.verify_against(doc)
+                    .unwrap_or_else(|e| panic!("d{i}: {e}"))
+            })
+            .expect("stress documents are registered");
+    }
+    println!("ok");
+    Ok(())
 }
 
 fn parse_args(args: &[String]) -> Result<(String, String), String> {

@@ -52,6 +52,8 @@ pub use xvi_xml as xml;
 pub mod prelude {
     pub use xvi_fsm::{Sct, TypedValue, XmlType};
     pub use xvi_hash::{combine, hash_str, HashValue};
-    pub use xvi_index::{IndexConfig, IndexManager, QueryEngine};
+    pub use xvi_index::{
+        IndexConfig, IndexManager, IndexService, QueryEngine, ServiceConfig, TransactionalStore,
+    };
     pub use xvi_xml::{Document, NodeId, NodeKind};
 }

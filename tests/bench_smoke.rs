@@ -27,3 +27,10 @@ fn fig10_runs_at_tiny_scale() {
 fn fig11_runs_at_tiny_scale() {
     experiments::run_fig11(1);
 }
+
+#[test]
+fn concurrency_runs_at_tiny_scale() {
+    // At permille 1 the experiment also verifies every document's
+    // maintained indices against a fresh rebuild after each cell.
+    experiments::run_concurrency(1, 1);
+}
