@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use xvi_datagen::Dataset;
-use xvi_index::{IndexConfig, IndexManager, QueryEngine};
+use xvi_index::{IndexConfig, IndexManager, Lookup, QueryEngine};
 use xvi_xml::Document;
 
 fn setup() -> (Document, IndexManager) {
@@ -58,7 +58,12 @@ fn bench_substring(c: &mut Criterion) {
     let mut g = c.benchmark_group("substring_lookup");
     g.sample_size(20);
     g.bench_function("contains_trigram", |b| {
-        b.iter(|| black_box(idx.contains_lookup(&doc, "wikipedia.org/wiki/gold")));
+        b.iter(|| {
+            black_box(
+                idx.query(&doc, &Lookup::contains("wikipedia.org/wiki/gold"))
+                    .unwrap(),
+            )
+        });
     });
     g.bench_function("contains_scan_baseline", |b| {
         b.iter(|| {
@@ -76,7 +81,12 @@ fn bench_substring(c: &mut Criterion) {
         });
     });
     g.bench_function("wildcard", |b| {
-        b.iter(|| black_box(idx.wildcard_lookup(&doc, "http://*wiki/gold*")));
+        b.iter(|| {
+            black_box(
+                idx.query(&doc, &Lookup::wildcard("http://*wiki/gold*"))
+                    .unwrap(),
+            )
+        });
     });
     g.finish();
 }
@@ -84,10 +94,10 @@ fn bench_substring(c: &mut Criterion) {
 fn bench_raw_lookups(c: &mut Criterion) {
     let (doc, idx) = setup();
     c.bench_function("equi_lookup_person_name", |b| {
-        b.iter(|| black_box(idx.equi_lookup(&doc, "Arthur Dent")));
+        b.iter(|| black_box(idx.query(&doc, &Lookup::equi("Arthur Dent")).unwrap()));
     });
     c.bench_function("range_lookup_prices", |b| {
-        b.iter(|| black_box(idx.range_lookup_f64(100.0..110.0)));
+        b.iter(|| black_box(idx.query(&doc, &Lookup::range_f64(100.0..110.0)).unwrap()));
     });
     c.bench_function("equi_candidates_unverified", |b| {
         b.iter(|| black_box(idx.equi_candidates("Arthur Dent")));

@@ -1,7 +1,15 @@
 //! Concurrency experiment: index-service throughput vs. thread count
 //! and group-commit batch-size limit (see
-//! [`xvi_bench::experiments::run_concurrency`]).
+//! [`xvi_bench::experiments::run_concurrency`]). Pass `pipelined` to
+//! run the single-thread pipelined-commit sweep
+//! ([`xvi_bench::experiments::run_pipelined`]): in-flight ticket depth
+//! vs. commit throughput.
 
 fn main() {
-    xvi_bench::experiments::run_concurrency(xvi_bench::scale_permille(), xvi_bench::reps());
+    let pipelined = std::env::args().any(|a| a == "pipelined");
+    if pipelined {
+        xvi_bench::experiments::run_pipelined(xvi_bench::scale_permille(), xvi_bench::reps());
+    } else {
+        xvi_bench::experiments::run_concurrency(xvi_bench::scale_permille(), xvi_bench::reps());
+    }
 }

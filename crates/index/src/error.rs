@@ -14,6 +14,9 @@ pub enum IndexError {
     QuerySyntax(String),
     /// A query referenced a typed index that was not configured.
     TypeNotIndexed(xvi_fsm::XmlType),
+    /// A lookup required an index family (string or substring) that was
+    /// not configured; the value names the missing family.
+    IndexNotConfigured(&'static str),
     /// A service operation referenced a document id that is not
     /// registered in the catalog.
     UnknownDocument(String),
@@ -35,6 +38,9 @@ impl std::fmt::Display for IndexError {
             IndexError::QuerySyntax(msg) => write!(f, "query syntax error: {msg}"),
             IndexError::TypeNotIndexed(t) => {
                 write!(f, "no range index configured for {}", t.name())
+            }
+            IndexError::IndexNotConfigured(family) => {
+                write!(f, "no {family} index configured")
             }
             IndexError::UnknownDocument(id) => {
                 write!(f, "no document registered under id {id:?}")

@@ -21,11 +21,17 @@
 //!   associative and updates commute.
 //! * [`service`] — the sharded, multi-document [`IndexService`]: the
 //!   §5.1 argument scaled out to many documents, with a group-commit
-//!   pipeline coalescing concurrent write batches and lock-free
-//!   snapshot reads.
+//!   pipeline (non-blocking [`IndexService::submit`] returning a
+//!   [`CommitTicket`]) coalescing concurrent write batches and
+//!   lock-free snapshot reads.
+//! * [`lookup`] — the unified query surface: one typed [`Lookup`]
+//!   request covers equality, range, typed, substring, wildcard and
+//!   XPath lookups, evaluated by a single generic `query` entry point
+//!   at every layer.
 //! * [`query`] — a mini-XPath evaluator demonstrating how the indices
 //!   accelerate the paper's motivating queries, with a full-scan
-//!   fallback as the baseline.
+//!   fallback as the baseline and an [`Explanation`] rendering of the
+//!   chosen plan.
 //!
 //! Indices cover the **whole document** — no path or type
 //! configuration is required (the paper's "self-tuning" property) —
@@ -39,6 +45,7 @@
 mod config;
 pub mod create;
 mod error;
+pub mod lookup;
 mod manager;
 mod persist;
 pub mod query;
@@ -51,9 +58,12 @@ mod util;
 
 pub use config::IndexConfig;
 pub use error::IndexError;
+pub use lookup::{Bounds, Lookup, QueryResult};
 pub use manager::{IndexManager, IndexStats};
-pub use query::{Query, QueryEngine};
-pub use service::{DocSnapshot, IndexService, ServiceConfig, ServiceSnapshot};
+pub use query::{Explanation, Plan, Query, QueryEngine};
+pub use service::{
+    CommitReceipt, CommitTicket, DocId, DocSnapshot, IndexService, ServiceConfig, ServiceSnapshot,
+};
 pub use string_index::StringIndex;
 pub use substring::SubstringIndex;
 pub use txn::{Transaction, TransactionalStore};

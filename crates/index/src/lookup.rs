@@ -1,0 +1,243 @@
+//! The unified, typed query request: one [`Lookup`] value describes
+//! any lookup the indices can serve, and one generic entry point per
+//! layer evaluates it — [`IndexManager::query`](crate::IndexManager::query)
+//! for a bare `(Document, IndexManager)` pair,
+//! [`DocSnapshot::query`](crate::DocSnapshot::query) and
+//! [`ServiceSnapshot::query`](crate::ServiceSnapshot::query) for
+//! lock-free snapshots, and
+//! [`IndexService::query`](crate::IndexService::query) for the live
+//! service.
+//!
+//! This mirrors the paper's central claim: *one* annotation scheme
+//! (the circular-XOR hash `H` plus an FSM state with an associative
+//! combination) uniformly covers equality, range and substring
+//! lookups — so the API should too, instead of growing one method per
+//! lookup flavor.
+
+use std::ops::{Bound, RangeBounds};
+
+use xvi_fsm::XmlType;
+use xvi_xml::NodeId;
+
+use crate::error::IndexError;
+use crate::query::Query;
+
+/// The outcome of evaluating a [`Lookup`]: matching nodes in a
+/// deterministic order, or the reason the lookup could not be served
+/// (e.g. [`IndexError::TypeNotIndexed`] or
+/// [`IndexError::IndexNotConfigured`]).
+pub type QueryResult = Result<Vec<NodeId>, IndexError>;
+
+/// Owned numeric bounds for range lookups — [`RangeBounds<f64>`] made
+/// storable inside a [`Lookup`].
+///
+/// ```
+/// use xvi_index::Bounds;
+///
+/// let b = Bounds::from_range(40.0..=80.0);
+/// assert!(b.contains(42.0) && !b.contains(81.0));
+/// assert!(Bounds::all().contains(f64::MIN));
+/// assert!(Bounds::eq(42.0).contains(42.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Lower bound.
+    pub lo: Bound<f64>,
+    /// Upper bound.
+    pub hi: Bound<f64>,
+}
+
+impl Bounds {
+    /// The unbounded range (`..`).
+    pub fn all() -> Bounds {
+        Bounds {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// The degenerate range containing exactly `key` (`key..=key`).
+    pub fn eq(key: f64) -> Bounds {
+        Bounds {
+            lo: Bound::Included(key),
+            hi: Bound::Included(key),
+        }
+    }
+
+    /// Captures any standard range expression (`a..b`, `a..=b`, `..b`,
+    /// `a..`, `..`).
+    pub fn from_range<R: RangeBounds<f64>>(range: R) -> Bounds {
+        Bounds {
+            lo: range.start_bound().cloned(),
+            hi: range.end_bound().cloned(),
+        }
+    }
+
+    /// Whether `v` falls inside the bounds.
+    pub fn contains(&self, v: f64) -> bool {
+        <Self as RangeBounds<f64>>::contains(self, &v)
+    }
+}
+
+impl RangeBounds<f64> for Bounds {
+    fn start_bound(&self) -> Bound<&f64> {
+        self.lo.as_ref()
+    }
+
+    fn end_bound(&self) -> Bound<&f64> {
+        self.hi.as_ref()
+    }
+}
+
+impl std::fmt::Display for Bounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.lo {
+            Bound::Included(v) => write!(f, "[{v}")?,
+            Bound::Excluded(v) => write!(f, "({v}")?,
+            Bound::Unbounded => write!(f, "(-inf")?,
+        }
+        match self.hi {
+            Bound::Included(v) => write!(f, ", {v}]"),
+            Bound::Excluded(v) => write!(f, ", {v})"),
+            Bound::Unbounded => write!(f, ", +inf)"),
+        }
+    }
+}
+
+/// A typed query request, evaluated by the generic `query` entry point
+/// of every layer.
+///
+/// Constructors taking ranges or `&str` exist for every variant so
+/// call sites stay close to the old per-flavor methods:
+///
+/// ```
+/// use xvi_index::{Document, IndexConfig, IndexManager, Lookup, XmlType};
+///
+/// let doc = Document::parse(
+///     "<person><name>Arthur</name><age><decades>4</decades>2<years/></age></person>",
+/// ).unwrap();
+/// let idx = IndexManager::build(&doc, IndexConfig::default());
+///
+/// // Equality on string values — any node, any path.
+/// let hits = idx.query(&doc, &Lookup::equi("Arthur")).unwrap();
+/// assert_eq!(hits.len(), 2); // <name> and its text node
+///
+/// // Range on doubles — the mixed-content <age> concatenates to "42".
+/// let hits = idx.query(&doc, &Lookup::range_f64(40.0..=50.0)).unwrap();
+/// assert!(hits.iter().any(|&n| doc.name(n) == Some("age")));
+///
+/// // The same request works against every layer: a typed index that
+/// // is not configured reports an error instead of panicking.
+/// let err = idx.query(&doc, &Lookup::typed_eq(XmlType::Boolean, 1.0)).unwrap_err();
+/// assert!(matches!(err, xvi_index::IndexError::TypeNotIndexed(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Equality on XDM string values (hash probe + verification).
+    Equi(String),
+    /// Range scan on the double index (the default typed index — the
+    /// common case).
+    RangeF64(Bounds),
+    /// Equality on the typed index for an [`XmlType`] (served as a
+    /// degenerate range).
+    TypedEq(XmlType, f64),
+    /// Range scan on the typed index for an [`XmlType`].
+    TypedRange(XmlType, Bounds),
+    /// Substring containment over stored values (trigram index,
+    /// verified).
+    Contains(String),
+    /// `*`/`?` wildcard match over stored values (trigram index,
+    /// verified).
+    Wildcard(String),
+    /// A parsed mini-XPath query, planned and evaluated by
+    /// [`QueryEngine`](crate::QueryEngine) (with index acceleration
+    /// where a predicate lowers to one of the other variants).
+    XPath(Query),
+}
+
+impl Lookup {
+    /// Equality lookup on string values.
+    pub fn equi(value: impl Into<String>) -> Lookup {
+        Lookup::Equi(value.into())
+    }
+
+    /// Range lookup on the double index.
+    pub fn range_f64<R: RangeBounds<f64>>(range: R) -> Lookup {
+        Lookup::RangeF64(Bounds::from_range(range))
+    }
+
+    /// Typed equality lookup (e.g. the paper's `[.//age = 42]` on the
+    /// integer index).
+    pub fn typed_eq(ty: XmlType, key: f64) -> Lookup {
+        Lookup::TypedEq(ty, key)
+    }
+
+    /// Typed range lookup.
+    pub fn typed_range<R: RangeBounds<f64>>(ty: XmlType, range: R) -> Lookup {
+        Lookup::TypedRange(ty, Bounds::from_range(range))
+    }
+
+    /// Substring containment lookup.
+    pub fn contains(needle: impl Into<String>) -> Lookup {
+        Lookup::Contains(needle.into())
+    }
+
+    /// Wildcard (`*`/`?`) lookup.
+    pub fn wildcard(pattern: impl Into<String>) -> Lookup {
+        Lookup::Wildcard(pattern.into())
+    }
+
+    /// Parses a mini-XPath string into an [`Lookup::XPath`] request.
+    pub fn xpath(query: &str) -> Result<Lookup, IndexError> {
+        Ok(Lookup::XPath(crate::query::QueryEngine::parse(query)?))
+    }
+}
+
+impl std::fmt::Display for Lookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lookup::Equi(v) => write!(f, "equi({v:?})"),
+            Lookup::RangeF64(b) => write!(f, "range(double, {b})"),
+            Lookup::TypedEq(ty, k) => write!(f, "eq({}, {k})", ty.name()),
+            Lookup::TypedRange(ty, b) => write!(f, "range({}, {b})", ty.name()),
+            Lookup::Contains(n) => write!(f, "contains({n:?})"),
+            Lookup::Wildcard(p) => write!(f, "wildcard({p:?})"),
+            Lookup::XPath(q) => write!(f, "xpath({} steps)", q.steps.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_capture_every_range_shape() {
+        assert_eq!(Bounds::from_range(..), Bounds::all());
+        assert_eq!(Bounds::from_range(42.0..=42.0), Bounds::eq(42.0));
+        let half = Bounds::from_range(1.0..);
+        assert!(half.contains(1.0) && !half.contains(0.999));
+        let open = Bounds::from_range(1.0..2.0);
+        assert!(open.contains(1.5) && !open.contains(2.0));
+    }
+
+    #[test]
+    fn display_renders_compactly() {
+        assert_eq!(Lookup::equi("x").to_string(), "equi(\"x\")");
+        assert_eq!(
+            Lookup::range_f64(1.0..=2.0).to_string(),
+            "range(double, [1, 2])"
+        );
+        assert_eq!(
+            Lookup::typed_eq(XmlType::Integer, 17.0).to_string(),
+            "eq(integer, 17)"
+        );
+        assert_eq!(Bounds::all().to_string(), "(-inf, +inf)");
+    }
+
+    #[test]
+    fn xpath_constructor_parses() {
+        assert!(Lookup::xpath("//person[.//age = 42]").is_ok());
+        assert!(Lookup::xpath("not a query").is_err());
+    }
+}

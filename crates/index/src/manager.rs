@@ -2,7 +2,6 @@
 //! lookups, and the maintenance algorithms of paper §5.
 
 use std::collections::HashSet;
-use std::ops::RangeBounds;
 
 use xvi_fsm::{StateId, XmlType};
 use xvi_hash::{combine, hash_str, HashValue};
@@ -11,6 +10,7 @@ use xvi_xml::{Document, NodeId, NodeKind};
 use crate::config::IndexConfig;
 use crate::create::index_subtree;
 use crate::error::IndexError;
+use crate::lookup::{Bounds, Lookup, QueryResult};
 use crate::string_index::StringIndex;
 use crate::substring::SubstringIndex;
 use crate::typed_index::TypedIndex;
@@ -20,12 +20,12 @@ use crate::typed_index::TypedIndex;
 /// Build once with [`IndexManager::build`] (paper Figure 7), then keep
 /// it in sync through [`IndexManager::update_value`],
 /// [`IndexManager::update_values`], [`IndexManager::delete_subtree`]
-/// and [`IndexManager::index_new_subtree`] (paper Figure 8); queries go
-/// through [`IndexManager::equi_lookup`] and
-/// [`IndexManager::range_lookup`].
+/// and [`IndexManager::index_new_subtree`] (paper Figure 8); every
+/// lookup flavor goes through the one generic entry point,
+/// [`IndexManager::query`], with a typed [`Lookup`] request.
 ///
 /// ```
-/// use xvi_index::{IndexConfig, IndexManager};
+/// use xvi_index::{IndexConfig, IndexManager, Lookup};
 /// use xvi_xml::Document;
 ///
 /// let doc = Document::parse(
@@ -35,7 +35,7 @@ use crate::typed_index::TypedIndex;
 /// // whose *concatenated* string value matches. In this minimal
 /// // document that is <name>, <person>, and the document node, since
 /// // they all concatenate to the same text.
-/// let hits = idx.equi_lookup(&doc, "ArthurDent");
+/// let hits = idx.query(&doc, &Lookup::equi("ArthurDent")).unwrap();
 /// assert_eq!(hits.len(), 3);
 /// assert!(hits.iter().any(|&n| doc.name(n) == Some("name")));
 /// ```
@@ -137,29 +137,6 @@ impl IndexManager {
         self.substring.as_ref()
     }
 
-    /// Substring lookup: indexed nodes whose stored value contains
-    /// `needle` (verified, exact).
-    ///
-    /// # Panics
-    /// Panics if the substring index is not configured.
-    pub fn contains_lookup(&self, doc: &Document, needle: &str) -> Vec<NodeId> {
-        self.substring
-            .as_ref()
-            .expect("substring index not configured")
-            .contains(doc, needle)
-    }
-
-    /// Wildcard lookup (`*`/`?`) over stored values (verified, exact).
-    ///
-    /// # Panics
-    /// Panics if the substring index is not configured.
-    pub fn wildcard_lookup(&self, doc: &Document, pattern: &str) -> Vec<NodeId> {
-        self.substring
-            .as_ref()
-            .expect("substring index not configured")
-            .matches_wildcard(doc, pattern)
-    }
-
     /// The typed index for `ty`, if configured.
     pub fn typed_index(&self, ty: XmlType) -> Option<&TypedIndex> {
         self.typed.iter().find(|t| t.xml_type() == ty)
@@ -178,7 +155,9 @@ impl IndexManager {
     // ----- lookups ---------------------------------------------------------
 
     /// Candidate nodes whose string value *hashes* like `value`.
-    /// May contain hash-collision false positives.
+    /// May contain hash-collision false positives — the diagnostic
+    /// window into the paper's verification step; verified lookups go
+    /// through [`IndexManager::query`].
     ///
     /// # Panics
     /// Panics if the string index is not configured.
@@ -189,40 +168,46 @@ impl IndexManager {
             .candidates(hash_str(value))
     }
 
-    /// Equality lookup on string values, verified against the document
-    /// (no false positives). Returns text, element and attribute nodes
-    /// whose XDM string value equals `value`, in arena order.
-    pub fn equi_lookup(&self, doc: &Document, value: &str) -> Vec<NodeId> {
-        self.equi_candidates(value)
-            .into_iter()
-            .filter(|&n| doc.is_live(n) && doc.string_value(n) == value)
-            .collect()
+    /// Evaluates one typed [`Lookup`] request — the single generic
+    /// query entry point covering equality, range, typed, substring,
+    /// wildcard and XPath lookups.
+    ///
+    /// Results are verified against the document (no hash-collision or
+    /// trigram false positives) and returned in a deterministic order:
+    /// arena order for value lookups, document order for XPath.
+    pub fn query(&self, doc: &Document, lookup: &Lookup) -> QueryResult {
+        match lookup {
+            Lookup::Equi(value) => {
+                let string = self
+                    .string
+                    .as_ref()
+                    .ok_or(IndexError::IndexNotConfigured("string"))?;
+                Ok(string
+                    .candidates(hash_str(value))
+                    .into_iter()
+                    .filter(|&n| doc.is_live(n) && doc.string_value(n) == *value)
+                    .collect())
+            }
+            Lookup::RangeF64(bounds) => self.typed_range(XmlType::Double, *bounds),
+            Lookup::TypedEq(ty, key) => self.typed_range(*ty, Bounds::eq(*key)),
+            Lookup::TypedRange(ty, bounds) => self.typed_range(*ty, *bounds),
+            Lookup::Contains(needle) => Ok(self.substring()?.contains(doc, needle)),
+            Lookup::Wildcard(pattern) => Ok(self.substring()?.matches_wildcard(doc, pattern)),
+            Lookup::XPath(q) => Ok(crate::query::QueryEngine::evaluate(doc, self, q)),
+        }
     }
 
-    /// Range lookup on the typed index for `ty`.
-    pub fn range_lookup<R: RangeBounds<f64>>(
-        &self,
-        ty: XmlType,
-        bounds: R,
-    ) -> Result<Vec<NodeId>, IndexError> {
+    fn typed_range(&self, ty: XmlType, bounds: Bounds) -> QueryResult {
         Ok(self
             .typed_index(ty)
             .ok_or(IndexError::TypeNotIndexed(ty))?
             .range(bounds))
     }
 
-    /// Convenience range lookup on the double index.
-    ///
-    /// # Panics
-    /// Panics if no double index is configured (it is by default).
-    pub fn range_lookup_f64<R: RangeBounds<f64>>(&self, bounds: R) -> Vec<NodeId> {
-        self.range_lookup(XmlType::Double, bounds)
-            .expect("double index not configured")
-    }
-
-    /// Typed equality lookup (e.g. the paper's `[.//age = 42]`).
-    pub fn typed_eq_lookup(&self, ty: XmlType, key: f64) -> Result<Vec<NodeId>, IndexError> {
-        self.range_lookup(ty, key..=key)
+    fn substring(&self) -> Result<&SubstringIndex, IndexError> {
+        self.substring
+            .as_ref()
+            .ok_or(IndexError::IndexNotConfigured("substring"))
     }
 
     // ----- maintenance (paper Figure 8) -------------------------------------
@@ -582,32 +567,35 @@ mod tests {
     fn equi_lookup_paper_queries() {
         let (doc, idx) = setup();
         // //person[first/text()="Arthur"] — the text node exists:
-        let hits = idx.equi_lookup(&doc, "Arthur");
+        let hits = idx.query(&doc, &Lookup::equi("Arthur")).unwrap();
         assert_eq!(hits.len(), 2); // the text node and its <first> parent
                                    // fn:data(name) = "ArthurDent":
-        let hits = idx.equi_lookup(&doc, "ArthurDent");
+        let hits = idx.query(&doc, &Lookup::equi("ArthurDent")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(doc.name(hits[0]), Some("name"));
         // The mixed-content <age> has string value "42":
-        let hits = idx.equi_lookup(&doc, "42");
+        let hits = idx.query(&doc, &Lookup::equi("42")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(doc.name(hits[0]), Some("age"));
         // Nothing matches a string that is not a value:
-        assert!(idx.equi_lookup(&doc, "Zaphod").is_empty());
+        assert!(idx.query(&doc, &Lookup::equi("Zaphod")).unwrap().is_empty());
     }
 
     #[test]
     fn range_lookup_respects_mixed_content() {
         let (doc, idx) = setup();
         // <age> concatenates to "42", <weight> to "78.230".
-        let hits = idx.range_lookup_f64(40.0..=80.0);
+        let hits = idx.query(&doc, &Lookup::range_f64(40.0..=80.0)).unwrap();
         let names: Vec<_> = hits.iter().map(|&n| doc.name(n)).collect();
         assert!(names.contains(&Some("age")));
         assert!(names.contains(&Some("weight")));
         // Text node "78" and element <kilos> also cast to 78.
         assert!(hits.len() >= 4);
         // Degenerate range
-        assert!(idx.range_lookup_f64(1000.0..).is_empty());
+        assert!(idx
+            .query(&doc, &Lookup::range_f64(1000.0..))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -619,8 +607,11 @@ mod tests {
             doc.string_value(doc.root_element().unwrap()),
             "ArthurPrefect1966-09-264278.230"
         );
-        assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
-        let hits = idx.equi_lookup(&doc, "ArthurPrefect");
+        assert!(idx
+            .query(&doc, &Lookup::equi("ArthurDent"))
+            .unwrap()
+            .is_empty());
+        let hits = idx.query(&doc, &Lookup::equi("ArthurPrefect")).unwrap();
         assert_eq!(hits.len(), 1);
         idx.verify_against(&doc).unwrap();
     }
@@ -632,9 +623,12 @@ mod tests {
         // <age> becomes "49".
         idx.update_value(&mut doc, two, "9").unwrap();
         let age = find_elem(&doc, "age");
-        let hits = idx.range_lookup_f64(48.5..49.5);
+        let hits = idx.query(&doc, &Lookup::range_f64(48.5..49.5)).unwrap();
         assert!(hits.contains(&age));
-        assert!(!idx.range_lookup_f64(41.5..42.5).contains(&age));
+        assert!(!idx
+            .query(&doc, &Lookup::range_f64(41.5..42.5))
+            .unwrap()
+            .contains(&age));
         idx.verify_against(&doc).unwrap();
     }
 
@@ -649,7 +643,10 @@ mod tests {
         idx.verify_against(&doc).unwrap();
 
         idx.update_value(&mut doc, kilos_text, "80").unwrap();
-        assert!(idx.range_lookup_f64(80.0..81.0).contains(&weight));
+        assert!(idx
+            .query(&doc, &Lookup::range_f64(80.0..81.0))
+            .unwrap()
+            .contains(&weight));
         idx.verify_against(&doc).unwrap();
     }
 
@@ -663,8 +660,11 @@ mod tests {
 
         idx.update_value(&mut doc, attr, "43").unwrap();
         assert_eq!(idx.hash_of(r), root_hash_before);
-        assert_eq!(idx.equi_lookup(&doc, "43"), vec![attr]);
-        assert!(idx.range_lookup_f64(42.5..43.5).contains(&attr));
+        assert_eq!(idx.query(&doc, &Lookup::equi("43")).unwrap(), vec![attr]);
+        assert!(idx
+            .query(&doc, &Lookup::range_f64(42.5..43.5))
+            .unwrap()
+            .contains(&attr));
         idx.verify_against(&doc).unwrap();
     }
 
@@ -683,7 +683,10 @@ mod tests {
         let dent = find_text(&doc, "Dent");
         idx.update_values(&mut doc, [(arthur, "Ford"), (dent, "Prefect")])
             .unwrap();
-        assert_eq!(idx.equi_lookup(&doc, "FordPrefect").len(), 1);
+        assert_eq!(
+            idx.query(&doc, &Lookup::equi("FordPrefect")).unwrap().len(),
+            1
+        );
         idx.verify_against(&doc).unwrap();
     }
 
@@ -692,7 +695,7 @@ mod tests {
         let (mut doc, mut idx) = setup();
         let age = find_elem(&doc, "age");
         idx.delete_subtree(&mut doc, age).unwrap();
-        assert!(idx.equi_lookup(&doc, "42").is_empty());
+        assert!(idx.query(&doc, &Lookup::equi("42")).unwrap().is_empty());
         let person = doc.root_element().unwrap();
         assert_eq!(
             idx.hash_of(person),
@@ -708,7 +711,10 @@ mod tests {
         let height = doc.append_element(person, "height");
         doc.append_text(height, "1.85");
         idx.index_new_subtree(&doc, height);
-        assert!(idx.range_lookup_f64(1.8..1.9).contains(&height));
+        assert!(idx
+            .query(&doc, &Lookup::range_f64(1.8..1.9))
+            .unwrap()
+            .contains(&height));
         assert_eq!(
             idx.hash_of(person),
             Some(hash_str("ArthurDent1966-09-264278.2301.85"))
@@ -738,20 +744,25 @@ mod tests {
                 .unwrap();
         let idx = IndexManager::build(&doc, IndexConfig::all());
         let when = find_elem(&doc, "when");
-        let hits = idx.range_lookup(XmlType::DateTime, 1.2e12..1.3e12).unwrap();
+        let hits = idx
+            .query(
+                &doc,
+                &Lookup::typed_range(XmlType::DateTime, 1.2e12..1.3e12),
+            )
+            .unwrap();
         assert!(hits.contains(&when));
         let ok = find_elem(&doc, "ok");
         assert!(idx
-            .typed_eq_lookup(XmlType::Boolean, 1.0)
+            .query(&doc, &Lookup::typed_eq(XmlType::Boolean, 1.0))
             .unwrap()
             .contains(&ok));
         let n = find_elem(&doc, "n");
         assert!(idx
-            .typed_eq_lookup(XmlType::Integer, 17.0)
+            .query(&doc, &Lookup::typed_eq(XmlType::Integer, 17.0))
             .unwrap()
             .contains(&n));
         let err = IndexManager::build(&doc, IndexConfig::string_only())
-            .range_lookup(XmlType::Double, 0.0..1.0)
+            .query(&doc, &Lookup::typed_range(XmlType::Double, 0.0..1.0))
             .unwrap_err();
         assert!(matches!(err, IndexError::TypeNotIndexed(_)));
     }
@@ -769,7 +780,7 @@ mod tests {
         idx.verify_against(&doc).unwrap();
         idx.update_value(&mut doc, text, "not a number").unwrap();
         idx.verify_against(&doc).unwrap();
-        assert!(idx.range_lookup_f64(..).is_empty());
+        assert!(idx.query(&doc, &Lookup::range_f64(..)).unwrap().is_empty());
     }
 
     #[test]
@@ -777,29 +788,38 @@ mod tests {
         let mut doc = Document::parse(PERSON).unwrap();
         let mut idx = IndexManager::build(&doc, IndexConfig::default().with_substring_index());
         // Substring of a stored text value.
-        let hits = idx.contains_lookup(&doc, "rthu");
+        let hits = idx.query(&doc, &Lookup::contains("rthu")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(doc.string_value(hits[0]), "Arthur");
         // Wildcards over stored values.
-        let hits = idx.wildcard_lookup(&doc, "19??-09-*");
+        let hits = idx.query(&doc, &Lookup::wildcard("19??-09-*")).unwrap();
         assert_eq!(hits.len(), 1);
         // Updates keep the trigram postings exact.
         let arthur = find_text(&doc, "Arthur");
         idx.update_value(&mut doc, arthur, "Zaphod").unwrap();
-        assert!(idx.contains_lookup(&doc, "rthu").is_empty());
-        assert_eq!(idx.contains_lookup(&doc, "apho").len(), 1);
+        assert!(idx
+            .query(&doc, &Lookup::contains("rthu"))
+            .unwrap()
+            .is_empty());
+        assert_eq!(idx.query(&doc, &Lookup::contains("apho")).unwrap().len(), 1);
         idx.verify_against(&doc).unwrap();
         // Deletion drops postings.
         let name = find_elem(&doc, "name");
         idx.delete_subtree(&mut doc, name).unwrap();
-        assert!(idx.contains_lookup(&doc, "apho").is_empty());
+        assert!(idx
+            .query(&doc, &Lookup::contains("apho"))
+            .unwrap()
+            .is_empty());
         idx.verify_against(&doc).unwrap();
         // Insertion adds postings.
         let person = doc.root_element().unwrap();
         let e = doc.append_element(person, "nickname");
         doc.append_text(e, "Beeblebrox");
         idx.index_new_subtree(&doc, e);
-        assert_eq!(idx.contains_lookup(&doc, "eeble").len(), 1);
+        assert_eq!(
+            idx.query(&doc, &Lookup::contains("eeble")).unwrap().len(),
+            1
+        );
         idx.verify_against(&doc).unwrap();
     }
 

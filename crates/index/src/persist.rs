@@ -13,8 +13,16 @@
 //! A lightweight fingerprint (node counts + the document node's hash)
 //! guards against loading an image that does not belong to the
 //! document at hand.
+//!
+//! The multi-document [`IndexService`] catalog persists on top of the
+//! same single-document images: [`IndexService::save_catalog`] writes
+//! one manifest (service config, doc ids, per-doc versions) plus one
+//! serialized document and one index image per hosted document, and
+//! [`IndexService::load_catalog`] restores the service with identical
+//! shard count, ids and versions.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use xvi_fsm::XmlType;
 use xvi_hash::HashValue;
@@ -22,8 +30,10 @@ use xvi_xml::{Document, NodeId};
 
 use crate::config::IndexConfig;
 use crate::manager::IndexManager;
+use crate::service::{IndexService, ServiceConfig};
 
 const MAGIC: &[u8; 4] = b"XVI1";
+const CATALOG_MAGIC: &[u8; 4] = b"XVC1";
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -74,6 +84,34 @@ fn type_from_tag(tag: u8) -> io::Result<XmlType> {
     })
 }
 
+fn write_index_config(w: &mut impl Write, cfg: &IndexConfig) -> io::Result<()> {
+    w.write_all(&[
+        u8::from(cfg.string_index),
+        u8::from(cfg.substring_index),
+        cfg.typed.len() as u8,
+    ])?;
+    for &ty in &cfg.typed {
+        w.write_all(&[type_tag(ty)])?;
+    }
+    Ok(())
+}
+
+fn read_index_config(r: &mut impl Read) -> io::Result<IndexConfig> {
+    let mut flags = [0u8; 3];
+    r.read_exact(&mut flags)?;
+    let mut typed = Vec::with_capacity(flags[2] as usize);
+    for _ in 0..flags[2] {
+        let mut t = [0u8; 1];
+        r.read_exact(&mut t)?;
+        typed.push(type_from_tag(t[0])?);
+    }
+    Ok(IndexConfig {
+        string_index: flags[0] != 0,
+        typed,
+        substring_index: flags[1] != 0,
+    })
+}
+
 impl IndexManager {
     /// Serialises the index image for later [`IndexManager::load_from`].
     pub fn save_to(&self, doc: &Document, mut w: impl Write) -> io::Result<()> {
@@ -92,14 +130,7 @@ impl IndexManager {
 
         // Config.
         let cfg = self.config();
-        w.write_all(&[
-            u8::from(cfg.string_index),
-            u8::from(cfg.substring_index),
-            cfg.typed.len() as u8,
-        ])?;
-        for &ty in &cfg.typed {
-            w.write_all(&[type_tag(ty)])?;
-        }
+        write_index_config(&mut w, cfg)?;
 
         // String section: (node, hash) in node order.
         if let Some(s) = self.string_index() {
@@ -156,21 +187,9 @@ impl IndexManager {
         }
         let image_root_hash = read_u32(&mut r)?;
 
-        let mut flags = [0u8; 3];
-        r.read_exact(&mut flags)?;
-        let (string_index, substring_index, n_typed) =
-            (flags[0] != 0, flags[1] != 0, flags[2] as usize);
-        let mut typed_types = Vec::with_capacity(n_typed);
-        for _ in 0..n_typed {
-            let mut t = [0u8; 1];
-            r.read_exact(&mut t)?;
-            typed_types.push(type_from_tag(t[0])?);
-        }
-        let config = IndexConfig {
-            string_index,
-            typed: typed_types.clone(),
-            substring_index,
-        };
+        let config = read_index_config(&mut r)?;
+        let (string_index, substring_index) = (config.string_index, config.substring_index);
+        let typed_types = config.typed.clone();
 
         // The strongest cheap staleness check: the document node's hash
         // covers every text byte of the document, so any value change
@@ -224,9 +243,119 @@ impl IndexManager {
     }
 }
 
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_u32(r)? as usize;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("non-UTF-8 string in catalog manifest"))
+}
+
+/// Writes `content` produced by `fill` to `<dir>/<name>` crash-safely:
+/// the bytes go to a `.tmp` sibling first, are fsynced, and only then
+/// renamed over the final name — a torn save never clobbers a
+/// previously valid file.
+fn write_file_atomically(
+    dir: &Path,
+    name: &str,
+    fill: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+    fill(&mut w)?;
+    w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+impl IndexService {
+    /// Persists the whole catalog into `dir` (created if missing): a
+    /// `catalog.xvi` manifest carrying the service configuration
+    /// (shard count, group limit, index config), every document id and
+    /// its committed version, plus one serialized document
+    /// (`doc<i>.xml`) and one index image (`doc<i>.idx`) per hosted
+    /// document. The save works from one [`ServiceSnapshot`], so a
+    /// concurrently committing service persists a consistent
+    /// per-document prefix of the commit history.
+    ///
+    /// Every file is written to a temporary sibling, fsynced and
+    /// renamed into place, with the manifest renamed **last** — a
+    /// crash or full disk mid-save never truncates or tears an
+    /// existing manifest or image (though overwriting a live catalog
+    /// in place can still leave manifest and document files from
+    /// different saves paired; keep per-save directories where that
+    /// matters).
+    ///
+    /// [`ServiceSnapshot`]: crate::ServiceSnapshot
+    pub fn save_catalog(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let snap = self.snapshot_all();
+        let cfg = self.config();
+        for (i, (_, doc_snap)) in snap.iter().enumerate() {
+            write_file_atomically(dir, &format!("doc{i}.xml"), |w| {
+                w.write_all(xvi_xml::serialize::to_string(doc_snap.document()).as_bytes())
+            })?;
+            write_file_atomically(dir, &format!("doc{i}.idx"), |w| {
+                doc_snap.index().save_to(doc_snap.document(), w)
+            })?;
+        }
+        write_file_atomically(dir, "catalog.xvi", |manifest| {
+            manifest.write_all(CATALOG_MAGIC)?;
+            write_u32(manifest, cfg.shards as u32)?;
+            write_u32(manifest, cfg.max_group as u32)?;
+            write_index_config(manifest, &cfg.index)?;
+            write_u32(manifest, snap.doc_count() as u32)?;
+            for (id, doc_snap) in snap.iter() {
+                write_str(manifest, id)?;
+                write_u64(manifest, doc_snap.version())?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Restores a service persisted by [`IndexService::save_catalog`]:
+    /// shard count, group limit, index configuration, document ids and
+    /// per-document versions all round-trip. Each document is reparsed
+    /// and its indices bulk-loaded from the saved image (with the
+    /// image's staleness fingerprint still enforced).
+    pub fn load_catalog(dir: &Path) -> io::Result<IndexService> {
+        let mut manifest = std::io::BufReader::new(std::fs::File::open(dir.join("catalog.xvi"))?);
+        let mut magic = [0u8; 4];
+        manifest.read_exact(&mut magic)?;
+        if &magic != CATALOG_MAGIC {
+            return Err(bad("not an xvi catalog manifest"));
+        }
+        let shards = read_u32(&mut manifest)? as usize;
+        let max_group = read_u32(&mut manifest)? as usize;
+        let index = read_index_config(&mut manifest)?;
+        let service = IndexService::new(ServiceConfig {
+            shards,
+            max_group,
+            index,
+        });
+        let docs = read_u32(&mut manifest)? as usize;
+        for i in 0..docs {
+            let id = read_str(&mut manifest)?;
+            let version = read_u64(&mut manifest)?;
+            let xml = std::fs::read_to_string(dir.join(format!("doc{i}.xml")))?;
+            let doc = Document::parse(&xml)
+                .map_err(|e| bad(format!("catalog document {id:?} failed to parse: {e}")))?;
+            let image =
+                std::io::BufReader::new(std::fs::File::open(dir.join(format!("doc{i}.idx")))?);
+            let idx = IndexManager::load_from(&doc, image)?;
+            service.install_version(id, doc, idx, version);
+        }
+        Ok(service)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Lookup;
     use xvi_datagen::Dataset;
 
     fn setup() -> (Document, IndexManager) {
@@ -246,16 +375,16 @@ mod tests {
         loaded.verify_against(&doc).unwrap();
         // Same answers.
         assert_eq!(
-            idx.range_lookup_f64(0.0..100.0),
-            loaded.range_lookup_f64(0.0..100.0)
+            idx.query(&doc, &Lookup::range_f64(0.0..100.0)).unwrap(),
+            loaded.query(&doc, &Lookup::range_f64(0.0..100.0)).unwrap()
         );
         assert_eq!(
-            idx.equi_lookup(&doc, "Creditcard"),
-            loaded.equi_lookup(&doc, "Creditcard")
+            idx.query(&doc, &Lookup::equi("Creditcard")).unwrap(),
+            loaded.query(&doc, &Lookup::equi("Creditcard")).unwrap()
         );
         assert_eq!(
-            idx.contains_lookup(&doc, "mailto"),
-            loaded.contains_lookup(&doc, "mailto")
+            idx.query(&doc, &Lookup::contains("mailto")).unwrap(),
+            loaded.query(&doc, &Lookup::contains("mailto")).unwrap()
         );
     }
 
@@ -312,5 +441,101 @@ mod tests {
         let doc = Document::parse("<a/>").unwrap();
         assert!(IndexManager::load_from(&doc, &b"not an image"[..]).is_err());
         assert!(IndexManager::load_from(&doc, &b"XVI1"[..]).is_err()); // truncated
+    }
+
+    /// A scratch directory under the system temp dir, removed on drop.
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> ScratchDir {
+            let dir = std::env::temp_dir().join(format!("xvi-{tag}-{}", std::process::id()));
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn catalog_save_load_round_trip() {
+        use xvi_xml::NodeKind;
+
+        let config = ServiceConfig {
+            shards: 3,
+            max_group: 16,
+            index: IndexConfig::with_types(&[XmlType::Double, XmlType::Integer]),
+        };
+        let service = IndexService::new(config);
+        for (id, xml) in [
+            ("alpha", "<person><name>Arthur</name><age>42</age></person>"),
+            ("beta", "<person><name>Ford</name><age>200</age></person>"),
+            ("gamma", "<log><n>17</n><n>18</n></log>"),
+        ] {
+            service.insert_document(id, Document::parse(xml).unwrap());
+        }
+        // Commit into one document so a non-zero version must survive
+        // the round trip.
+        let node = service
+            .read("alpha", |doc, _| {
+                doc.descendants(doc.document_node())
+                    .find(|&n| matches!(doc.kind(n), NodeKind::Text(t) if t == "Arthur"))
+                    .unwrap()
+            })
+            .unwrap();
+        for value in ["Tricia", "Zaphod"] {
+            let mut txn = service.begin();
+            txn.set_value(node, value);
+            service.commit("alpha", txn).unwrap();
+        }
+
+        let scratch = ScratchDir::new("catalog");
+        service.save_catalog(&scratch.0).unwrap();
+        let loaded = IndexService::load_catalog(&scratch.0).unwrap();
+
+        // Shard count, ids and versions round-trip.
+        assert_eq!(loaded.config().shards, 3);
+        assert_eq!(loaded.config().max_group, 16);
+        assert_eq!(loaded.config().index, service.config().index);
+        assert_eq!(loaded.doc_ids(), service.doc_ids());
+        for id in ["alpha", "beta", "gamma"] {
+            assert_eq!(loaded.version_of(id), service.version_of(id), "{id}");
+        }
+        assert_eq!(loaded.version_of("alpha"), Some(2));
+
+        // The restored indices answer identically and verify cleanly.
+        for lookup in [
+            Lookup::equi("Zaphod"),
+            Lookup::range_f64(0.0..=1000.0),
+            Lookup::typed_eq(XmlType::Integer, 17.0),
+        ] {
+            assert_eq!(
+                loaded.snapshot_all().query(&lookup),
+                service.snapshot_all().query(&lookup),
+                "{lookup}"
+            );
+        }
+        for id in loaded.doc_ids() {
+            loaded
+                .read(&id, |doc, idx| idx.verify_against(doc).unwrap())
+                .unwrap();
+        }
+
+        // A restored service stays writable at the restored version.
+        let mut txn = loaded.begin();
+        txn.set_value(node, "Marvin");
+        let receipt = loaded.commit("alpha", txn).unwrap();
+        assert_eq!(receipt.version, 3);
+    }
+
+    #[test]
+    fn load_catalog_rejects_garbage() {
+        let scratch = ScratchDir::new("catalog-garbage");
+        std::fs::create_dir_all(&scratch.0).unwrap();
+        assert!(IndexService::load_catalog(&scratch.0).is_err()); // no manifest
+        std::fs::write(scratch.0.join("catalog.xvi"), b"nope").unwrap();
+        assert!(IndexService::load_catalog(&scratch.0).is_err());
     }
 }

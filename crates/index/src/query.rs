@@ -36,6 +36,7 @@ use xvi_fsm::XmlType;
 use xvi_xml::{Document, NodeId, NodeKind};
 
 use crate::error::IndexError;
+use crate::lookup::{Bounds, Lookup};
 use crate::manager::IndexManager;
 
 /// Navigation axis of a step.
@@ -116,20 +117,51 @@ pub struct Query {
     pub steps: Vec<Step>,
 }
 
-/// How [`QueryEngine::evaluate`] will serve a query.
+/// How [`QueryEngine::evaluate`] will serve a query: the last step's
+/// predicate is *lowered* into a value [`Lookup`] when an index
+/// covers it, and the candidates are reverse-matched through the path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
-    /// Equi-index probe with this string, then reverse path matching.
-    IndexEqui(String),
-    /// Double-index range scan, then reverse path matching.
-    IndexRange {
-        /// Inclusive/exclusive numeric bounds.
-        lo: std::ops::Bound<f64>,
-        /// Upper bound.
-        hi: std::ops::Bound<f64>,
-    },
+    /// Index probe with the lowered lookup, then reverse path matching.
+    Index(Lookup),
     /// Full document scan.
     Scan,
+}
+
+impl std::fmt::Display for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Plan::Index(lookup) => write!(f, "index probe {lookup}, then reverse path match"),
+            Plan::Scan => write!(f, "full document scan"),
+        }
+    }
+}
+
+/// The rendered execution plan of one query — what
+/// [`QueryEngine::explain`] returns: whether the index covered the
+/// predicate, how many candidates the value probe produced, and how
+/// many survived the path match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The chosen plan.
+    pub plan: Plan,
+    /// Nodes the value probe returned (`None` when the plan scans).
+    pub candidates: Option<usize>,
+    /// Final result count after path matching.
+    pub results: usize,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.candidates {
+            Some(c) => write!(
+                f,
+                "plan: {} — {} candidate(s), {} result(s)",
+                self.plan, c, self.results
+            ),
+            None => write!(f, "plan: {} — {} result(s)", self.plan, self.results),
+        }
+    }
 }
 
 /// Parser + evaluator.
@@ -146,8 +178,9 @@ impl QueryEngine {
         .query()
     }
 
-    /// Chooses the execution plan for a query: the predicate on the
-    /// *last* step is index-served when it is the only predicate.
+    /// Chooses the execution plan for a query, lowering the predicate
+    /// on the *last* step into a value [`Lookup`] when it is the only
+    /// predicate and a configured index covers it.
     pub fn plan(idx: &IndexManager, query: &Query) -> Plan {
         let n_preds = query.steps.iter().filter(|s| s.pred.is_some()).count();
         if n_preds != 1 {
@@ -162,7 +195,7 @@ impl QueryEngine {
         }
         match &pred.cmp {
             Some((CmpOp::Eq, Literal::Str(s))) if idx.string_index().is_some() => {
-                Plan::IndexEqui(s.clone())
+                Plan::Index(Lookup::Equi(s.clone()))
             }
             Some((op, Literal::Num(v))) if idx.typed_index(XmlType::Double).is_some() => {
                 use std::ops::Bound::*;
@@ -174,7 +207,7 @@ impl QueryEngine {
                     CmpOp::Ge => (Included(*v), Unbounded),
                     CmpOp::Ne => return Plan::Scan,
                 };
-                Plan::IndexRange { lo, hi }
+                Plan::Index(Lookup::RangeF64(Bounds { lo, hi }))
             }
             _ => Plan::Scan,
         }
@@ -183,19 +216,51 @@ impl QueryEngine {
     /// Index-accelerated evaluation; falls back to a scan when no
     /// index applies. Results are in document order, deduplicated.
     pub fn evaluate(doc: &Document, idx: &IndexManager, query: &Query) -> Vec<NodeId> {
-        let plan = Self::plan(idx, query);
-        let result = match plan {
-            Plan::Scan => return Self::evaluate_scan(doc, query),
-            Plan::IndexEqui(s) => {
-                let candidates = idx.equi_lookup(doc, &s);
-                Self::contexts_of_candidates(doc, query, &candidates)
+        match Self::plan(idx, query) {
+            Plan::Scan => Self::evaluate_scan(doc, query),
+            Plan::Index(lookup) => {
+                let candidates = idx
+                    .query(doc, &lookup)
+                    .expect("plan() only lowers to configured indices");
+                let result = Self::contexts_of_candidates(doc, query, &candidates);
+                Self::in_doc_order(doc, result)
             }
-            Plan::IndexRange { lo, hi } => {
-                let candidates = idx.range_lookup_f64((lo, hi));
-                Self::contexts_of_candidates(doc, query, &candidates)
+        }
+    }
+
+    /// Explains how [`QueryEngine::evaluate`] serves `query`: the
+    /// chosen plan (index-covered vs. scan), the candidate count the
+    /// value probe produced, and the final result count.
+    ///
+    /// ```
+    /// use xvi_index::{Document, IndexConfig, IndexManager, QueryEngine};
+    ///
+    /// let doc = Document::parse("<r><p><age>42</age></p><p><age>7</age></p></r>").unwrap();
+    /// let idx = IndexManager::build(&doc, IndexConfig::default());
+    /// let q = QueryEngine::parse("//p[age = 42]").unwrap();
+    /// let ex = QueryEngine::explain(&doc, &idx, &q);
+    /// assert!(ex.to_string().contains("index probe"));
+    /// assert_eq!(ex.results, 1);
+    /// ```
+    pub fn explain(doc: &Document, idx: &IndexManager, query: &Query) -> Explanation {
+        match Self::plan(idx, query) {
+            Plan::Scan => Explanation {
+                plan: Plan::Scan,
+                candidates: None,
+                results: Self::evaluate_scan(doc, query).len(),
+            },
+            Plan::Index(lookup) => {
+                let candidates = idx
+                    .query(doc, &lookup)
+                    .expect("plan() only lowers to configured indices");
+                let results = Self::contexts_of_candidates(doc, query, &candidates).len();
+                Explanation {
+                    plan: Plan::Index(lookup),
+                    candidates: Some(candidates.len()),
+                    results,
+                }
             }
-        };
-        Self::in_doc_order(doc, result)
+        }
     }
 
     /// Pure tree-walk evaluation (the baseline the index beats).
@@ -708,7 +773,7 @@ mod tests {
         assert_eq!(names_of(&doc, &hits), vec!["p1"]);
         assert!(matches!(
             QueryEngine::plan(&idx, &q),
-            Plan::IndexRange { .. }
+            Plan::Index(Lookup::RangeF64(_))
         ));
     }
 
@@ -718,7 +783,10 @@ mod tests {
         // <first> is nested under <name>, so the descendant axis is
         // needed from <person>.
         let q = QueryEngine::parse("//person[.//first/text() = \"Ford\"]").unwrap();
-        assert_eq!(QueryEngine::plan(&idx, &q), Plan::IndexEqui("Ford".into()));
+        assert_eq!(
+            QueryEngine::plan(&idx, &q),
+            Plan::Index(Lookup::equi("Ford"))
+        );
         let hits = QueryEngine::evaluate(&doc, &idx, &q);
         assert_eq!(names_of(&doc, &hits), vec!["p2"]);
         // A direct-child path from <person> correctly finds nothing.
@@ -772,5 +840,42 @@ mod tests {
         let (_, idx) = setup();
         let q = QueryEngine::parse("//person[age != 42]").unwrap();
         assert_eq!(QueryEngine::plan(&idx, &q), Plan::Scan);
+    }
+
+    #[test]
+    fn explain_reports_candidates_and_results() {
+        let (doc, idx) = setup();
+        // Index-covered: the value probe for "Arthur" yields the text
+        // node and its <first> parent; only <person id="p1"> survives
+        // the reverse path match.
+        let q = QueryEngine::parse("//person[.//first/text() = \"Arthur\"]").unwrap();
+        let ex = QueryEngine::explain(&doc, &idx, &q);
+        assert_eq!(ex.plan, Plan::Index(Lookup::equi("Arthur")));
+        assert_eq!(ex.candidates, Some(2));
+        assert_eq!(ex.results, 1);
+        let rendered = ex.to_string();
+        assert!(rendered.contains("index probe"), "{rendered}");
+        assert!(rendered.contains("2 candidate(s)"), "{rendered}");
+
+        // Scan fallback: no candidates to report.
+        let q = QueryEngine::parse("//person[years]").unwrap();
+        let ex = QueryEngine::explain(&doc, &idx, &q);
+        assert_eq!(ex.plan, Plan::Scan);
+        assert_eq!(ex.candidates, None);
+        assert!(ex.to_string().contains("full document scan"));
+    }
+
+    #[test]
+    fn explain_counts_match_evaluate() {
+        let (doc, idx) = setup();
+        for q in ["//person[age <= 42]", "//person[.//age = 42]", "//first"] {
+            let query = QueryEngine::parse(q).unwrap();
+            let ex = QueryEngine::explain(&doc, &idx, &query);
+            assert_eq!(
+                ex.results,
+                QueryEngine::evaluate(&doc, &idx, &query).len(),
+                "{q}"
+            );
+        }
     }
 }

@@ -7,16 +7,24 @@
 //! (hash of the document id picks the shard), and turns the
 //! per-commit lock into a **group-commit pipeline**:
 //!
-//! * Committing threads enqueue their write batches on the owning
-//!   shard's queue and wait. The first enqueuer becomes the **leader**;
-//!   it drains the queue (up to [`ServiceConfig::max_group`] batches
-//!   per round), coalesces all batches that target the same document,
-//!   and repairs that document's ancestors **once** via the existing
+//! * Committers **submit** their write batches to the owning shard's
+//!   queue without blocking: [`IndexService::submit`] enqueues and
+//!   returns a [`CommitTicket`] immediately, so one thread can keep
+//!   hundreds of commits in flight across shards and reap completions
+//!   in any order ([`CommitTicket::wait`] blocks,
+//!   [`CommitTicket::try_poll`] does not;
+//!   [`IndexService::commit`] is simply `submit(..).wait()`). The
+//!   first waiter to find the pipeline idle becomes the **leader**; it
+//!   drains the queue (up to [`ServiceConfig::max_group`] batches per
+//!   round), coalesces all batches that target the same document, and
+//!   repairs that document's ancestors **once** via the existing
 //!   [`IndexManager::update_values`] path — exactly the amortisation
 //!   the paper's associative combination function `C` makes sound:
 //!   because commits commute, collapsing a queue of transactions into
 //!   one batch per document yields the same indices as any serial
-//!   order.
+//!   order. Each ticket's completion slot is filled by the group
+//!   leader with a [`CommitReceipt`] carrying the publish version and
+//!   the applied-write count.
 //! * Reads are **lock-free snapshots**. Every document's committed
 //!   state lives in an [`Arc`]; a reader clones the `Arc` (one brief
 //!   shard-lock acquisition) and then queries an immutable version
@@ -37,7 +45,6 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::ops::RangeBounds;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -47,8 +54,12 @@ use xvi_xml::{Document, NodeId, NodeKind};
 
 use crate::config::IndexConfig;
 use crate::error::IndexError;
+use crate::lookup::{Lookup, QueryResult};
 use crate::manager::IndexManager;
 use crate::txn::Transaction;
+
+/// A document's catalog identifier.
+pub type DocId = String;
 
 /// Tuning knobs for an [`IndexService`].
 #[derive(Debug, Clone)]
@@ -127,9 +138,23 @@ struct Pending {
     slot: Arc<CommitSlot>,
 }
 
-/// Where a waiting committer picks up its result.
+/// What a completed commit reports back through its
+/// [`CommitTicket`]: which published version made the transaction's
+/// writes visible, and how many writes it applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The document version (count of committed transactions) whose
+    /// publish included this transaction. Every snapshot taken at or
+    /// after this version sees the writes.
+    pub version: u64,
+    /// Number of writes the transaction applied.
+    pub applied: usize,
+}
+
+/// Per-ticket completion slot, filled exactly once by the group
+/// leader (or the unwind guards, if a leader panics mid-round).
 struct CommitSlot {
-    result: Mutex<Option<Result<usize, IndexError>>>,
+    result: Mutex<Option<Result<CommitReceipt, IndexError>>>,
     cv: Condvar,
     /// Whether `fill` has run — checked by the unwind guards so a
     /// slot is filled exactly once even if a leader panics mid-round.
@@ -145,23 +170,124 @@ impl CommitSlot {
         }
     }
 
-    fn fill(&self, r: Result<usize, IndexError>) {
+    fn completed(r: Result<CommitReceipt, IndexError>) -> Arc<CommitSlot> {
+        let slot = CommitSlot::new();
+        *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        slot.filled.store(true, Ordering::SeqCst);
+        Arc::new(slot)
+    }
+
+    fn fill(&self, r: Result<CommitReceipt, IndexError>) {
         if self.filled.swap(true, Ordering::SeqCst) {
             return;
         }
         let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
         *slot = Some(r);
-        self.cv.notify_one();
+        self.cv.notify_all();
     }
 
-    fn wait(&self) -> Result<usize, IndexError> {
+    /// The result, if the commit completed — the slot keeps it, so the
+    /// probe can be repeated.
+    fn get(&self) -> Option<Result<CommitReceipt, IndexError>> {
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn wait_filled(&self) -> Result<CommitReceipt, IndexError> {
         let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(r) = slot.take() {
-                return r;
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
             }
             slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
         }
+    }
+}
+
+/// A commit in flight: the handle [`IndexService::submit`] returns
+/// immediately, resolved by the shard's group-commit leader.
+///
+/// Waiting is **cooperative**: if no leader is active on the shard,
+/// [`CommitTicket::wait`] takes over and drains the queue itself (this
+/// is what makes a single thread's pipelined submits make progress);
+/// otherwise it blocks on the completion slot until the active leader
+/// publishes the round. [`CommitTicket::try_poll`] never blocks and
+/// never drives the pipeline.
+///
+/// ```
+/// use xvi_index::{Document, IndexService, ServiceConfig};
+///
+/// let service = IndexService::new(ServiceConfig::default());
+/// service.insert_document("crew", Document::parse(
+///     "<person><name>Arthur</name></person>").unwrap());
+/// let node = service.read("crew", |doc, _| {
+///     doc.descendants(doc.document_node())
+///         .find(|&n| doc.direct_value(n).is_some()).unwrap()
+/// }).unwrap();
+///
+/// // Keep several commits in flight, then reap them in any order.
+/// let tickets: Vec<_> = (0..4).map(|i| {
+///     let mut txn = service.begin();
+///     txn.set_value(node, format!("v{i}"));
+///     service.submit("crew", txn)
+/// }).collect();
+/// for t in tickets.into_iter().rev() {
+///     let receipt = t.wait().unwrap();
+///     assert_eq!(receipt.applied, 1);
+/// }
+/// assert_eq!(service.version_of("crew"), Some(4));
+/// ```
+#[must_use = "a ticket must be waited on (or polled) to observe the commit outcome"]
+pub struct CommitTicket<'a> {
+    service: &'a IndexService,
+    /// Index of the shard whose pipeline resolves this ticket; `None`
+    /// when the ticket was born completed (empty or rejected submit).
+    shard: Option<usize>,
+    slot: Arc<CommitSlot>,
+}
+
+impl std::fmt::Debug for CommitTicket<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("completed", &self.slot.filled.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl CommitTicket<'_> {
+    /// Blocks until the commit is published (helping to drain the
+    /// shard's queue if no leader is active) and returns its receipt.
+    pub fn wait(self) -> Result<CommitReceipt, IndexError> {
+        loop {
+            if let Some(r) = self.slot.get() {
+                return r;
+            }
+            let shard = &self.service.shards[self.shard.expect("unfilled tickets carry a shard")];
+            if self.service.try_lead(shard) {
+                self.service.run_leader(shard);
+            } else {
+                // An active leader owns the queue (and therefore this
+                // ticket's pending entry); it fills the slot when the
+                // round publishes.
+                return self.slot.wait_filled();
+            }
+        }
+    }
+
+    /// Non-blocking completion probe: `Some(receipt)` once the commit
+    /// round has published, `None` while it is still queued. Never
+    /// performs pipeline work — progress is driven by `wait()` (on any
+    /// ticket of the shard) or by concurrent committers.
+    pub fn try_poll(&self) -> Option<Result<CommitReceipt, IndexError>> {
+        self.slot.get()
+    }
+
+    /// Whether the commit has completed (equivalent to
+    /// `try_poll().is_some()`).
+    pub fn is_complete(&self) -> bool {
+        self.slot.filled.load(Ordering::SeqCst)
     }
 }
 
@@ -206,7 +332,7 @@ impl Shard {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use xvi_index::{IndexService, ServiceConfig, Document};
+/// use xvi_index::{Document, IndexService, Lookup, ServiceConfig};
 ///
 /// let service = Arc::new(IndexService::new(ServiceConfig::default()));
 /// service.insert_document("crew", Document::parse(
@@ -216,17 +342,18 @@ impl Shard {
 /// // The lookup returns both <name> and its text node; updates target
 /// // nodes with a directly stored value.
 /// let node = service.read("crew", |doc, idx| {
-///     *idx.equi_lookup(doc, "Arthur")
+///     *idx.query(doc, &Lookup::equi("Arthur")).unwrap()
 ///         .iter()
 ///         .find(|&&n| doc.direct_value(n).is_some())
 ///         .unwrap()
 /// }).unwrap();
 /// txn.set_value(node, "Ford");
-/// service.commit("crew", txn).unwrap();
+/// let receipt = service.commit("crew", txn).unwrap();
+/// assert_eq!((receipt.version, receipt.applied), (1, 1));
 ///
-/// let snap = service.snapshot("crew").unwrap();
 /// // <name> and its text node both have string value "Ford".
-/// assert_eq!(snap.index().equi_lookup(snap.document(), "Ford").len(), 2);
+/// let snap = service.snapshot("crew").unwrap();
+/// assert_eq!(snap.query(&Lookup::equi("Ford")).unwrap().len(), 2);
 /// ```
 pub struct IndexService {
     shards: Vec<Shard>,
@@ -260,10 +387,14 @@ impl IndexService {
         &self.config
     }
 
-    fn shard_of(&self, doc_id: &str) -> &Shard {
+    fn shard_index(&self, doc_id: &str) -> usize {
         let mut h = DefaultHasher::new();
         doc_id.hash(&mut h);
-        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, doc_id: &str) -> &Shard {
+        &self.shards[self.shard_index(doc_id)]
     }
 
     fn handle(&self, doc_id: &str) -> Option<Arc<DocHandle>> {
@@ -277,13 +408,22 @@ impl IndexService {
     pub fn insert_document(&self, id: impl Into<String>, doc: Document) {
         let id = id.into();
         let idx = IndexManager::build(&doc, self.config.index.clone());
+        self.install_version(id, doc, idx, 0);
+    }
+
+    /// Registers a prebuilt `(document, index, version)` triple — the
+    /// catalog loader's entry point, which must restore versions
+    /// instead of resetting them.
+    pub(crate) fn install_version(
+        &self,
+        id: String,
+        doc: Document,
+        idx: IndexManager,
+        version: u64,
+    ) {
         let handle = Arc::new(DocHandle {
             id: id.clone(),
-            published: RwLock::new(Arc::new(DocVersion {
-                doc,
-                idx,
-                version: 0,
-            })),
+            published: RwLock::new(Arc::new(DocVersion { doc, idx, version })),
         });
         self.shard_of(&id).catalog.write().insert(id, handle);
     }
@@ -356,6 +496,15 @@ impl IndexService {
         }
     }
 
+    /// Evaluates one typed [`Lookup`] against a lock-free snapshot of
+    /// `doc_id`'s committed state — the service-level twin of
+    /// [`IndexManager::query`].
+    pub fn query(&self, doc_id: &str, lookup: &Lookup) -> QueryResult {
+        self.snapshot(doc_id)
+            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?
+            .query(lookup)
+    }
+
     /// Number of transactions committed into `doc_id`'s current
     /// version.
     pub fn version_of(&self, doc_id: &str) -> Option<u64> {
@@ -375,49 +524,84 @@ impl IndexService {
         Transaction::default()
     }
 
-    /// Commits a transaction against `doc_id` through the shard's
-    /// group-commit pipeline. Blocks until the batch is durably
-    /// published; returns the number of applied writes.
+    /// Enqueues a transaction on `doc_id`'s shard **without blocking**
+    /// and returns a [`CommitTicket`] for the in-flight commit. The
+    /// batch is applied by a later group-commit round; reap the
+    /// outcome with [`CommitTicket::wait`] or [`CommitTicket::try_poll`],
+    /// in any order relative to other tickets.
     ///
     /// A transaction either applies completely or not at all: if any
     /// buffered write targets a dead or non-value node, the whole
-    /// transaction is rejected and the document is untouched.
-    pub fn commit(&self, doc_id: &str, txn: Transaction) -> Result<usize, IndexError> {
-        let handle = self
-            .handle(doc_id)
-            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?;
-        if txn.writes.is_empty() {
-            return Ok(0);
-        }
-        let shard = self.shard_of(doc_id);
-        let slot = Arc::new(CommitSlot::new());
-        let became_leader = {
-            let mut st = shard
-                .pipeline
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            st.queue.push_back(Pending {
-                handle,
-                writes: txn.writes,
-                slot: Arc::clone(&slot),
-            });
-            if st.leader_active {
-                false
-            } else {
-                st.leader_active = true;
-                true
-            }
+    /// transaction is rejected and the document is untouched. An empty
+    /// transaction (or one against an unregistered document) returns
+    /// an already-completed ticket.
+    pub fn submit(&self, doc_id: &str, txn: Transaction) -> CommitTicket<'_> {
+        let Some(handle) = self.handle(doc_id) else {
+            return CommitTicket {
+                service: self,
+                shard: None,
+                slot: CommitSlot::completed(Err(IndexError::UnknownDocument(doc_id.to_string()))),
+            };
         };
-        if became_leader {
-            self.run_leader(shard);
+        if txn.writes.is_empty() {
+            let receipt = CommitReceipt {
+                version: handle.current().version,
+                applied: 0,
+            };
+            return CommitTicket {
+                service: self,
+                shard: None,
+                slot: CommitSlot::completed(Ok(receipt)),
+            };
         }
-        slot.wait()
+        let shard_idx = self.shard_index(doc_id);
+        let slot = Arc::new(CommitSlot::new());
+        let mut st = self.shards[shard_idx]
+            .pipeline
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        st.queue.push_back(Pending {
+            handle,
+            writes: txn.writes,
+            slot: Arc::clone(&slot),
+        });
+        drop(st);
+        CommitTicket {
+            service: self,
+            shard: Some(shard_idx),
+            slot,
+        }
+    }
+
+    /// Commits a transaction against `doc_id` through the shard's
+    /// group-commit pipeline, blocking until the batch is durably
+    /// published: exactly [`IndexService::submit`] followed by
+    /// [`CommitTicket::wait`].
+    pub fn commit(&self, doc_id: &str, txn: Transaction) -> Result<CommitReceipt, IndexError> {
+        self.submit(doc_id, txn).wait()
+    }
+
+    /// Claims shard leadership: `true` if the caller must now drain
+    /// the queue via [`IndexService::run_leader`], `false` if the
+    /// queue is empty or another leader is already active.
+    fn try_lead(&self, shard: &Shard) -> bool {
+        let mut st = shard
+            .pipeline
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if st.leader_active || st.queue.is_empty() {
+            false
+        } else {
+            st.leader_active = true;
+            true
+        }
     }
 
     /// Drains the shard's queue in group rounds until it is empty,
-    /// then steps down. Called by the thread that found the pipeline
-    /// idle; all other committers merely wait on their slot.
+    /// then steps down. Called by the waiter that found the pipeline
+    /// idle; all other waiters merely block on their slot.
     ///
     /// If the leader unwinds (a panic inside a round), the drop guard
     /// steps it down and fails everything still queued, so no
@@ -512,7 +696,7 @@ impl IndexService {
             // `update_values` pass (writes in enqueue order, so a
             // later transaction's write to the same node wins — the
             // serial-replay outcome).
-            let mut results: Vec<(Arc<CommitSlot>, Result<usize, IndexError>)> = Vec::new();
+            let mut results: Vec<(Arc<CommitSlot>, Result<CommitReceipt, IndexError>)> = Vec::new();
             let mut coalesced: Vec<(NodeId, String)> = Vec::new();
             let mut committed = 0u64;
             for p in group {
@@ -521,11 +705,21 @@ impl IndexService {
                         let n = p.writes.len();
                         coalesced.extend(p.writes);
                         committed += 1;
-                        results.push((p.slot, Ok(n)));
+                        results.push((
+                            p.slot,
+                            Ok(CommitReceipt {
+                                // All transactions of this round become
+                                // visible in the same publish; its version
+                                // is patched in below once known.
+                                version: 0,
+                                applied: n,
+                            }),
+                        ));
                     }
                     Err(e) => results.push((p.slot, Err(e))),
                 }
             }
+            let publish_version = base.version + committed;
             // Release the leader's extra reference before the
             // uniqueness probe below.
             drop(base);
@@ -572,6 +766,11 @@ impl IndexService {
                     drop(published);
                     drop(catalog);
                     self.commits.fetch_add(committed, Ordering::Relaxed);
+                    for (_, r) in results.iter_mut() {
+                        if let Ok(receipt) = r {
+                            receipt.version = publish_version;
+                        }
+                    }
                 } else {
                     drop(catalog);
                     for (_, r) in results.iter_mut() {
@@ -632,6 +831,12 @@ impl DocSnapshot {
     pub fn version(&self) -> u64 {
         self.inner.version
     }
+
+    /// Evaluates one typed [`Lookup`] against this immutable version
+    /// (no lock held, unaffected by concurrent commits).
+    pub fn query(&self, lookup: &Lookup) -> QueryResult {
+        self.inner.idx.query(&self.inner.doc, lookup)
+    }
 }
 
 /// A catalog-wide snapshot supporting fan-out lookups across every
@@ -659,42 +864,24 @@ impl ServiceSnapshot {
         })
     }
 
-    /// Equality lookup fanned out across all documents; returns
-    /// `(doc id, node)` hits.
-    pub fn equi_lookup(&self, value: &str) -> Vec<(&str, NodeId)> {
+    /// Evaluates one typed [`Lookup`] fanned out across every document
+    /// in the snapshot; returns `(doc id, node)` hits in id order (ids
+    /// borrowed from the snapshot — no per-hit allocation; call
+    /// `to_owned` on an id to keep it as a [`DocId`]).
+    ///
+    /// Documents whose configuration lacks the index family a lookup
+    /// needs are skipped rather than failing the whole fan-out (e.g. a
+    /// [`Lookup::Contains`] over a catalog without substring indices
+    /// returns no hits for those documents) — so every lookup flavor,
+    /// including typed-range, typed-eq and wildcard, is available
+    /// across documents.
+    pub fn query(&self, lookup: &Lookup) -> Vec<(&str, NodeId)> {
         self.docs
             .iter()
             .flat_map(|(id, v)| {
                 v.idx
-                    .equi_lookup(&v.doc, value)
-                    .into_iter()
-                    .map(move |n| (id.as_str(), n))
-            })
-            .collect()
-    }
-
-    /// Double range lookup fanned out across all documents.
-    pub fn range_lookup_f64<R: RangeBounds<f64> + Clone>(&self, bounds: R) -> Vec<(&str, NodeId)> {
-        self.docs
-            .iter()
-            .flat_map(|(id, v)| {
-                v.idx
-                    .range_lookup_f64(bounds.clone())
-                    .into_iter()
-                    .map(move |n| (id.as_str(), n))
-            })
-            .collect()
-    }
-
-    /// Substring lookup fanned out across the documents that carry a
-    /// substring index (others are skipped).
-    pub fn contains_lookup(&self, needle: &str) -> Vec<(&str, NodeId)> {
-        self.docs
-            .iter()
-            .filter(|(_, v)| v.idx.substring_index().is_some())
-            .flat_map(|(id, v)| {
-                v.idx
-                    .contains_lookup(&v.doc, needle)
+                    .query(&v.doc, lookup)
+                    .unwrap_or_default()
                     .into_iter()
                     .map(move |n| (id.as_str(), n))
             })
@@ -732,7 +919,7 @@ mod tests {
         assert!(service.contains_document("a"));
         assert!(!service.contains_document("c"));
         let (doc, idx) = service.remove_document("b").unwrap();
-        assert_eq!(idx.equi_lookup(&doc, "Ford").len(), 2);
+        assert_eq!(idx.query(&doc, &Lookup::equi("Ford")).unwrap().len(), 2);
         assert_eq!(service.doc_count(), 1);
         assert!(service.remove_document("b").is_none());
     }
@@ -748,7 +935,7 @@ mod tests {
     #[test]
     fn empty_commit_is_free() {
         let service = service_with_two_docs();
-        assert_eq!(service.commit("a", service.begin()).unwrap(), 0);
+        assert_eq!(service.commit("a", service.begin()).unwrap().applied, 0);
         assert_eq!(service.commit_count(), 0);
         assert_eq!(service.version_of("a"), Some(0));
     }
@@ -761,12 +948,12 @@ mod tests {
             .unwrap();
         let mut txn = service.begin();
         txn.set_value(node, "Tricia");
-        assert_eq!(service.commit("a", txn).unwrap(), 1);
+        assert_eq!(service.commit("a", txn).unwrap().applied, 1);
         assert_eq!(service.version_of("a"), Some(1));
         assert_eq!(service.version_of("b"), Some(0));
         service
             .read("a", |doc, idx| {
-                assert_eq!(idx.equi_lookup(doc, "Tricia").len(), 2);
+                assert_eq!(idx.query(doc, &Lookup::equi("Tricia")).unwrap().len(), 2);
                 idx.verify_against(doc).unwrap();
             })
             .unwrap();
@@ -786,7 +973,8 @@ mod tests {
         assert_eq!(
             before
                 .index()
-                .equi_lookup(before.document(), "Arthur")
+                .query(before.document(), &Lookup::equi("Arthur"))
+                .unwrap()
                 .len(),
             2
         );
@@ -795,7 +983,8 @@ mod tests {
         let after = service.snapshot("a").unwrap();
         assert!(after
             .index()
-            .equi_lookup(after.document(), "Arthur")
+            .query(after.document(), &Lookup::equi("Arthur"))
+            .unwrap()
             .is_empty());
         assert_eq!(after.version(), 1);
     }
@@ -816,7 +1005,7 @@ mod tests {
         // The good write must not have leaked through.
         service
             .read("a", |doc, idx| {
-                assert_eq!(idx.equi_lookup(doc, "Arthur").len(), 2);
+                assert_eq!(idx.query(doc, &Lookup::equi("Arthur")).unwrap().len(), 2);
                 idx.verify_against(doc).unwrap();
             })
             .unwrap();
@@ -828,14 +1017,14 @@ mod tests {
         let service = service_with_two_docs();
         let snap = service.snapshot_all();
         assert_eq!(snap.doc_count(), 2);
-        let ages = snap.range_lookup_f64(40.0..=200.0);
+        let ages = snap.query(&Lookup::range_f64(40.0..=200.0));
         assert!(ages.iter().any(|(id, _)| *id == "a"));
         assert!(ages.iter().any(|(id, _)| *id == "b"));
-        let hits = snap.equi_lookup("Ford");
+        let hits = snap.query(&Lookup::equi("Ford"));
         assert!(hits.iter().all(|(id, _)| *id == "b"));
         assert_eq!(hits.len(), 2);
         // No substring index configured: empty, not a panic.
-        assert!(snap.contains_lookup("rthu").is_empty());
+        assert!(snap.query(&Lookup::contains("rthu")).is_empty());
     }
 
     #[test]
@@ -845,7 +1034,7 @@ mod tests {
         let service = IndexService::new(config);
         service.insert_document("a", Document::parse(DOC_A).unwrap());
         let snap = service.snapshot_all();
-        assert_eq!(snap.contains_lookup("rthu").len(), 1);
+        assert_eq!(snap.query(&Lookup::contains("rthu")).len(), 1);
     }
 
     /// Many threads, many documents, one service: the final state of
@@ -914,6 +1103,165 @@ mod tests {
     }
 
     #[test]
+    fn submit_returns_immediately_and_wait_reaps() {
+        let service = service_with_two_docs();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Tricia");
+        let ticket = service.submit("a", txn);
+        // Nothing has driven the pipeline yet: the commit is queued,
+        // not published, and try_poll does not block or drive it.
+        assert!(!ticket.is_complete());
+        assert!(ticket.try_poll().is_none());
+        assert_eq!(service.version_of("a"), Some(0));
+        // wait() takes over leadership and drains the queue.
+        let receipt = ticket.wait().unwrap();
+        assert_eq!(
+            receipt,
+            CommitReceipt {
+                version: 1,
+                applied: 1
+            }
+        );
+        assert_eq!(service.version_of("a"), Some(1));
+    }
+
+    #[test]
+    fn tickets_reap_out_of_order() {
+        let service = service_with_two_docs();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let tickets: Vec<CommitTicket> = (0..8)
+            .map(|i| {
+                let mut txn = service.begin();
+                txn.set_value(node, format!("v{i}"));
+                service.submit("a", txn)
+            })
+            .collect();
+        // Waiting on the *last* ticket drains the whole queue; the
+        // earlier tickets complete as a side effect and their receipts
+        // stay available in any reap order.
+        let mut tickets = tickets;
+        let last = tickets.pop().unwrap();
+        let receipt = last.wait().unwrap();
+        assert_eq!(receipt.version, 8);
+        for t in tickets.iter() {
+            let r = t.try_poll().expect("drained by the last wait").unwrap();
+            assert_eq!(r.applied, 1);
+            assert_eq!(r.version, 8, "one group round published all eight");
+        }
+        for t in tickets.into_iter().rev() {
+            t.wait().unwrap();
+        }
+        assert_eq!(service.commit_count(), 8);
+        // Last submit wins on the shared node.
+        service
+            .read("a", |doc, idx| {
+                assert_eq!(idx.query(doc, &Lookup::equi("v7")).unwrap().len(), 2);
+                idx.verify_against(doc).unwrap();
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn submit_against_missing_doc_returns_completed_error_ticket() {
+        let service = service_with_two_docs();
+        let ticket = service.submit("nope", service.begin());
+        assert!(ticket.is_complete());
+        assert!(matches!(
+            ticket.wait().unwrap_err(),
+            IndexError::UnknownDocument(id) if id == "nope"
+        ));
+    }
+
+    #[test]
+    fn empty_submit_completes_with_current_version() {
+        let service = service_with_two_docs();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Eddie");
+        service.commit("a", txn).unwrap();
+        let receipt = service.submit("a", service.begin()).wait().unwrap();
+        assert_eq!(
+            receipt,
+            CommitReceipt {
+                version: 1,
+                applied: 0
+            }
+        );
+        assert_eq!(service.commit_count(), 1);
+    }
+
+    #[test]
+    fn rejected_submit_reports_through_its_ticket() {
+        let service = service_with_two_docs();
+        let root = service
+            .read("a", |doc, _| doc.root_element().unwrap())
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(root, "not a value node");
+        let ticket = service.submit("a", txn);
+        assert!(matches!(
+            ticket.wait().unwrap_err(),
+            IndexError::NotAValueNode(_)
+        ));
+        assert_eq!(service.commit_count(), 0);
+    }
+
+    /// Satellite regression: every lookup flavor — including the
+    /// typed-range, typed-eq and wildcard lookups that the old
+    /// per-flavor `ServiceSnapshot` surface silently lacked — must
+    /// agree between per-document queries and the cross-document
+    /// fan-out.
+    #[test]
+    fn cross_doc_query_agrees_with_per_doc_queries() {
+        use xvi_fsm::XmlType;
+        let config = ServiceConfig::with_shards(4).with_index(IndexConfig::all());
+        let service = IndexService::new(config);
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        service.insert_document("b", Document::parse(DOC_B).unwrap());
+        let snap = service.snapshot_all();
+        for lookup in [
+            Lookup::equi("Ford"),
+            Lookup::range_f64(40.0..=200.0),
+            Lookup::typed_range(XmlType::Integer, 41.0..43.0),
+            Lookup::typed_eq(XmlType::Integer, 200.0),
+            Lookup::contains("rthu"),
+            Lookup::wildcard("F?rd*"),
+            Lookup::XPath(crate::QueryEngine::parse("//person[age >= 42]").unwrap()),
+        ] {
+            let fan_out = snap.query(&lookup);
+            let mut per_doc: Vec<(&str, xvi_xml::NodeId)> = Vec::new();
+            for (id, doc_snap) in snap.iter() {
+                for n in doc_snap.query(&lookup).unwrap() {
+                    per_doc.push((id, n));
+                }
+            }
+            assert_eq!(fan_out, per_doc, "{lookup}");
+            // And the live-service entry point agrees per document.
+            for id in ["a", "b"] {
+                assert_eq!(
+                    service.query(id, &lookup).unwrap(),
+                    snap.iter()
+                        .find(|(i, _)| *i == id)
+                        .map(|(_, s)| s.query(&lookup).unwrap())
+                        .unwrap(),
+                    "{id}: {lookup}"
+                );
+            }
+        }
+        assert!(matches!(
+            service.query("nope", &Lookup::equi("x")).unwrap_err(),
+            IndexError::UnknownDocument(_)
+        ));
+    }
+
+    #[test]
     fn group_commit_of_one_still_works() {
         let service = IndexService::new(ServiceConfig {
             shards: 1,
@@ -927,14 +1275,14 @@ mod tests {
         for val in ["1", "2", "3"] {
             let mut txn = service.begin();
             txn.set_value(node, val);
-            assert_eq!(service.commit("a", txn).unwrap(), 1);
+            assert_eq!(service.commit("a", txn).unwrap().applied, 1);
         }
         assert_eq!(service.version_of("a"), Some(3));
         service
             .read("a", |doc, idx| {
                 // Both <person> and the document node concatenate to
                 // "Arthur3".
-                assert_eq!(idx.equi_lookup(doc, "Arthur3").len(), 2);
+                assert_eq!(idx.query(doc, &Lookup::equi("Arthur3")).unwrap().len(), 2);
                 idx.verify_against(doc).unwrap();
             })
             .unwrap();

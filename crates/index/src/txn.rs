@@ -13,7 +13,7 @@
 //!
 //! [`TransactionalStore`] realises that protocol for the common
 //! single-document case. It is a thin facade over
-//! [`IndexService`](crate::IndexService) — one shard, one document —
+//! [`IndexService`] — one shard, one document —
 //! so commits flow through the same group-commit pipeline and reads
 //! are the same lock-free snapshots as in the multi-document service.
 //! The commutativity property itself — *any* commit order yields
@@ -24,7 +24,7 @@ use xvi_xml::{Document, NodeId};
 use crate::config::IndexConfig;
 use crate::error::IndexError;
 use crate::manager::IndexManager;
-use crate::service::{IndexService, ServiceConfig};
+use crate::service::{CommitReceipt, CommitTicket, IndexService, ServiceConfig};
 
 /// The catalog id the facade registers its single document under.
 const DOC_ID: &str = "doc";
@@ -43,13 +43,32 @@ pub struct TransactionalStore {
 #[derive(Debug, Default)]
 pub struct Transaction {
     pub(crate) writes: Vec<(NodeId, String)>,
+    /// Position of each node's buffered write in `writes`, so
+    /// re-writing a node is O(1) instead of a scan (bulk transactions
+    /// stay linear in their write count).
+    slot_of: std::collections::HashMap<NodeId, usize>,
 }
 
 impl Transaction {
     /// Buffers a value write. No locks are taken and no ancestor is
     /// touched — maintenance is deferred to commit.
+    ///
+    /// Writing the same node twice is **last-write-wins**: the earlier
+    /// buffered value is replaced (first-write position kept), so a
+    /// transaction never carries more entries than distinct target
+    /// nodes and batches shrink *before* they reach the group-commit
+    /// leader.
     pub fn set_value(&mut self, node: NodeId, value: impl Into<String>) {
-        self.writes.push((node, value.into()));
+        let value = value.into();
+        match self.slot_of.entry(node) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.writes[*e.get()].1 = value;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.writes.len());
+                self.writes.push((node, value));
+            }
+        }
     }
 
     /// Number of buffered writes.
@@ -80,9 +99,16 @@ impl TransactionalStore {
     /// Commits a transaction through the group-commit pipeline:
     /// applies the buffered writes and repairs all affected ancestors
     /// from the *latest* committed state, per the paper's protocol.
-    /// Returns the number of applied writes.
-    pub fn commit(&self, txn: Transaction) -> Result<usize, IndexError> {
+    /// Blocks until published; equivalent to `submit(txn).wait()`.
+    pub fn commit(&self, txn: Transaction) -> Result<CommitReceipt, IndexError> {
         self.service.commit(DOC_ID, txn)
+    }
+
+    /// Enqueues a transaction without blocking, returning a
+    /// [`CommitTicket`] so several commits can be kept in flight (see
+    /// [`IndexService::submit`]).
+    pub fn submit(&self, txn: Transaction) -> CommitTicket<'_> {
+        self.service.submit(DOC_ID, txn)
     }
 
     /// Runs a read-only closure over a lock-free snapshot of the
@@ -109,6 +135,7 @@ impl TransactionalStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Lookup;
     use std::sync::Arc;
     use xvi_xml::NodeKind;
 
@@ -139,11 +166,11 @@ mod tests {
         assert!(t.is_empty());
         t.set_value(first, "Ford");
         assert_eq!(t.len(), 1);
-        assert_eq!(store.commit(t).unwrap(), 1);
+        assert_eq!(store.commit(t).unwrap().applied, 1);
         assert_eq!(store.commit_count(), 1);
 
         store.read(|doc, idx| {
-            assert_eq!(idx.equi_lookup(doc, "FordDent").len(), 1);
+            assert_eq!(idx.query(doc, &Lookup::equi("FordDent")).unwrap().len(), 1);
             idx.verify_against(doc).unwrap();
         });
     }
@@ -152,7 +179,7 @@ mod tests {
     fn empty_commit_is_free() {
         let doc = Document::parse(DOC).unwrap();
         let store = TransactionalStore::new(doc, IndexConfig::default());
-        assert_eq!(store.commit(store.begin()).unwrap(), 0);
+        assert_eq!(store.commit(store.begin()).unwrap().applied, 0);
         assert_eq!(store.commit_count(), 0);
     }
 
@@ -208,8 +235,18 @@ mod tests {
 
         assert_eq!(store.commit_count(), 3);
         store.read(|doc, idx| {
-            assert_eq!(idx.equi_lookup(doc, "ZaphodBeeblebrox").len(), 1);
-            assert!(idx.range_lookup_f64(199.0..201.0).len() >= 2);
+            assert_eq!(
+                idx.query(doc, &Lookup::equi("ZaphodBeeblebrox"))
+                    .unwrap()
+                    .len(),
+                1
+            );
+            assert!(
+                idx.query(doc, &Lookup::range_f64(199.0..201.0))
+                    .unwrap()
+                    .len()
+                    >= 2
+            );
             idx.verify_against(doc).unwrap();
         });
     }
@@ -228,8 +265,14 @@ mod tests {
         store.commit(t2).unwrap();
 
         store.read(|doc, idx| {
-            assert!(idx.equi_lookup(doc, "FordDent").is_empty());
-            assert_eq!(idx.equi_lookup(doc, "ZaphodDent").len(), 1);
+            assert!(idx
+                .query(doc, &Lookup::equi("FordDent"))
+                .unwrap()
+                .is_empty());
+            assert_eq!(
+                idx.query(doc, &Lookup::equi("ZaphodDent")).unwrap().len(),
+                1
+            );
             idx.verify_against(doc).unwrap();
         });
     }
@@ -246,10 +289,54 @@ mod tests {
         t.set_value(a, "Tricia");
         t.set_value(d, "McMillan");
         t.set_value(g, "30");
-        assert_eq!(store.commit(t).unwrap(), 3);
+        assert_eq!(store.commit(t).unwrap().applied, 3);
         store.read(|doc, idx| {
-            assert_eq!(idx.equi_lookup(doc, "TriciaMcMillan").len(), 1);
-            assert!(idx.range_lookup_f64(29.5..30.5).len() >= 2);
+            assert_eq!(
+                idx.query(doc, &Lookup::equi("TriciaMcMillan"))
+                    .unwrap()
+                    .len(),
+                1
+            );
+            assert!(
+                idx.query(doc, &Lookup::range_f64(29.5..30.5))
+                    .unwrap()
+                    .len()
+                    >= 2
+            );
+            idx.verify_against(doc).unwrap();
+        });
+    }
+
+    /// Satellite fix: writing the same node twice in one transaction
+    /// must keep only the last value — the batch shrinks *before* it
+    /// reaches the group-commit leader instead of relying on
+    /// downstream coalescing order.
+    #[test]
+    fn same_node_twice_is_last_write_wins() {
+        let doc = Document::parse(DOC).unwrap();
+        let a = text_node(&doc, "Arthur");
+        let d = text_node(&doc, "Dent");
+        let store = TransactionalStore::new(doc, IndexConfig::default());
+
+        let mut t = store.begin();
+        t.set_value(a, "Ford");
+        t.set_value(d, "Prefect");
+        t.set_value(a, "Zaphod");
+        t.set_value(a, "Tricia");
+        // Two buffered entries for two distinct nodes, not four.
+        assert_eq!(t.len(), 2);
+        assert_eq!(store.commit(t).unwrap().applied, 2);
+        store.read(|doc, idx| {
+            assert_eq!(
+                idx.query(doc, &Lookup::equi("TriciaPrefect"))
+                    .unwrap()
+                    .len(),
+                1
+            );
+            assert!(idx
+                .query(doc, &Lookup::equi("FordPrefect"))
+                .unwrap()
+                .is_empty());
             idx.verify_against(doc).unwrap();
         });
     }
@@ -263,7 +350,10 @@ mod tests {
         t.set_value(a, "Random");
         store.commit(t).unwrap();
         let (doc, idx) = store.into_parts();
-        assert_eq!(idx.equi_lookup(&doc, "RandomDent").len(), 1);
+        assert_eq!(
+            idx.query(&doc, &Lookup::equi("RandomDent")).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -275,11 +365,17 @@ mod tests {
         t.set_value(a, "Ford");
         // Not yet committed: reads still see Arthur.
         store.read(|doc, idx| {
-            assert_eq!(idx.equi_lookup(doc, "ArthurDent").len(), 1);
+            assert_eq!(
+                idx.query(doc, &Lookup::equi("ArthurDent")).unwrap().len(),
+                1
+            );
         });
         store.commit(t).unwrap();
         store.read(|doc, idx| {
-            assert!(idx.equi_lookup(doc, "ArthurDent").is_empty());
+            assert!(idx
+                .query(doc, &Lookup::equi("ArthurDent"))
+                .unwrap()
+                .is_empty());
         });
     }
 }

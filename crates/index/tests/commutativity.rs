@@ -192,7 +192,7 @@ proptest! {
             .collect();
         let mut applied = 0usize;
         for h in handles {
-            applied += h.join().expect("committer panicked");
+            applied += h.join().expect("committer panicked").applied;
         }
         prop_assert_eq!(
             applied,
@@ -206,5 +206,50 @@ proptest! {
         snap.index()
             .verify_against(snap.document())
             .map_err(proptest::test_runner::TestCaseError::fail)?;
+    }
+
+    /// `submit` + deferred `wait` must be observably identical to the
+    /// old blocking `commit` (which is now literally `submit().wait()`):
+    /// pipelining every transaction before reaping any ticket yields
+    /// the same receipts, commit count and byte-identical indices as
+    /// committing one by one.
+    #[test]
+    fn pipelined_submit_equals_blocking_commit(case in case_strategy()) {
+        let run = |pipelined: bool| {
+            let doc = build_doc(&case.leaves);
+            let nodes = text_nodes(&doc);
+            let service = IndexService::new(
+                ServiceConfig::with_shards(1).with_max_group(2).with_index(config()),
+            );
+            service.insert_document("doc", doc);
+            let make_txn = |t: usize| {
+                let mut txn = service.begin();
+                for (leaf, v) in &case.txns[t] {
+                    txn.set_value(nodes[*leaf], v.clone());
+                }
+                txn
+            };
+            let mut receipts = Vec::new();
+            if pipelined {
+                let tickets: Vec<_> = (0..case.txns.len())
+                    .map(|t| service.submit("doc", make_txn(t)))
+                    .collect();
+                for ticket in tickets {
+                    receipts.push(ticket.wait().unwrap());
+                }
+            } else {
+                for t in 0..case.txns.len() {
+                    receipts.push(service.commit("doc", make_txn(t)).unwrap());
+                }
+            }
+            let applied: Vec<usize> = receipts.iter().map(|r| r.applied).collect();
+            let snap = service.snapshot("doc").unwrap();
+            (applied, service.commit_count(), fingerprint(snap.document(), snap.index()))
+        };
+        let (applied_p, count_p, fp_p) = run(true);
+        let (applied_b, count_b, fp_b) = run(false);
+        prop_assert_eq!(applied_p, applied_b);
+        prop_assert_eq!(count_p, count_b);
+        prop_assert_eq!(fp_p, fp_b, "pipelined submits diverged from blocking commits");
     }
 }

@@ -6,7 +6,7 @@
 //! are worthless if they drift.
 
 use proptest::prelude::*;
-use xvi_index::{IndexConfig, IndexManager, XmlType};
+use xvi_index::{IndexConfig, IndexManager, Lookup, XmlType};
 use xvi_xml::{Document, NodeId, NodeKind};
 
 /// Values that exercise all interesting FSM transitions: numbers,
@@ -180,7 +180,7 @@ proptest! {
         let idx = IndexManager::build(&doc, IndexConfig::default());
 
         let hits: std::collections::HashSet<NodeId> =
-            idx.equi_lookup(&doc, &needle).into_iter().collect();
+            idx.query(&doc, &Lookup::equi(&needle)).unwrap().into_iter().collect();
         let mut expected = std::collections::HashSet::new();
         for n in doc.descendants_or_self(doc.document_node()) {
             if matches!(doc.kind(n), NodeKind::Comment(_) | NodeKind::Pi { .. }) {
@@ -210,7 +210,7 @@ proptest! {
         let idx = IndexManager::build(&doc, IndexConfig::default());
 
         let hits: std::collections::HashSet<NodeId> =
-            idx.range_lookup_f64(lo..=hi).into_iter().collect();
+            idx.query(&doc, &Lookup::range_f64(lo..=hi)).unwrap().into_iter().collect();
         let mut expected = std::collections::HashSet::new();
         for n in doc.descendants_or_self(doc.document_node()) {
             if matches!(doc.kind(n), NodeKind::Comment(_) | NodeKind::Pi { .. }) {

@@ -45,7 +45,7 @@ fn main() {
     );
 
     // Ad-hoc query 2: exact string match across *all* paths.
-    let (hits, t_eq) = timed(|| idx.equi_lookup(&doc, "Creditcard"));
+    let (hits, t_eq) = timed(|| idx.query(&doc, &Lookup::equi("Creditcard")).unwrap());
     println!(
         "nodes with value \"Creditcard\": {} ({t_eq:.2} ms)",
         hits.len()

@@ -39,11 +39,18 @@ fn main() -> std::io::Result<()> {
 
     // Same answers, still updatable.
     assert_eq!(
-        idx.range_lookup_f64(1999.0..=1999.0).len(),
-        loaded.range_lookup_f64(1999.0..=1999.0).len()
+        idx.query(&doc, &Lookup::range_f64(1999.0..=1999.0))
+            .unwrap()
+            .len(),
+        loaded
+            .query(&doc, &Lookup::range_f64(1999.0..=1999.0))
+            .unwrap()
+            .len()
     );
     let mut loaded = loaded;
-    let year_text = loaded.range_lookup_f64(1999.0..=1999.0)[0];
+    let year_text = loaded
+        .query(&doc, &Lookup::range_f64(1999.0..=1999.0))
+        .unwrap()[0];
     let year_text = doc
         .descendants_or_self(year_text)
         .find(|&n| doc.kind(n).has_direct_value())

@@ -29,11 +29,11 @@ fn main() {
 
     // ── Equality lookup on string values ────────────────────────────
     // //person[first/text() = "Arthur"]
-    let hits = idx.equi_lookup(&doc, "Arthur");
+    let hits = idx.query(&doc, &Lookup::equi("Arthur")).unwrap();
     println!("nodes with string value \"Arthur\": {}", hits.len());
     // //*[fn:data(name) = "ArthurDent"] — element string values are
     // concatenations of descendant text.
-    for n in idx.equi_lookup(&doc, "ArthurDent") {
+    for n in idx.query(&doc, &Lookup::equi("ArthurDent")).unwrap() {
         println!(
             "  \"ArthurDent\" is the value of <{}>",
             doc.name(n).unwrap_or("?")
@@ -43,7 +43,7 @@ fn main() {
     // ── Range lookup on doubles, mixed content respected ────────────
     // //person[.//age = 42] matches <age> although no single text node
     // spells "42"; likewise <weight> = 78.230 across three nodes.
-    for n in idx.range_lookup_f64(40.0..=80.0) {
+    for n in idx.query(&doc, &Lookup::range_f64(40.0..=80.0)).unwrap() {
         println!(
             "double in [40, 80]: <{}> = {}",
             doc.name(n).unwrap_or("#text"),
@@ -56,14 +56,23 @@ fn main() {
     // from its children's *stored* hashes via C. ("Dent" matches both
     // the text node and its <family> parent — update the text node.)
     let dent = idx
-        .equi_lookup(&doc, "Dent")
+        .query(&doc, &Lookup::equi("Dent"))
+        .unwrap()
         .into_iter()
         .find(|&n| doc.kind(n).has_direct_value())
         .expect("the Dent text node exists");
     idx.update_value(&mut doc, dent, "Prefect")
         .expect("text node");
-    assert!(idx.equi_lookup(&doc, "ArthurDent").is_empty());
-    assert_eq!(idx.equi_lookup(&doc, "ArthurPrefect").len(), 1);
+    assert!(idx
+        .query(&doc, &Lookup::equi("ArthurDent"))
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        idx.query(&doc, &Lookup::equi("ArthurPrefect"))
+            .unwrap()
+            .len(),
+        1
+    );
     println!(
         "after update, <name> = {:?}",
         doc.string_value(doc.root_element().unwrap())

@@ -60,7 +60,7 @@ fn main() {
     store.read(|doc, idx| {
         idx.verify_against(doc)
             .expect("commutative commits converge");
-        let adults = idx.range_lookup_f64(20.0..=79.0);
+        let adults = idx.query(doc, &Lookup::range_f64(20.0..=79.0)).unwrap();
         println!(
             "ages now in [20, 79]: {} nodes — index verified ✓",
             adults.len()

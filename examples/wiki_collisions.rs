@@ -54,7 +54,7 @@ fn main() {
         if let NodeKind::Text(t) = doc.kind(n) {
             probes += 1;
             let candidates = idx.equi_candidates(t);
-            let verified = idx.equi_lookup(&doc, t);
+            let verified = idx.query(&doc, &Lookup::equi(t)).unwrap();
             false_positives += candidates.len() - verified.len();
             assert!(verified.iter().all(|&m| doc.string_value(m) == *t));
         }

@@ -5,13 +5,19 @@
 //! ```sh
 //! cargo run --release --bin xvi-cli -- path/to/doc.xml
 //! cargo run --release --bin xvi-cli -- --dataset xmark1 --scale 100
+//! cargo run --release --bin xvi-cli -- query --dataset xmark1 --explain '//person[.//age = 42]'
 //! cargo run --release --bin xvi-cli -- stress --threads 8 --ops 5000
+//! cargo run --release --bin xvi-cli -- stress --threads 1 --pipeline 64
 //! ```
 //!
-//! Then type `help` at the prompt (interactive mode), or let the
-//! `stress` subcommand drive the sharded index service with a mixed
-//! concurrent workload and report throughput.
+//! Then type `help` at the prompt (interactive mode), let the `query`
+//! subcommand evaluate one mini-XPath query (with `--explain` showing
+//! the chosen plan), or let the `stress` subcommand drive the sharded
+//! index service with a mixed concurrent workload and report
+//! throughput (`--pipeline <depth>` keeps that many commits in flight
+//! per writer via `submit`/`CommitTicket` instead of blocking).
 
+use std::collections::VecDeque;
 use std::io::{BufRead, Write as _};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -31,7 +37,20 @@ fn main() {
                 eprintln!(
                     "usage: xvi-cli stress [--docs <n>] [--threads <n>] [--ops <n>] \
                      [--scale <permille>] [--write-pct <0-100>] [--group <n>] \
-                     [--shards <n>] [--seed <n>]"
+                     [--shards <n>] [--seed <n>] [--pipeline <depth>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("query") {
+        match run_query_cmd(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: xvi-cli query [--explain] [--dataset <name> | <file.xml>] \
+                     [--scale <permille>] '<mini-xpath>'"
                 );
                 std::process::exit(2);
             }
@@ -90,11 +109,20 @@ fn main() {
             "help" => help(),
             "stats" => print_stats(&doc, &idx),
             "query" | "scan" => run_query(&doc, &idx, cmd == "query", rest),
-            "eq" => timed_nodes("equi", &doc, || idx.equi_lookup(&doc, rest)),
-            "contains" => timed_nodes("contains", &doc, || idx.contains_lookup(&doc, rest)),
-            "like" => timed_nodes("wildcard", &doc, || idx.wildcard_lookup(&doc, rest)),
+            "explain" => explain_query(&doc, &idx, rest),
+            "eq" => timed_nodes("equi", &doc, || {
+                idx.query(&doc, &Lookup::equi(rest)).unwrap()
+            }),
+            "contains" => timed_nodes("contains", &doc, || {
+                idx.query(&doc, &Lookup::contains(rest)).unwrap()
+            }),
+            "like" => timed_nodes("wildcard", &doc, || {
+                idx.query(&doc, &Lookup::wildcard(rest)).unwrap()
+            }),
             "range" => match parse_range(rest) {
-                Some((lo, hi)) => timed_nodes("range", &doc, || idx.range_lookup_f64(lo..=hi)),
+                Some((lo, hi)) => timed_nodes("range", &doc, || {
+                    idx.query(&doc, &Lookup::range_f64(lo..=hi)).unwrap()
+                }),
                 None => println!("usage: range <lo> <hi>"),
             },
             "set" => match rest.split_once(' ') {
@@ -123,9 +151,84 @@ fn main() {
     }
 }
 
+/// `query`: one-shot evaluation of a mini-XPath query over a file or
+/// synthetic dataset, with `--explain` rendering the chosen plan.
+fn run_query_cmd(args: &[String]) -> Result<(), String> {
+    let mut explain = false;
+    let mut source_args: Vec<String> = Vec::new();
+    let mut query_str: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--explain" => {
+                explain = true;
+                i += 1;
+            }
+            "--dataset" | "--scale" => {
+                source_args.push(args[i].clone());
+                source_args.push(
+                    args.get(i + 1)
+                        .ok_or_else(|| format!("{} needs a value", args[i]))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other
+                if query_str.is_none() && (other.starts_with('/') && !other.ends_with(".xml")) =>
+            {
+                query_str = Some(other.to_string());
+                i += 1;
+            }
+            other if other.ends_with(".xml") => {
+                source_args.push(other.to_string());
+                i += 1;
+            }
+            other => {
+                if query_str.is_none() {
+                    query_str = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument `{other}`"));
+                }
+                i += 1;
+            }
+        }
+    }
+    let q = query_str.ok_or("no query given")?;
+    let (label, xml) = if source_args.is_empty() {
+        parse_args(&["--dataset".to_string(), "xmark1".to_string()])?
+    } else {
+        parse_args(&source_args)?
+    };
+    let doc = Document::parse(&xml).map_err(|e| format!("failed to parse {label}: {e}"))?;
+    let idx = IndexManager::build(
+        &doc,
+        IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime]).with_substring_index(),
+    );
+    let query = QueryEngine::parse(&q).map_err(|e| e.to_string())?;
+    println!("source: {label}");
+    if explain {
+        println!("{}", QueryEngine::explain(&doc, &idx, &query));
+    }
+    let t = Instant::now();
+    let result = QueryEngine::evaluate(&doc, &idx, &query);
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    preview(&doc, &result);
+    println!("{} node(s) in {ms:.2} ms", result.len());
+    Ok(())
+}
+
+fn explain_query(doc: &Document, idx: &IndexManager, q: &str) {
+    match QueryEngine::parse(q) {
+        Ok(query) => println!("{}", QueryEngine::explain(doc, idx, &query)),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
 /// `stress`: host several synthetic documents in an [`IndexService`]
 /// and hammer it with a zipf-skewed mixed reader/writer workload from
 /// many threads, then report throughput and verify the indices.
+/// `--pipeline <depth>` switches writers from blocking `commit` to
+/// `submit` with up to `depth` tickets in flight each.
 fn run_stress(args: &[String]) -> Result<(), String> {
     let mut docs_n = 8usize;
     let mut threads = 4usize;
@@ -135,6 +238,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
     let mut group = 64usize;
     let mut shards = 8usize;
     let mut seed = 42u64;
+    let mut pipeline = 1usize;
     let mut i = 0;
     while i < args.len() {
         let val = |j: usize| -> Result<&String, String> {
@@ -157,6 +261,14 @@ fn run_stress(args: &[String]) -> Result<(), String> {
             "--group" => group = val(i + 1)?.parse().map_err(|e| format!("--group: {e}"))?,
             "--shards" => shards = val(i + 1)?.parse().map_err(|e| format!("--shards: {e}"))?,
             "--seed" => seed = val(i + 1)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--pipeline" => {
+                pipeline = val(i + 1)?
+                    .parse()
+                    .map_err(|e| format!("--pipeline: {e}"))?;
+                if pipeline == 0 {
+                    return Err("--pipeline must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown stress option `{other}`")),
         }
         i += 2;
@@ -187,6 +299,9 @@ fn run_stress(args: &[String]) -> Result<(), String> {
         t.elapsed().as_secs_f64() * 1000.0,
         shards
     );
+    if pipeline > 1 {
+        println!("pipelined commits: up to {pipeline} in flight per writer thread");
+    }
 
     let workload = ConcurrentWorkload::generate(
         &docs,
@@ -214,6 +329,10 @@ fn run_stress(args: &[String]) -> Result<(), String> {
             std::thread::spawn(move || {
                 barrier.wait();
                 let mut hits = 0usize;
+                // In pipelined mode each writer keeps up to `pipeline`
+                // submits in flight and reaps the oldest ticket only
+                // when the window is full.
+                let mut in_flight = VecDeque::new();
                 for op in stream {
                     let id = &ids[op.doc()];
                     match op {
@@ -222,19 +341,34 @@ fn run_stress(args: &[String]) -> Result<(), String> {
                             for (node, value) in writes {
                                 txn.set_value(node, value);
                             }
-                            service.commit(id, txn).expect("stress writes are valid");
+                            if pipeline <= 1 {
+                                service.commit(id, txn).expect("stress writes are valid");
+                            } else {
+                                in_flight.push_back(service.submit(id, txn));
+                                if in_flight.len() >= pipeline {
+                                    let ticket = in_flight.pop_front().expect("window is full");
+                                    ticket.wait().expect("stress writes are valid");
+                                }
+                            }
                         }
                         WorkloadOp::ReadEqui { value, .. } => {
                             hits += service
-                                .read(id, |doc, idx| idx.equi_lookup(doc, &value).len())
+                                .read(id, |doc, idx| {
+                                    idx.query(doc, &Lookup::equi(&value)).unwrap().len()
+                                })
                                 .expect("stress documents are registered");
                         }
                         WorkloadOp::ReadRange { lo, hi, .. } => {
                             hits += service
-                                .read(id, |_, idx| idx.range_lookup_f64(lo..=hi).len())
+                                .read(id, |doc, idx| {
+                                    idx.query(doc, &Lookup::range_f64(lo..=hi)).unwrap().len()
+                                })
                                 .expect("stress documents are registered");
                         }
                     }
+                }
+                for ticket in in_flight {
+                    ticket.wait().expect("stress writes are valid");
                 }
                 hits
             })
@@ -322,6 +456,7 @@ fn help() {
         "commands:\n\
          \x20 query <mini-xpath>   evaluate with index acceleration, e.g. query //person[.//age = 42]\n\
          \x20 scan <mini-xpath>    evaluate by full scan (for comparison)\n\
+         \x20 explain <mini-xpath> show the chosen plan (index-covered vs. scan, candidate counts)\n\
          \x20 eq <string>          string equality lookup over all nodes\n\
          \x20 range <lo> <hi>      double range lookup\n\
          \x20 contains <needle>    substring lookup over stored values\n\

@@ -32,12 +32,12 @@
 //! let idx = IndexManager::build(&doc, IndexConfig::default());
 //!
 //! // Equality lookup on string values (any node, any path).
-//! let hits = idx.equi_lookup(&doc, "ArthurDent");
+//! let hits = idx.query(&doc, &Lookup::equi("ArthurDent")).unwrap();
 //! assert!(hits.iter().any(|&n| doc.name(n) == Some("name")));
 //!
 //! // Range lookup on typed (double) values — the mixed-content <age>
 //! // node concatenates to "42" and is found by a numeric range scan.
-//! let hits = idx.range_lookup_f64(40.0..=50.0);
+//! let hits = idx.query(&doc, &Lookup::range_f64(40.0..=50.0)).unwrap();
 //! assert!(hits.iter().any(|&n| doc.name(n) == Some("age")));
 //! ```
 
@@ -53,7 +53,8 @@ pub mod prelude {
     pub use xvi_fsm::{Sct, TypedValue, XmlType};
     pub use xvi_hash::{combine, hash_str, HashValue};
     pub use xvi_index::{
-        IndexConfig, IndexManager, IndexService, QueryEngine, ServiceConfig, TransactionalStore,
+        Bounds, CommitReceipt, CommitTicket, DocSnapshot, IndexConfig, IndexManager, IndexService,
+        Lookup, QueryEngine, ServiceConfig, ServiceSnapshot, TransactionalStore,
     };
     pub use xvi_xml::{Document, NodeId, NodeKind};
 }

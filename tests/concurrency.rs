@@ -141,7 +141,7 @@ fn readers_only_observe_commit_subsets() {
                     for (node, value) in batch {
                         txn.set_value(node, value);
                     }
-                    assert_eq!(service.commit("stress", txn).unwrap(), n);
+                    assert_eq!(service.commit("stress", txn).unwrap().applied, n);
                 }
             })
         })
@@ -208,6 +208,76 @@ fn readers_only_observe_commit_subsets() {
         .read("stress", |doc, idx| {
             let root = doc.root_element().unwrap();
             assert_eq!(idx.hash_of(root), Some(final_hash));
+            idx.verify_against(doc).unwrap();
+        })
+        .unwrap();
+}
+
+/// Single thread, many tickets: a writer keeps every transaction in
+/// flight at once via `submit`, reaps the tickets in a shuffled
+/// order, and the final state must be byte-identical to a serial
+/// replay of the same batches — the pipelined path cannot lose,
+/// duplicate or reorder writes observably (the batches are disjoint,
+/// so §5.1 commutativity promises exactly the serial outcome).
+#[test]
+fn single_thread_pipelined_tickets_match_serial_replay() {
+    let doc = base_doc();
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let txns = transactions(&doc);
+
+    // Serial replay baseline: one `update_values` per transaction.
+    let expected_root = {
+        let mut d = doc.clone();
+        let mut i = idx.clone();
+        for t in &txns {
+            let writes: Vec<(NodeId, &str)> = t.iter().map(|(n, v)| (*n, v.as_str())).collect();
+            i.update_values(&mut d, writes).unwrap();
+        }
+        i.hash_of(d.root_element().unwrap()).unwrap()
+    };
+
+    // Small group limit so reaping spans several leader rounds.
+    let service = IndexService::new(ServiceConfig::with_shards(2).with_max_group(3));
+    service.insert_document("stress", doc);
+
+    let mut tickets = Vec::new();
+    for batch in &txns {
+        let mut txn = service.begin();
+        for (node, value) in batch {
+            txn.set_value(*node, value.clone());
+        }
+        tickets.push((service.submit("stress", txn), batch.len()));
+    }
+    // All in flight, nothing published yet: submits do not block on
+    // (or drive) the pipeline.
+    assert_eq!(service.version_of("stress"), Some(0));
+    assert!(tickets.iter().all(|(t, _)| !t.is_complete()));
+
+    // Reap in a deterministic shuffled order.
+    let mut order: Vec<usize> = (0..tickets.len()).collect();
+    order.reverse();
+    order.swap(0, tickets.len() / 2);
+    let mut reaped = vec![false; tickets.len()];
+    let mut indexed: Vec<Option<(xvi::index::CommitTicket, usize)>> =
+        tickets.into_iter().map(Some).collect();
+    for &i in &order {
+        let (ticket, expected_len) = indexed[i].take().unwrap();
+        let receipt = ticket.wait().unwrap();
+        assert_eq!(receipt.applied, expected_len);
+        assert!(receipt.version > 0);
+        reaped[i] = true;
+    }
+    assert!(reaped.iter().all(|&r| r));
+
+    assert_eq!(service.commit_count(), txns.len() as u64);
+    assert_eq!(service.version_of("stress"), Some(txns.len() as u64));
+    service
+        .read("stress", |doc, idx| {
+            assert_eq!(
+                idx.hash_of(doc.root_element().unwrap()),
+                Some(expected_root),
+                "pipelined reap diverged from serial replay"
+            );
             idx.verify_against(doc).unwrap();
         })
         .unwrap();

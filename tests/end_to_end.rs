@@ -108,20 +108,23 @@ fn all_types_on_xmark() {
 
     // Ages are integers.
     assert!(!idx
-        .range_lookup(XmlType::Integer, 18.0..80.0)
+        .query(&doc, &Lookup::typed_range(XmlType::Integer, 18.0..80.0))
         .unwrap()
         .is_empty());
     // Bidder dates are dateTimes in 1998-2008.
     let lo = XmlType::DateTime.cast("1998-01-01T00:00:00Z").unwrap();
     let hi = XmlType::DateTime.cast("2009-01-01T00:00:00Z").unwrap();
     assert!(!idx
-        .range_lookup(XmlType::DateTime, lo..hi)
+        .query(&doc, &Lookup::typed_range(XmlType::DateTime, lo..hi))
         .unwrap()
         .is_empty());
     // Prices are decimals/doubles.
     assert!(!idx
-        .range_lookup(XmlType::Decimal, 0.0..1e6)
+        .query(&doc, &Lookup::typed_range(XmlType::Decimal, 0.0..1e6))
         .unwrap()
         .is_empty());
-    assert!(!idx.range_lookup_f64(0.0..1e6).is_empty());
+    assert!(!idx
+        .query(&doc, &Lookup::range_f64(0.0..1e6))
+        .unwrap()
+        .is_empty());
 }

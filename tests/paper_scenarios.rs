@@ -22,7 +22,8 @@ fn age_42_in_all_its_forms() {
     let idx = IndexManager::build(&doc, IndexConfig::default());
 
     let ages_42: Vec<NodeId> = idx
-        .range_lookup_f64(42.0..=42.0)
+        .query(&doc, &Lookup::range_f64(42.0..=42.0))
+        .unwrap()
         .into_iter()
         .filter(|&n| doc.name(n) == Some("age"))
         .collect();
@@ -49,7 +50,7 @@ fn no_path_configuration_needed() {
     let idx = IndexManager::build(&doc, IndexConfig::default());
     // One numeric lookup finds the value under <price>, <cost>, <tag>,
     // the attribute, and their text nodes — no xmlpattern declared.
-    let hits = idx.range_lookup_f64(9.99..=9.99);
+    let hits = idx.query(&doc, &Lookup::range_f64(9.99..=9.99)).unwrap();
     assert!(hits.len() >= 7, "found {} value carriers", hits.len());
 }
 
@@ -60,7 +61,7 @@ fn equality_across_node_kinds() {
     let doc = Document::parse(r#"<r><a>hello</a><b key="hello"/><c><d>hel</d><e>lo</e></c></r>"#)
         .unwrap();
     let idx = IndexManager::build(&doc, IndexConfig::default());
-    let hits = idx.equi_lookup(&doc, "hello");
+    let hits = idx.query(&doc, &Lookup::equi("hello")).unwrap();
     // <a>, its text, the attribute, and <c> (concatenated "hel"+"lo").
     assert_eq!(hits.len(), 4);
 }
@@ -70,7 +71,7 @@ fn equality_across_node_kinds() {
 fn weight_mixed_content_range_lookup() {
     let doc = Document::parse("<weight><kilos>78</kilos>.<grams>230</grams></weight>").unwrap();
     let idx = IndexManager::build(&doc, IndexConfig::default());
-    let weights = idx.range_lookup_f64(78.2..78.3);
+    let weights = idx.query(&doc, &Lookup::range_f64(78.2..78.3)).unwrap();
     assert!(weights.iter().any(|&n| doc.name(n) == Some("weight")));
     // The lone "." text node is *potential* but carries no value.
     assert!(
@@ -93,7 +94,10 @@ fn datetime_range_index() {
     let jan1_2008 = XmlType::DateTime.cast("2008-01-01T00:00:00Z").unwrap();
     let jan1_2009 = XmlType::DateTime.cast("2009-01-01T00:00:00Z").unwrap();
     let in_2008 = idx
-        .range_lookup(XmlType::DateTime, jan1_2008..jan1_2009)
+        .query(
+            &doc,
+            &Lookup::typed_range(XmlType::DateTime, jan1_2008..jan1_2009),
+        )
         .unwrap();
     // The attribute, the text node, the <t> element — and the first
     // <event> element itself, whose XDM string value is exactly its
@@ -116,7 +120,7 @@ fn deletion_scenario() {
 
     let person = doc.root_element().unwrap();
     assert_eq!(idx.hash_of(person), Some(hash_str("Arthur")));
-    assert!(idx.range_lookup_f64(..).is_empty());
+    assert!(idx.query(&doc, &Lookup::range_f64(..)).unwrap().is_empty());
     idx.verify_against(&doc).unwrap();
 }
 

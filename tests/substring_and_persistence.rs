@@ -11,7 +11,9 @@ fn substring_search_on_wiki_urls() {
     let idx = IndexManager::build(&doc, IndexConfig::string_only().with_substring_index());
 
     // Every URL contains the common prefix.
-    let all_urls = idx.contains_lookup(&doc, "http://en.wikipedia.org/wiki/");
+    let all_urls = idx
+        .query(&doc, &Lookup::contains("http://en.wikipedia.org/wiki/"))
+        .unwrap();
     assert!(all_urls.len() > 100);
     for &n in &all_urls {
         assert!(doc
@@ -21,7 +23,7 @@ fn substring_search_on_wiki_urls() {
     }
 
     // A rarer needle narrows it down; results equal the naive scan.
-    let fast = idx.contains_lookup(&doc, "family_000000");
+    let fast = idx.query(&doc, &Lookup::contains("family_000000")).unwrap();
     let slow: Vec<NodeId> = doc
         .descendants(doc.document_node())
         .filter(|&n| {
@@ -44,7 +46,10 @@ fn substring_survives_update_workloads() {
     idx.verify_against(&doc).unwrap();
     // A value written by the workload is findable by substring.
     if let Some((node, value)) = w.updates.iter().find(|(_, v)| v.len() >= 3) {
-        assert!(idx.contains_lookup(&doc, value).contains(node));
+        assert!(idx
+            .query(&doc, &Lookup::contains(value))
+            .unwrap()
+            .contains(node));
     }
 }
 
@@ -59,8 +64,13 @@ fn persistence_roundtrip_through_facade() {
     let loaded = IndexManager::load_from(&doc, image.as_slice()).unwrap();
     loaded.verify_against(&doc).unwrap();
     assert_eq!(
-        idx.range_lookup_f64(24.0..49.0).len(),
-        loaded.range_lookup_f64(24.0..49.0).len()
+        idx.query(&doc, &Lookup::range_f64(24.0..49.0))
+            .unwrap()
+            .len(),
+        loaded
+            .query(&doc, &Lookup::range_f64(24.0..49.0))
+            .unwrap()
+            .len()
     );
 }
 
