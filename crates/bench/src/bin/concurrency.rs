@@ -3,13 +3,21 @@
 //! [`xvi_bench::experiments::run_concurrency`]). Pass `pipelined` to
 //! run the single-thread pipelined-commit sweep
 //! ([`xvi_bench::experiments::run_pipelined`]): in-flight ticket depth
-//! vs. commit throughput.
+//! vs. commit throughput. Pass `cow` to run the copy-on-write publish
+//! sweep ([`xvi_bench::experiments::run_cow`]): publish µs/commit with
+//! a pinned snapshot, shared-page vs. deep-clone behaviour across
+//! document sizes.
 
 fn main() {
-    let pipelined = std::env::args().any(|a| a == "pipelined");
-    if pipelined {
-        xvi_bench::experiments::run_pipelined(xvi_bench::scale_permille(), xvi_bench::reps());
-    } else {
-        xvi_bench::experiments::run_concurrency(xvi_bench::scale_permille(), xvi_bench::reps());
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let (permille, reps) = (xvi_bench::scale_permille(), xvi_bench::reps());
+    match mode.as_str() {
+        "" => xvi_bench::experiments::run_concurrency(permille, reps),
+        "pipelined" => xvi_bench::experiments::run_pipelined(permille, reps),
+        "cow" => xvi_bench::experiments::run_cow(permille, reps),
+        other => {
+            eprintln!("unknown mode `{other}` (expected nothing, `pipelined`, or `cow`)");
+            std::process::exit(2);
+        }
     }
 }

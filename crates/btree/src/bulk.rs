@@ -11,7 +11,7 @@
 use crate::node::{Node, NIL};
 use crate::tree::BPlusTree;
 
-impl<K: Ord + Clone, V> BPlusTree<K, V> {
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
     /// Builds a tree from strictly increasing `(key, value)` pairs
     /// using [`crate::DEFAULT_ORDER`].
     ///

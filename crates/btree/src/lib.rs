@@ -10,7 +10,12 @@
 //!   split/borrow/merge rebalancing,
 //! * linked leaves for cheap in-order [`BPlusTree::range`] scans — the
 //!   operation the range index exists for,
-//! * occupancy/size statistics used by the Figure 9 storage accounting.
+//! * occupancy/size statistics used by the Figure 9 storage accounting,
+//! * page-level **copy-on-write structural sharing** ([`PagedVec`]):
+//!   cloning a tree is O(pages) pointer bumps and mutating the clone
+//!   copies only the touched pages — the substrate that makes the
+//!   index service's snapshot publishes proportional to the touched
+//!   set instead of the document size.
 //!
 //! Duplicate logical keys (e.g. many nodes sharing one hash value) are
 //! handled the way databases usually do it: with composite keys such as
@@ -22,7 +27,9 @@
 mod bulk;
 mod iter;
 mod node;
+mod page;
 mod tree;
 
 pub use iter::Range;
+pub use page::{PagedVec, PAGE_SIZE};
 pub use tree::{BPlusTree, TreeStats, DEFAULT_ORDER};

@@ -1,0 +1,370 @@
+//! Copy-on-write paged storage — the structural-sharing substrate.
+//!
+//! A [`PagedVec`] looks like a `Vec<T>` but stores its slots in
+//! fixed-size pages, each held behind an [`Arc`]. That turns `Clone`
+//! into one reference-count bump per page — O(pages), no slot is
+//! copied — and makes mutation *copy-on-write*: the first write into a
+//! page that is shared with another `PagedVec` clone detaches a
+//! private copy of just that page ([`Arc::make_mut`]), leaving every
+//! untouched page shared.
+//!
+//! This is what makes snapshot-style cloning of the B+tree (and of the
+//! layers built on top of it — the document arena, the per-node
+//! annotation columns) proportional to the **touched set** instead of
+//! the structure size: cloning a tree with a million entries bumps a
+//! few ten-thousand page counters, and a subsequent point insert
+//! copies only the handful of pages on the root-to-leaf path.
+//!
+//! ```
+//! use xvi_btree::PagedVec;
+//!
+//! let mut v: PagedVec<u64> = PagedVec::new();
+//! for i in 0..1000 {
+//!     v.push(i);
+//! }
+//! let snapshot = v.clone();          // O(pages) pointer bumps
+//! assert_eq!(v.shared_pages(), v.page_count());
+//! v[3] = 999;                        // copies exactly one page
+//! assert_eq!(snapshot[3], 3);        // the snapshot is unaffected
+//! assert_eq!(v.shared_pages(), v.page_count() - 1);
+//! ```
+
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// Number of slots per page.
+///
+/// Small enough that a copy-on-write page detach stays cheap (one page
+/// of slots is cloned), large enough that cloning a big structure is a
+/// short run of reference-count bumps.
+pub const PAGE_SIZE: usize = 32;
+
+/// One fixed-capacity page of slots. All pages except the last hold
+/// exactly [`PAGE_SIZE`] slots; the last holds `1..=PAGE_SIZE`.
+#[derive(Debug, Clone)]
+struct Page<T> {
+    slots: Vec<T>,
+}
+
+/// A `Vec<T>`-like container with page-level structural sharing:
+/// `Clone` is one reference-count bump per page, and the first write
+/// into a page shared with another clone detaches a private copy of
+/// just that page ([`Arc::make_mut`]). Cloning is O(pages); mutation
+/// after a clone costs O(touched pages).
+#[derive(Debug)]
+pub struct PagedVec<T> {
+    pages: Vec<Arc<Page<T>>>,
+    len: usize,
+}
+
+impl<T> Clone for PagedVec<T> {
+    /// O(pages) reference-count bumps; no slot is copied.
+    fn clone(&self) -> Self {
+        PagedVec {
+            pages: self.pages.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for PagedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PagedVec<T> {
+    /// Creates an empty container.
+    pub fn new() -> PagedVec<T> {
+        PagedVec {
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages backing the slots.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages currently shared with at least one other clone
+    /// — the window into structural sharing the COW tests and stats
+    /// build on.
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Shared read access to slot `i`, or `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.pages[i / PAGE_SIZE].slots[i % PAGE_SIZE])
+    }
+
+    /// Iterates every slot in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.pages.iter().flat_map(|p| p.slots.iter())
+    }
+}
+
+impl<T: Clone> PagedVec<T> {
+    /// Appends a slot, detaching the last page first if it is shared.
+    pub fn push(&mut self, value: T) {
+        if self.len.is_multiple_of(PAGE_SIZE) {
+            let mut slots = Vec::with_capacity(PAGE_SIZE);
+            slots.push(value);
+            self.pages.push(Arc::new(Page { slots }));
+        } else {
+            let page = self.pages.last_mut().expect("partial page exists");
+            Arc::make_mut(page).slots.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Exclusive access to slot `i`, detaching a private copy of its
+    /// page first if the page is shared (the copy-on-write step).
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&mut Arc::make_mut(&mut self.pages[i / PAGE_SIZE]).slots[i % PAGE_SIZE])
+    }
+
+    /// Exclusive access to two *distinct* slots at once (the B+tree's
+    /// sibling-rebalance primitive). Detaches each involved page.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of bounds.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut T, &mut T) {
+        assert_ne!(a, b, "pair_mut requires distinct slots");
+        assert!(a < self.len && b < self.len, "pair_mut out of bounds");
+        let (pa, sa) = (a / PAGE_SIZE, a % PAGE_SIZE);
+        let (pb, sb) = (b / PAGE_SIZE, b % PAGE_SIZE);
+        if pa == pb {
+            let page = Arc::make_mut(&mut self.pages[pa]);
+            if sa < sb {
+                let (lo, hi) = page.slots.split_at_mut(sb);
+                (&mut lo[sa], &mut hi[0])
+            } else {
+                let (lo, hi) = page.slots.split_at_mut(sa);
+                (&mut hi[0], &mut lo[sb])
+            }
+        } else if pa < pb {
+            let (lo, hi) = self.pages.split_at_mut(pb);
+            (
+                &mut Arc::make_mut(&mut lo[pa]).slots[sa],
+                &mut Arc::make_mut(&mut hi[0]).slots[sb],
+            )
+        } else {
+            let (lo, hi) = self.pages.split_at_mut(pa);
+            (
+                &mut Arc::make_mut(&mut hi[0]).slots[sa],
+                &mut Arc::make_mut(&mut lo[pb]).slots[sb],
+            )
+        }
+    }
+
+    /// Grows or shrinks to `new_len` slots, filling new slots with
+    /// clones of `value`. Shrinking drops whole doomed pages without
+    /// detaching them — only the surviving boundary page is copied if
+    /// it is shared.
+    pub fn resize(&mut self, new_len: usize, value: T) {
+        if new_len < self.len {
+            self.pages.truncate(new_len.div_ceil(PAGE_SIZE));
+            self.len = new_len;
+            let tail = new_len % PAGE_SIZE;
+            if tail != 0 {
+                // The kept boundary page may hold slots past new_len.
+                let last = self.pages.last_mut().expect("tail implies a page");
+                Arc::make_mut(last).slots.truncate(tail);
+            }
+        }
+        while self.len < new_len {
+            self.push(value.clone());
+        }
+    }
+
+    /// Detaches a private copy of every shared page, ending all
+    /// structural sharing with other clones. After this call the
+    /// container owns its slots outright — the "deep clone" the COW
+    /// benches use as the no-sharing baseline, and what snapshots call
+    /// to stop pinning pages of a live structure.
+    pub fn unshare(&mut self) {
+        for page in &mut self.pages {
+            Arc::make_mut(page);
+        }
+    }
+
+    /// A clone with every page detached immediately instead of lazily
+    /// on first write — the building block of the `deep_clone` escape
+    /// hatches up the stack (tree, document, index columns).
+    pub fn deep_clone(&self) -> Self {
+        let mut c = self.clone();
+        c.unshare();
+        c
+    }
+}
+
+impl<T> Index<usize> for PagedVec<T> {
+    type Output = T;
+
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &self.pages[i / PAGE_SIZE].slots[i % PAGE_SIZE]
+    }
+}
+
+impl<T: Clone> IndexMut<usize> for PagedVec<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        self.get_mut(i)
+            .unwrap_or_else(|| panic!("index out of bounds"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize) -> PagedVec<usize> {
+        let mut v = PagedVec::new();
+        for i in 0..n {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn push_and_index() {
+        let v = filled(100);
+        assert_eq!(v.len(), 100);
+        assert!(!v.is_empty());
+        assert_eq!(v.page_count(), 100_usize.div_ceil(PAGE_SIZE));
+        for i in 0..100 {
+            assert_eq!(v[i], i);
+        }
+        assert_eq!(v.get(100), None);
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_shares_and_write_detaches_one_page() {
+        let mut v = filled(10 * PAGE_SIZE);
+        assert_eq!(v.shared_pages(), 0);
+        let snap = v.clone();
+        assert_eq!(v.shared_pages(), v.page_count());
+        assert_eq!(snap.shared_pages(), snap.page_count());
+        v[0] = 777;
+        assert_eq!(v.shared_pages(), v.page_count() - 1);
+        assert_eq!(snap[0], 0, "snapshot unaffected by the write");
+        assert_eq!(v[0], 777);
+        drop(snap);
+        assert_eq!(v.shared_pages(), 0);
+    }
+
+    #[test]
+    fn push_after_clone_detaches_partial_page() {
+        let mut v = filled(PAGE_SIZE + 3);
+        let snap = v.clone();
+        v.push(999);
+        assert_eq!(snap.len(), PAGE_SIZE + 3);
+        assert_eq!(v.len(), PAGE_SIZE + 4);
+        assert_eq!(v[PAGE_SIZE + 3], 999);
+        assert_eq!(snap.get(PAGE_SIZE + 3), None);
+    }
+
+    #[test]
+    fn pair_mut_same_and_distinct_pages() {
+        let mut v = filled(3 * PAGE_SIZE);
+        let snap = v.clone();
+        // Same page, both orders.
+        let (a, b) = v.pair_mut(1, 2);
+        std::mem::swap(a, b);
+        let (a, b) = v.pair_mut(2, 1);
+        std::mem::swap(a, b);
+        // Distinct pages, both orders.
+        let (a, b) = v.pair_mut(0, 2 * PAGE_SIZE);
+        std::mem::swap(a, b);
+        let (a, b) = v.pair_mut(2 * PAGE_SIZE, 0);
+        std::mem::swap(a, b);
+        // All swaps cancelled out; only page sharing changed.
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            snap.iter().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(v.shared_pages(), v.page_count() - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct slots")]
+    fn pair_mut_rejects_aliasing() {
+        let mut v = filled(10);
+        let _ = v.pair_mut(3, 3);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut v = filled(5);
+        v.resize(2 * PAGE_SIZE + 1, 42);
+        assert_eq!(v.len(), 2 * PAGE_SIZE + 1);
+        assert_eq!(v[5], 42);
+        assert_eq!(v[2 * PAGE_SIZE], 42);
+        v.resize(3, 0);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.page_count(), 1);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        v.resize(0, 0);
+        assert!(v.is_empty());
+        assert_eq!(v.page_count(), 0);
+    }
+
+    #[test]
+    fn shrinking_a_shared_container_leaves_the_snapshot_intact() {
+        let mut v = filled(4 * PAGE_SIZE);
+        let snap = v.clone();
+        // Shrink across a page boundary into the middle of a page:
+        // doomed pages are dropped without detaching, only the
+        // boundary page is copied.
+        v.resize(PAGE_SIZE + 7, 0);
+        assert_eq!(v.len(), PAGE_SIZE + 7);
+        assert_eq!(v.page_count(), 2);
+        assert_eq!(v.shared_pages(), 1, "only the full first page stays shared");
+        assert_eq!(snap.len(), 4 * PAGE_SIZE);
+        assert_eq!(
+            snap.iter().copied().collect::<Vec<_>>(),
+            (0..4 * PAGE_SIZE).collect::<Vec<_>>()
+        );
+        // Shrink to an exact page boundary: no copy at all.
+        let mut w = snap.clone();
+        w.resize(PAGE_SIZE, 0);
+        assert_eq!(w.page_count(), 1);
+        assert_eq!(w.shared_pages(), 1);
+    }
+
+    #[test]
+    fn unshare_detaches_everything() {
+        let mut v = filled(4 * PAGE_SIZE);
+        let snap = v.clone();
+        v.unshare();
+        assert_eq!(v.shared_pages(), 0);
+        assert_eq!(snap.shared_pages(), 0);
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            snap.iter().copied().collect::<Vec<_>>()
+        );
+    }
+}

@@ -5,6 +5,7 @@ use std::ops::RangeBounds;
 
 use crate::iter::Range;
 use crate::node::{Node, NIL};
+use crate::page::PagedVec;
 
 /// Default maximum number of keys per node.
 ///
@@ -18,6 +19,12 @@ pub const DEFAULT_ORDER: usize = 32;
 /// Keys are unique; [`BPlusTree::insert`] replaces and returns the
 /// previous value for an existing key.
 ///
+/// Nodes live in a paged copy-on-write arena ([`PagedVec`]):
+/// `Clone` is O(pages) reference-count bumps — no node is copied —
+/// and mutating a clone detaches only the pages its root-to-leaf
+/// paths touch. [`TreeStats::shared_pages`] exposes how much of the
+/// arena is currently shared with other clones.
+///
 /// ```
 /// use xvi_btree::BPlusTree;
 /// let mut t = BPlusTree::new();
@@ -30,7 +37,7 @@ pub const DEFAULT_ORDER: usize = 32;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BPlusTree<K, V> {
-    pub(crate) nodes: Vec<Node<K, V>>,
+    pub(crate) nodes: PagedVec<Node<K, V>>,
     pub(crate) root: u32,
     pub(crate) first_leaf: u32,
     len: usize,
@@ -53,15 +60,23 @@ pub struct TreeStats {
     pub depth: usize,
     /// Total key slots in use across all nodes (leaf + internal).
     pub used_key_slots: usize,
+    /// Arena pages backing the nodes.
+    pub pages: usize,
+    /// Arena pages currently shared with other clones of this tree
+    /// (copy-on-write: they are detached page-by-page on first write).
+    pub shared_pages: usize,
+    /// Freed arena slots awaiting reuse; [`BPlusTree::shrink_to_fit`]
+    /// compacts them away.
+    pub free_slots: usize,
 }
 
-impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Clone, V> BPlusTree<K, V> {
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
     /// Creates an empty tree with [`DEFAULT_ORDER`].
     pub fn new() -> Self {
         Self::with_order(DEFAULT_ORDER)
@@ -73,13 +88,15 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// Panics if `order < 3` (splits need at least two keys per half).
     pub fn with_order(order: usize) -> Self {
         assert!(order >= 3, "B+tree order must be at least 3");
+        let mut nodes = PagedVec::new();
+        nodes.push(Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: NIL,
+            prev: NIL,
+        });
         BPlusTree {
-            nodes: vec![Node::Leaf {
-                keys: Vec::new(),
-                values: Vec::new(),
-                next: NIL,
-                prev: NIL,
-            }],
+            nodes,
             root: 0,
             first_leaf: 0,
             len: 0,
@@ -107,6 +124,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         &self.nodes[id as usize]
     }
 
+    /// Exclusive access to one node; detaches the node's page first if
+    /// it is shared with another clone (the copy-on-write step).
     fn node_mut(&mut self, id: u32) -> &mut Node<K, V> {
         &mut self.nodes[id as usize]
     }
@@ -443,17 +462,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         }
     }
 
-    /// Mutable access to two distinct arena slots.
+    /// Mutable access to two distinct arena slots (detaching their
+    /// pages from any sharing first).
     fn two_nodes_mut(&mut self, a: u32, b: u32) -> (&mut Node<K, V>, &mut Node<K, V>) {
-        assert_ne!(a, b);
-        let (a, b) = (a as usize, b as usize);
-        if a < b {
-            let (lo, hi) = self.nodes.split_at_mut(b);
-            (&mut lo[a], &mut hi[0])
-        } else {
-            let (lo, hi) = self.nodes.split_at_mut(a);
-            (&mut hi[0], &mut lo[b])
-        }
+        self.nodes.pair_mut(a as usize, b as usize)
     }
 
     fn parent_key_replace(&mut self, parent: u32, key_idx: usize, new_key: K) -> K {
@@ -690,7 +702,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let mut leaves = 0;
         let mut internals = 0;
         let mut used_key_slots = 0;
-        for n in &self.nodes {
+        for n in self.nodes.iter() {
             match n {
                 Node::Leaf { keys, .. } => {
                     leaves += 1;
@@ -715,7 +727,67 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             internals,
             depth,
             used_key_slots,
+            pages: self.nodes.page_count(),
+            shared_pages: self.nodes.shared_pages(),
+            free_slots: self.free.len(),
         }
+    }
+
+    /// A clone that shares nothing with `self`: every page is
+    /// detached immediately instead of lazily on first write. This is
+    /// the pre-structural-sharing ("deep") clone — useful for archival
+    /// copies that must not pin the live tree's pages, and as the
+    /// baseline the COW benches compare against.
+    pub fn deep_clone(&self) -> Self {
+        let mut c = self.clone();
+        c.nodes = self.nodes.deep_clone();
+        c
+    }
+
+    /// Compacts the arena: drops every freed slot and re-packs the
+    /// live nodes into fresh pages, so a tree that shrank by bulk
+    /// deletes stops carrying dead slots around (visible as
+    /// [`TreeStats::free_slots`]). O(live nodes); the compacted arena
+    /// shares no pages with any clone.
+    pub fn shrink_to_fit(&mut self) {
+        if self.free.is_empty() {
+            return;
+        }
+        // New id = old id minus the freed slots before it.
+        let mut map = vec![NIL; self.nodes.len()];
+        let mut next = 0u32;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !matches!(n, Node::Free) {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        let remap = |id: u32, map: &[u32]| if id == NIL { NIL } else { map[id as usize] };
+        let mut packed: PagedVec<Node<K, V>> = PagedVec::new();
+        for n in self.nodes.iter() {
+            match n {
+                Node::Free => {}
+                Node::Internal { keys, children } => packed.push(Node::Internal {
+                    keys: keys.clone(),
+                    children: children.iter().map(|&c| remap(c, &map)).collect(),
+                }),
+                Node::Leaf {
+                    keys,
+                    values,
+                    next,
+                    prev,
+                } => packed.push(Node::Leaf {
+                    keys: keys.clone(),
+                    values: values.clone(),
+                    next: remap(*next, &map),
+                    prev: remap(*prev, &map),
+                }),
+            }
+        }
+        self.root = remap(self.root, &map);
+        self.first_leaf = remap(self.first_leaf, &map);
+        self.nodes = packed;
+        self.free.clear();
     }
 
     /// Rough heap footprint of the live tree structure, in bytes.
@@ -725,7 +797,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     pub fn approx_bytes(&self) -> usize {
         const NODE_HEADER: usize = 48; // enum tag + vec headers + links
         let mut bytes = 0;
-        for n in &self.nodes {
+        for n in self.nodes.iter() {
             match n {
                 Node::Leaf { keys, values, .. } => {
                     bytes += NODE_HEADER
@@ -1059,5 +1131,69 @@ mod tests {
     #[should_panic(expected = "order must be at least 3")]
     fn rejects_tiny_order() {
         let _ = BPlusTree::<u32, u32>::with_order(2);
+    }
+
+    #[test]
+    fn clone_shares_pages_and_diverges_on_write() {
+        let t = filled(5_000, 32);
+        assert_eq!(t.stats().shared_pages, 0);
+        let mut c = t.clone();
+        // The clone copied no node: every page of both trees is shared.
+        assert_eq!(c.stats().shared_pages, c.stats().pages);
+        assert_eq!(t.stats().shared_pages, t.stats().pages);
+        c.insert(10_000, 0);
+        // Only the root-to-leaf path detached; the original is intact.
+        assert!(c.stats().shared_pages > 0);
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.get(&10_000), None);
+        assert_eq!(c.get(&10_000), Some(&0));
+        t.check_invariants().unwrap();
+        c.check_invariants().unwrap();
+        drop(t);
+        assert_eq!(c.stats().shared_pages, 0);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let t = filled(2_000, 8);
+        let c = t.deep_clone();
+        assert_eq!(t.stats().shared_pages, 0);
+        assert_eq!(c.stats().shared_pages, 0);
+        let a: Vec<(u32, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u32, u32)> = c.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_to_fit_compacts_after_bulk_deletes() {
+        let mut t = filled(10_000, 4);
+        for i in 0..9_900u32 {
+            assert!(t.remove(&i).is_some());
+        }
+        let before = t.stats();
+        assert!(
+            before.free_slots > before.leaves + before.internals,
+            "delete-heavy tree carries more dead slots than live nodes"
+        );
+        let entries: Vec<(u32, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        t.shrink_to_fit();
+        let after = t.stats();
+        assert_eq!(after.free_slots, 0);
+        assert!(after.pages < before.pages, "compaction must drop pages");
+        assert_eq!(after.len, before.len);
+        t.check_invariants().unwrap();
+        let compacted: Vec<(u32, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(compacted, entries);
+        // The compacted tree keeps working under further mutation.
+        for i in 0..100u32 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.remove(&9_950), Some(9_950 + 1000));
+        t.check_invariants().unwrap();
+        // No free slots -> no-op.
+        let mut fresh = filled(100, 4);
+        let s = fresh.stats();
+        fresh.shrink_to_fit();
+        assert_eq!(fresh.stats(), s);
     }
 }

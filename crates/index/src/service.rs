@@ -35,6 +35,13 @@
 //!   none are it updates the version in place at the paper's
 //!   O(writes + ancestors) cost — uncontended single-writer commits
 //!   pay nothing for the snapshot machinery.
+//! * Copy-on-write publishes are **structurally shared**. The document
+//!   arena, every index B+tree and every annotation column live in
+//!   paged copy-on-write storage ([`xvi_btree::PagedVec`]), so the
+//!   "clone" half of a COW publish is O(pages) reference-count bumps
+//!   and applying the coalesced batch copies only the pages the batch
+//!   touches — publish cost is proportional to the *touched set*, not
+//!   the document size, no matter how many snapshots pin old versions.
 //!
 //! The service therefore gives every reader a consistent prefix of the
 //! commit history, lets writers on different shards (and different
@@ -109,9 +116,14 @@ impl ServiceConfig {
 }
 
 /// One immutable published version of a document and its indices.
+///
+/// The document is held behind its own [`Arc`] so a copy-on-write
+/// publish starts from a pointer bump and [`Arc::make_mut`] — which,
+/// combined with the paged arenas inside [`Document`] and
+/// [`IndexManager`], copies only the pages the batch touches.
 #[derive(Debug)]
-struct DocVersion {
-    doc: Document,
+struct SharedVersion {
+    doc: Arc<Document>,
     idx: IndexManager,
     /// Number of transactions committed into this version.
     version: u64,
@@ -122,11 +134,11 @@ struct DocVersion {
 #[derive(Debug)]
 struct DocHandle {
     id: String,
-    published: RwLock<Arc<DocVersion>>,
+    published: RwLock<Arc<SharedVersion>>,
 }
 
 impl DocHandle {
-    fn current(&self) -> Arc<DocVersion> {
+    fn current(&self) -> Arc<SharedVersion> {
         Arc::clone(&self.published.read())
     }
 }
@@ -151,10 +163,19 @@ pub struct CommitReceipt {
     pub applied: usize,
 }
 
+/// Mutex-guarded interior of a [`CommitSlot`]: the commit outcome plus
+/// the waker of an `await`ing task, if any.
+struct SlotState {
+    result: Option<Result<CommitReceipt, IndexError>>,
+    /// Registered by [`CommitTicket`]'s `Future::poll`; woken (outside
+    /// the lock) by [`CommitSlot::fill`].
+    waker: Option<std::task::Waker>,
+}
+
 /// Per-ticket completion slot, filled exactly once by the group
 /// leader (or the unwind guards, if a leader panics mid-round).
 struct CommitSlot {
-    result: Mutex<Option<Result<CommitReceipt, IndexError>>>,
+    state: Mutex<SlotState>,
     cv: Condvar,
     /// Whether `fill` has run — checked by the unwind guards so a
     /// slot is filled exactly once even if a leader panics mid-round.
@@ -164,7 +185,10 @@ struct CommitSlot {
 impl CommitSlot {
     fn new() -> CommitSlot {
         CommitSlot {
-            result: Mutex::new(None),
+            state: Mutex::new(SlotState {
+                result: None,
+                waker: None,
+            }),
             cv: Condvar::new(),
             filled: AtomicBool::new(false),
         }
@@ -172,7 +196,7 @@ impl CommitSlot {
 
     fn completed(r: Result<CommitReceipt, IndexError>) -> Arc<CommitSlot> {
         let slot = CommitSlot::new();
-        *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        slot.state.lock().unwrap_or_else(|e| e.into_inner()).result = Some(r);
         slot.filled.store(true, Ordering::SeqCst);
         Arc::new(slot)
     }
@@ -181,27 +205,34 @@ impl CommitSlot {
         if self.filled.swap(true, Ordering::SeqCst) {
             return;
         }
-        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
-        *slot = Some(r);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.result = Some(r);
+        let waker = st.waker.take();
         self.cv.notify_all();
+        drop(st);
+        // Wake outside the lock: the woken task may poll immediately.
+        if let Some(w) = waker {
+            w.wake();
+        }
     }
 
     /// The result, if the commit completed — the slot keeps it, so the
     /// probe can be repeated.
     fn get(&self) -> Option<Result<CommitReceipt, IndexError>> {
-        self.result
+        self.state
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .result
             .clone()
     }
 
     fn wait_filled(&self) -> Result<CommitReceipt, IndexError> {
-        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(r) = slot.as_ref() {
+            if let Some(r) = st.result.as_ref() {
                 return r.clone();
             }
-            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -288,6 +319,74 @@ impl CommitTicket<'_> {
     /// `try_poll().is_some()`).
     pub fn is_complete(&self) -> bool {
         self.slot.filled.load(Ordering::SeqCst)
+    }
+}
+
+/// `CommitTicket` is a [`Future`](std::future::Future): `.await` (or a
+/// manual `poll`) resolves to the same receipt `wait` returns.
+///
+/// Polling is **cooperative**, mirroring [`CommitTicket::wait`]: a
+/// poll that finds the commit still queued registers its waker in the
+/// completion slot and, if no leader is active on the shard, drains
+/// the queue itself — so a lone awaiter always makes progress, even on
+/// a single-threaded executor, and never deadlocks. When another
+/// leader owns the round, the poll returns
+/// [`Poll::Pending`](std::task::Poll::Pending) immediately and the
+/// leader wakes the stored waker right after it publishes.
+///
+/// ```
+/// use xvi_index::{Document, IndexService, ServiceConfig};
+/// use std::future::Future;
+/// use std::task::{Context, Poll, Waker};
+///
+/// let service = IndexService::new(ServiceConfig::default());
+/// service.insert_document("crew", Document::parse(
+///     "<person><name>Arthur</name></person>").unwrap());
+/// let node = service.read("crew", |doc, _| {
+///     doc.descendants(doc.document_node())
+///         .find(|&n| doc.direct_value(n).is_some()).unwrap()
+/// }).unwrap();
+///
+/// let mut txn = service.begin();
+/// txn.set_value(node, "Ford");
+/// let mut ticket = service.submit("crew", txn);
+/// // Executor-free await: one poll is enough because the poll takes
+/// // over shard leadership when nobody else is driving.
+/// let mut cx = Context::from_waker(Waker::noop());
+/// match std::pin::Pin::new(&mut ticket).poll(&mut cx) {
+///     Poll::Ready(receipt) => assert_eq!(receipt.unwrap().applied, 1),
+///     Poll::Pending => unreachable!("no other leader is active"),
+/// }
+/// ```
+impl std::future::Future for CommitTicket<'_> {
+    type Output = Result<CommitReceipt, IndexError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(r) = this.slot.get() {
+            return std::task::Poll::Ready(r);
+        }
+        // Cooperative progress: help drain the shard unless a leader
+        // is already active (that leader will fill the slot).
+        let shard = &this.service.shards[this.shard.expect("unfilled tickets carry a shard")];
+        if this.service.try_lead(shard) {
+            this.service.run_leader(shard);
+        }
+        // Park the waker only if the commit is still unpublished; the
+        // slot lock orders this against `fill`, which re-checks the
+        // result under the same lock — so either we see the result
+        // here, or `fill` sees (and wakes) the parked waker. Parking
+        // last also keeps a self-driven Ready from waking its own
+        // waker for nothing.
+        let mut st = this.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(r) = st.result.as_ref() {
+            return std::task::Poll::Ready(r.clone());
+        }
+        st.waker = Some(cx.waker().clone());
+        std::task::Poll::Pending
     }
 }
 
@@ -423,7 +522,11 @@ impl IndexService {
     ) {
         let handle = Arc::new(DocHandle {
             id: id.clone(),
-            published: RwLock::new(Arc::new(DocVersion { doc, idx, version })),
+            published: RwLock::new(Arc::new(SharedVersion {
+                doc: Arc::new(doc),
+                idx,
+                version,
+            })),
         });
         self.shard_of(&id).catalog.write().insert(id, handle);
     }
@@ -433,8 +536,8 @@ impl IndexService {
         let handle = self.shard_of(id).catalog.write().remove(id)?;
         let version = handle.current();
         match Arc::try_unwrap(version) {
-            Ok(v) => Some((v.doc, v.idx)),
-            Err(shared) => Some((shared.doc.clone(), shared.idx.clone())),
+            Ok(v) => Some((Arc::unwrap_or_clone(v.doc), v.idx)),
+            Err(shared) => Some(((*shared.doc).clone(), shared.idx.clone())),
         }
     }
 
@@ -744,20 +847,28 @@ impl IndexService {
                         // the paper's O(writes + ancestors) cost
                         // (readers briefly queue on the published
                         // lock, exactly like the pre-service
-                        // TransactionalStore).
+                        // TransactionalStore). `make_mut` on the inner
+                        // document is in-place too unless an older
+                        // version still shares it.
                         version
                             .idx
-                            .update_values(&mut version.doc, writes)
+                            .update_values(Arc::make_mut(&mut version.doc), writes)
                             .expect("writes were validated against this version");
                         version.version += committed;
                     } else {
                         // Live snapshots exist: copy-on-write so they
                         // stay immutable, and swap in the successor.
-                        let mut doc = published.doc.clone();
+                        // Both "clones" are O(pages) pointer bumps —
+                        // the paged arenas underneath share every page
+                        // with the pinned version, and `update_values`
+                        // detaches only the pages the batch touches,
+                        // so the publish costs O(touched set), not
+                        // O(document).
+                        let mut doc = Arc::clone(&published.doc);
                         let mut idx = published.idx.clone();
-                        idx.update_values(&mut doc, writes)
+                        idx.update_values(Arc::make_mut(&mut doc), writes)
                             .expect("writes were validated against this version");
-                        *published = Arc::new(DocVersion {
+                        *published = Arc::new(SharedVersion {
                             version: published.version + committed,
                             doc,
                             idx,
@@ -813,7 +924,7 @@ fn validate(doc: &Document, writes: &[(NodeId, String)]) -> Result<(), IndexErro
 /// are unaffected by concurrent commits.
 #[derive(Debug, Clone)]
 pub struct DocSnapshot {
-    inner: Arc<DocVersion>,
+    inner: Arc<SharedVersion>,
 }
 
 impl DocSnapshot {
@@ -843,7 +954,7 @@ impl DocSnapshot {
 /// hosted document (id-sorted, deterministic result order).
 #[derive(Debug, Clone)]
 pub struct ServiceSnapshot {
-    docs: Vec<(String, Arc<DocVersion>)>,
+    docs: Vec<(String, Arc<SharedVersion>)>,
 }
 
 impl ServiceSnapshot {
@@ -1259,6 +1370,148 @@ mod tests {
             service.query("nope", &Lookup::equi("x")).unwrap_err(),
             IndexError::UnknownDocument(_)
         ));
+    }
+
+    /// The copy-on-write publish must share pages with the pinned
+    /// snapshot instead of deep-copying the document: after a
+    /// one-write commit under an outstanding snapshot, the snapshot's
+    /// document still shares almost all of its arena pages with the
+    /// newly published version.
+    #[test]
+    fn cow_publish_shares_pages_with_pinned_snapshot() {
+        let service = IndexService::new(ServiceConfig::with_shards(1));
+        let mut xml = String::from("<r>");
+        for i in 0..2_000 {
+            xml.push_str(&format!("<v>{i}</v>"));
+        }
+        xml.push_str("</r>");
+        service.insert_document("big", Document::parse(&xml).unwrap());
+        let pinned = service.snapshot("big").unwrap();
+        assert_eq!(pinned.document().shared_pages(), 0);
+        let node = service
+            .read("big", |doc, _| text_node(doc, "1234"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "replaced");
+        service.commit("big", txn).unwrap();
+        // COW happened (the pinned snapshot is intact) ...
+        assert_eq!(pinned.version(), 0);
+        assert_eq!(
+            pinned.query(&Lookup::equi("1234")).unwrap().len(),
+            2,
+            "pinned snapshot still sees the old value"
+        );
+        // ... and it shared pages: the pinned document's arena overlaps
+        // the published successor's almost entirely (only the pages
+        // holding the text node and its ancestors were detached).
+        let shared = pinned.document().shared_pages();
+        let total = pinned.document().stats().total_nodes / xvi_btree::PAGE_SIZE;
+        assert!(
+            shared > total / 2,
+            "expected most of ~{total} pages shared, got {shared}"
+        );
+        let after = service.snapshot("big").unwrap();
+        assert!(after.query(&Lookup::equi("1234")).unwrap().is_empty());
+    }
+
+    /// Executor-free `Future` smoke: polling a queued ticket takes
+    /// over leadership and resolves in one poll; completed tickets
+    /// resolve immediately and repeatedly.
+    #[test]
+    fn ticket_future_resolves_via_cooperative_poll() {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll, Waker};
+
+        let service = service_with_two_docs();
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Tricia");
+        let mut ticket = service.submit("a", txn);
+        assert!(!ticket.is_complete());
+        let mut cx = Context::from_waker(Waker::noop());
+        match Pin::new(&mut ticket).poll(&mut cx) {
+            Poll::Ready(r) => {
+                let receipt = r.unwrap();
+                assert_eq!((receipt.version, receipt.applied), (1, 1));
+            }
+            Poll::Pending => panic!("lone poll must drive the pipeline"),
+        }
+        // Re-polling a resolved ticket stays Ready.
+        assert!(matches!(
+            Pin::new(&mut ticket).poll(&mut cx),
+            Poll::Ready(Ok(_))
+        ));
+        // Born-completed tickets (unknown doc) resolve immediately.
+        let mut dead = service.submit("nope", service.begin());
+        assert!(matches!(
+            Pin::new(&mut dead).poll(&mut cx),
+            Poll::Ready(Err(IndexError::UnknownDocument(_)))
+        ));
+    }
+
+    /// The waker parked by a `Pending` poll must be woken by the
+    /// leader that publishes the commit. An active leader is simulated
+    /// by flipping the shard's `leader_active` flag, which forces the
+    /// first poll down the Pending path deterministically.
+    #[test]
+    fn parked_waker_is_woken_by_the_publishing_leader() {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::atomic::AtomicUsize;
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct CountingWake(AtomicUsize);
+        impl Wake for CountingWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let service = IndexService::new(ServiceConfig::with_shards(1));
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let mut txn = service.begin();
+        txn.set_value(node, "Random");
+        let mut ticket = service.submit("a", txn);
+
+        // Pretend another thread is mid-round on the shard.
+        service.shards[0]
+            .pipeline
+            .state
+            .lock()
+            .unwrap()
+            .leader_active = true;
+        let wake_count = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&wake_count));
+        let mut cx = Context::from_waker(&waker);
+        assert!(
+            Pin::new(&mut ticket).poll(&mut cx).is_pending(),
+            "an active leader owns the round: poll must park the waker"
+        );
+        assert_eq!(wake_count.0.load(Ordering::SeqCst), 0);
+        service.shards[0]
+            .pipeline
+            .state
+            .lock()
+            .unwrap()
+            .leader_active = false;
+
+        // A second committer's blocking wait drains the queue and must
+        // wake the parked waker when it fills the first slot.
+        let mut txn2 = service.begin();
+        txn2.set_value(node, "Frankie");
+        service.commit("a", txn2).unwrap();
+        assert_eq!(wake_count.0.load(Ordering::SeqCst), 1);
+        match Pin::new(&mut ticket).poll(&mut cx) {
+            Poll::Ready(r) => assert_eq!(r.unwrap().applied, 1),
+            Poll::Pending => panic!("commit published: ticket must be ready"),
+        }
+        assert_eq!(service.version_of("a"), Some(2));
     }
 
     #[test]

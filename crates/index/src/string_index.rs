@@ -5,18 +5,22 @@
 //! The annotation array is what makes updates cheap: recombining an
 //! ancestor reads its children's *stored* hashes, never their strings.
 
-use xvi_btree::BPlusTree;
+use xvi_btree::{BPlusTree, PagedVec};
 use xvi_hash::HashValue;
 use xvi_xml::NodeId;
 
 /// The hash B+tree and per-node hash annotations.
+///
+/// Both parts are paged with copy-on-write structural sharing, so
+/// cloning the index (the service's snapshot publish path) is O(pages)
+/// pointer bumps and a mutated clone copies only the touched pages.
 #[derive(Debug, Default, Clone)]
 pub struct StringIndex {
     /// `(hash raw, node arena index) → ()`.
     tree: BPlusTree<(u32, u32), ()>,
     /// Hash annotation per arena slot. Slots that are not indexed
     /// (freed nodes, comments, PIs) hold `None`.
-    hashes: Vec<Option<HashValue>>,
+    hashes: PagedVec<Option<HashValue>>,
     /// During initial creation, annotations accumulate in the column
     /// only; the tree is bulk-loaded once at the end.
     bulk: bool,
@@ -25,10 +29,22 @@ pub struct StringIndex {
 impl StringIndex {
     /// Creates an empty index sized for `arena_size` slots.
     pub fn new(arena_size: usize) -> StringIndex {
+        let mut hashes = PagedVec::new();
+        hashes.resize(arena_size, None);
         StringIndex {
             tree: BPlusTree::new(),
-            hashes: vec![None; arena_size],
+            hashes,
             bulk: false,
+        }
+    }
+
+    /// A clone that shares no pages with `self` (see
+    /// [`BPlusTree::deep_clone`]).
+    pub fn deep_clone(&self) -> StringIndex {
+        StringIndex {
+            tree: self.tree.deep_clone(),
+            hashes: self.hashes.deep_clone(),
+            bulk: self.bulk,
         }
     }
 

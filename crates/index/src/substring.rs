@@ -19,16 +19,23 @@
 
 use std::collections::HashSet;
 
-use xvi_btree::BPlusTree;
+use xvi_btree::{BPlusTree, PagedVec};
 use xvi_xml::{Document, NodeId, NodeKind};
 
 /// A trigram index over the directly stored node values.
+///
+/// Both the posting tree and the membership column are paged with
+/// copy-on-write structural sharing, so cloning the index (the
+/// service's snapshot publish path) is O(pages) pointer bumps.
 #[derive(Debug, Default, Clone)]
 pub struct SubstringIndex {
     /// `(packed trigram, node) → ()`.
     tree: BPlusTree<(u32, u32), ()>,
-    /// Nodes indexed (needed for short-needle scans and verification).
-    nodes: HashSet<NodeId>,
+    /// Membership column: `present[i]` iff arena slot `i` holds an
+    /// indexed value (needed for short-needle scans and fallbacks).
+    present: PagedVec<bool>,
+    /// Number of `true` entries in `present`.
+    indexed: usize,
 }
 
 /// Packs three bytes into the B+tree key space.
@@ -46,20 +53,20 @@ impl SubstringIndex {
     /// Builds the index over all text and attribute nodes of `doc`.
     pub fn build(doc: &Document) -> SubstringIndex {
         let mut entries: Vec<(u32, u32)> = Vec::new();
-        let mut nodes = HashSet::new();
-        let mut add = |node: NodeId, value: &str, nodes: &mut HashSet<NodeId>| {
-            nodes.insert(node);
+        let mut idx = SubstringIndex::default();
+        let mut add = |node: NodeId, value: &str, idx: &mut SubstringIndex| {
+            idx.mark_present(node);
             for t in trigrams(value) {
                 entries.push((t, node.index() as u32));
             }
         };
         for n in doc.descendants(doc.document_node()) {
             match doc.kind(n) {
-                NodeKind::Text(t) => add(n, t, &mut nodes),
+                NodeKind::Text(t) => add(n, t, &mut idx),
                 NodeKind::Element(_) => {
                     for a in doc.attributes(n) {
                         if let NodeKind::Attribute { value, .. } = doc.kind(a) {
-                            add(a, value, &mut nodes);
+                            add(a, value, &mut idx);
                         }
                     }
                 }
@@ -68,15 +75,43 @@ impl SubstringIndex {
         }
         entries.sort_unstable();
         entries.dedup();
+        idx.tree = BPlusTree::from_sorted_iter(entries.into_iter().map(|k| (k, ())));
+        idx
+    }
+
+    /// A clone that shares no pages with `self` (see
+    /// [`BPlusTree::deep_clone`]).
+    pub fn deep_clone(&self) -> SubstringIndex {
         SubstringIndex {
-            tree: BPlusTree::from_sorted_iter(entries.into_iter().map(|k| (k, ()))),
-            nodes,
+            tree: self.tree.deep_clone(),
+            present: self.present.deep_clone(),
+            indexed: self.indexed,
         }
+    }
+
+    /// Flags `node` as indexed, growing the membership column on
+    /// demand.
+    fn mark_present(&mut self, node: NodeId) {
+        if node.index() >= self.present.len() {
+            self.present.resize(node.index() + 1, false);
+        }
+        let slot = &mut self.present[node.index()];
+        if !*slot {
+            *slot = true;
+            self.indexed += 1;
+        }
+    }
+
+    /// All indexed nodes, in arena order.
+    fn indexed_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.present.len())
+            .filter(|&i| self.present[i])
+            .map(NodeId::from_index)
     }
 
     /// Registers a new node value (insertion or update half).
     pub(crate) fn add_value(&mut self, node: NodeId, value: &str) {
-        self.nodes.insert(node);
+        self.mark_present(node);
         for t in trigrams(value) {
             self.tree.insert((t, node.index() as u32), ());
         }
@@ -84,7 +119,12 @@ impl SubstringIndex {
 
     /// Unregisters a node value (deletion or update half).
     pub(crate) fn remove_value(&mut self, node: NodeId, old_value: &str) {
-        self.nodes.remove(&node);
+        if let Some(slot) = self.present.get_mut(node.index()) {
+            if *slot {
+                *slot = false;
+                self.indexed -= 1;
+            }
+        }
         for t in trigrams(old_value) {
             self.tree.remove(&(t, node.index() as u32));
         }
@@ -100,7 +140,7 @@ impl SubstringIndex {
         for &t in new_t.difference(&old_t) {
             self.tree.insert((t, node.index() as u32), ());
         }
-        self.nodes.insert(node);
+        self.mark_present(node);
     }
 
     /// Posting-list size cap: trigrams with more postings than this
@@ -126,9 +166,7 @@ impl SubstringIndex {
     /// `needle`. Needles shorter than 3 bytes scan the indexed nodes.
     pub fn contains(&self, doc: &Document, needle: &str) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = if needle.len() < 3 {
-            self.nodes
-                .iter()
-                .copied()
+            self.indexed_iter()
                 .filter(|&n| doc.is_live(n))
                 .filter(|&n| doc.direct_value(n).is_some_and(|v| v.contains(needle)))
                 .collect()
@@ -160,7 +198,7 @@ impl SubstringIndex {
             .collect();
         if lists.is_empty() {
             // Only common trigrams: no useful filter.
-            return self.nodes.iter().copied().collect();
+            return self.indexed_iter().collect();
         }
         lists.sort_by_key(|l| l.len());
         lists.truncate(3);
@@ -192,7 +230,7 @@ impl SubstringIndex {
         let candidates: Vec<NodeId> = if filter.len() >= 3 {
             self.candidates(filter)
         } else {
-            self.nodes.iter().copied().collect()
+            self.indexed_iter().collect()
         };
         let mut out: Vec<NodeId> = candidates
             .into_iter()
@@ -213,12 +251,12 @@ impl SubstringIndex {
 
     /// Number of indexed value nodes.
     pub fn indexed_nodes(&self) -> usize {
-        self.nodes.len()
+        self.indexed
     }
 
     /// Approximate heap bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.tree.approx_bytes() + self.nodes.len() * std::mem::size_of::<NodeId>() * 2
+        self.tree.approx_bytes() + self.present.len() * std::mem::size_of::<bool>()
     }
 }
 

@@ -113,6 +113,17 @@ impl TypedIndex {
         self.ty
     }
 
+    /// A clone that shares no pages with `self` (see
+    /// [`BPlusTree::deep_clone`]).
+    pub fn deep_clone(&self) -> TypedIndex {
+        TypedIndex {
+            ty: self.ty,
+            value_tree: self.value_tree.deep_clone(),
+            node_tree: self.node_tree.deep_clone(),
+            staging: self.staging.clone(),
+        }
+    }
+
     /// The shared analyzer (DFA + SCT) for this index's type.
     pub fn analyzer(&self) -> &'static TypedAnalyzer {
         analyzer(self.ty)

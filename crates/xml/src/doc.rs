@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use xvi_btree::PagedVec;
+
 use crate::error::ParseError;
 use crate::node::{NameId, NodeData, NodeId, NodeKind};
 
@@ -13,6 +15,12 @@ use crate::node::{NameId, NodeData, NodeId, NodeKind};
 /// of nodes carry indexable values, but only descendant *text* nodes
 /// contribute to an element's XDM string value.
 ///
+/// The arena is paged with copy-on-write structural sharing
+/// ([`PagedVec`]): `Clone` is O(pages) reference-count bumps, and a
+/// clone that mutates (value updates, construction, deletion) detaches
+/// only the pages it touches — so snapshot-style cloning of a large
+/// document costs nothing proportional to the document size.
+///
 /// ```
 /// use xvi_xml::Document;
 /// let doc = Document::parse("<name><first>Arthur</first><family>Dent</family></name>").unwrap();
@@ -22,7 +30,7 @@ use crate::node::{NameId, NodeData, NodeId, NodeKind};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Document {
-    nodes: Vec<NodeData>,
+    nodes: PagedVec<NodeData>,
     names: Vec<String>,
     name_ids: HashMap<String, NameId>,
     free: Vec<NodeId>,
@@ -37,12 +45,30 @@ impl Default for Document {
 impl Document {
     /// Creates an empty document containing only the document node.
     pub fn new() -> Document {
+        let mut nodes = PagedVec::new();
+        nodes.push(NodeData::new(NodeKind::Document));
         Document {
-            nodes: vec![NodeData::new(NodeKind::Document)],
+            nodes,
             names: Vec::new(),
             name_ids: HashMap::new(),
             free: Vec::new(),
         }
+    }
+
+    /// A clone that shares no arena pages with `self`: every page is
+    /// detached immediately instead of lazily on first write. Archival
+    /// copies use this to avoid pinning the live document's pages; the
+    /// COW benches use it as the pre-structural-sharing baseline.
+    pub fn deep_clone(&self) -> Document {
+        let mut c = self.clone();
+        c.nodes = self.nodes.deep_clone();
+        c
+    }
+
+    /// Number of arena pages currently shared with other clones of
+    /// this document (copy-on-write sharing diagnostics).
+    pub fn shared_pages(&self) -> usize {
+        self.nodes.shared_pages()
     }
 
     /// Shreds XML text into a document (see [`crate::parser`]).
@@ -468,7 +494,7 @@ impl Document {
     /// Counts and sizes for the paper's Table 1.
     pub fn stats(&self) -> DocStats {
         let mut s = DocStats::default();
-        for n in &self.nodes {
+        for n in self.nodes.iter() {
             match &n.kind {
                 NodeKind::Free => continue,
                 NodeKind::Document => {}
@@ -805,6 +831,34 @@ mod tests {
         assert_eq!(s.total_nodes, 19);
         assert!(s.text_bytes > 0);
         assert!(s.arena_bytes > s.text_bytes);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut big = Document::new();
+        let root = big.append_element(big.document_node(), "r");
+        for i in 0..2_000 {
+            let e = big.append_element(root, "item");
+            big.append_text(e, &format!("value-{i}"));
+        }
+        assert_eq!(big.shared_pages(), 0);
+        let mut snap = big.clone();
+        assert!(snap.shared_pages() > 0, "clone shares the arena pages");
+        let text = snap
+            .descendants(root)
+            .find(|&n| matches!(snap.kind(n), NodeKind::Text(t) if t == "value-7"))
+            .unwrap();
+        snap.set_value(text, "rewritten");
+        // Only the touched page detached; the original never moved.
+        assert_eq!(big.string_value(text), "value-7");
+        assert_eq!(snap.string_value(text), "rewritten");
+        assert!(snap.shared_pages() > 0);
+        let mut deep = big.deep_clone();
+        drop(snap);
+        assert_eq!(big.shared_pages(), 0);
+        assert_eq!(deep.shared_pages(), 0);
+        deep.set_value(text, "deep");
+        assert_eq!(big.string_value(text), "value-7");
     }
 
     #[test]

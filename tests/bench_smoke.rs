@@ -42,3 +42,11 @@ fn pipelined_concurrency_runs_at_tiny_scale() {
     // require the sweep to run and stay consistent.
     experiments::run_pipelined(1, 1);
 }
+
+#[test]
+fn cow_publish_runs_at_tiny_scale() {
+    // At permille 1 every document size also verifies the maintained
+    // indices against a fresh rebuild; the >= 5x shared-vs-deep claim
+    // is a release-mode property at realistic scales.
+    experiments::run_cow(1, 1);
+}
