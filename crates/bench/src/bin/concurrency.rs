@@ -6,7 +6,9 @@
 //! vs. commit throughput. Pass `cow` to run the copy-on-write publish
 //! sweep ([`xvi_bench::experiments::run_cow`]): publish µs/commit with
 //! a pinned snapshot, shared-page vs. deep-clone behaviour across
-//! document sizes.
+//! document sizes. Pass `planner` to run the cost-based-planning sweep
+//! ([`xvi_bench::experiments::run_planner`]): cost-based vs.
+//! last-predicate plans on multi-predicate XMark queries.
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -15,8 +17,11 @@ fn main() {
         "" => xvi_bench::experiments::run_concurrency(permille, reps),
         "pipelined" => xvi_bench::experiments::run_pipelined(permille, reps),
         "cow" => xvi_bench::experiments::run_cow(permille, reps),
+        "planner" => xvi_bench::experiments::run_planner(permille, reps),
         other => {
-            eprintln!("unknown mode `{other}` (expected nothing, `pipelined`, or `cow`)");
+            eprintln!(
+                "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, or `planner`)"
+            );
             std::process::exit(2);
         }
     }

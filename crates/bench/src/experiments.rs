@@ -11,7 +11,9 @@ use std::sync::{Arc, Barrier};
 use xvi_datagen::{ConcurrentConfig, ConcurrentWorkload, Dataset, UpdateWorkload, WorkloadOp};
 use xvi_fsm::{analyzer, XmlType};
 use xvi_hash::collisions::CollisionHistogram;
-use xvi_index::{IndexConfig, IndexManager, IndexService, Lookup, ServiceConfig};
+use xvi_index::{
+    IndexConfig, IndexManager, IndexService, Lookup, Plan, QueryEngine, ServiceConfig,
+};
 use xvi_xml::{Document, NodeKind};
 
 use crate::{load, mb, ms, pct, time, time_mean, Table};
@@ -599,6 +601,158 @@ pub fn run_cow(permille: u32, reps: usize) {
          {last_speedup:.1}x — target >= 5x from XVI_SCALE=100 up. Expected shape:\n\
          the shared column stays flat across the size sweep (cost follows the\n\
          {COW_BATCH}-write touched set), the deep column grows with the document."
+    );
+}
+
+/// Multi-predicate XMark queries swept by the planner experiment. The
+/// final predicate of each is the *least* selective one — the
+/// adversarial ordering for the old last-predicate heuristic.
+pub const PLANNER_QUERIES: &[(&str, &str)] = &[
+    (
+        "age-vs-education",
+        "//person[.//age = 42][.//education = \"Graduate School\"]",
+    ),
+    (
+        "age-vs-quantity",
+        "//item[.//quantity = 3][.//quantity >= 1]",
+    ),
+];
+
+/// Planner experiment: cost-based plans vs. the pre-statistics
+/// planner on multi-predicate XMark queries.
+///
+/// The old `QueryEngine::plan` only ever lowered a *lone* final-step
+/// predicate — faced with two predicates it scanned outright, so the
+/// honest old-vs-new comparison on these queries is the **scan**
+/// column. The **last** column additionally isolates the value of
+/// cost-based *choice*: it extends the old last-predicate heuristic
+/// to multi-predicate queries by forcing the final step's final
+/// plannable predicate — which on these queries is the *least*
+/// selective one (every XMark person's `<education>` is the literal
+/// `"Graduate School"`), the adversarial pick a selectivity-blind
+/// planner makes. The cost-based planner ranks every predicate by its
+/// statistics estimate ([`IndexManager::estimate`]) and probes the
+/// most selective one instead. Three timings per query:
+///
+/// * **cost** — the plan [`QueryEngine::plan`] actually picks;
+/// * **last** — the last-predicate heuristic extended to
+///   multi-predicate queries (forced, selectivity-blind);
+/// * **scan** — the old planner's actual behavior on these queries,
+///   and the no-index baseline.
+///
+/// The headline number is the cost-over-last speedup on the first
+/// query — target ≥ 2× from `XVI_SCALE=100` up (tiny documents leave
+/// too few candidates for the plans to differ measurably); the
+/// cost-over-scan column is the speedup over the shipped old
+/// behavior. All three evaluations are checked for identical results
+/// at every scale.
+pub fn run_planner(permille: u32, reps: usize) {
+    println!(
+        "Planner — cost-based vs. last-predicate plans on multi-predicate \
+         XMark queries (scale {permille}‰, {reps} reps)\n"
+    );
+
+    let (_, doc) = load(Dataset::XMark(1), permille);
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+
+    let table = Table::new(&[
+        ("Query", 18),
+        ("plan", 11),
+        ("est/actual", 12),
+        ("cost ms", 9),
+        ("last ms", 9),
+        ("scan ms", 9),
+        ("vs last", 8),
+        ("vs scan", 8),
+    ]);
+
+    let mut headline = 0.0f64;
+    for (i, (name, query_str)) in PLANNER_QUERIES.iter().enumerate() {
+        let query = QueryEngine::parse(query_str).expect("planner queries parse");
+        let probes = QueryEngine::candidate_probes(&idx, &query);
+        assert!(
+            probes.len() >= 2,
+            "{name}: both predicates must be plannable"
+        );
+
+        let cost_plan = QueryEngine::plan(&idx, &query);
+        // The old heuristic: the final step's final plannable
+        // predicate, selectivity unseen.
+        let last_probe = probes
+            .iter()
+            .max_by_key(|p| (p.step, p.pred))
+            .expect("non-empty")
+            .clone();
+        let last_plan = Plan::Index(last_probe.clone());
+
+        let cost_result = QueryEngine::evaluate_with_plan(&doc, &idx, &query, &cost_plan);
+        assert_eq!(
+            cost_result,
+            QueryEngine::evaluate_with_plan(&doc, &idx, &query, &last_plan),
+            "{name}: plans disagree"
+        );
+        assert_eq!(
+            cost_result,
+            QueryEngine::evaluate_scan(&doc, &query),
+            "{name}: index plans disagree with the scan"
+        );
+
+        let cost_t = time_mean(reps, |_| {
+            std::hint::black_box(QueryEngine::evaluate_with_plan(
+                &doc, &idx, &query, &cost_plan,
+            ));
+        });
+        let last_t = time_mean(reps, |_| {
+            std::hint::black_box(QueryEngine::evaluate_with_plan(
+                &doc, &idx, &query, &last_plan,
+            ));
+        });
+        let scan_t = time_mean(reps, |_| {
+            std::hint::black_box(QueryEngine::evaluate_scan(&doc, &query));
+        });
+
+        let vs_last = last_t.as_secs_f64() / cost_t.as_secs_f64();
+        let vs_scan = scan_t.as_secs_f64() / cost_t.as_secs_f64();
+        if i == 0 {
+            headline = vs_last;
+        }
+        let chosen = match &cost_plan {
+            Plan::Index(p) => {
+                let actual = idx.query(&doc, &p.lookup).expect("plannable").len();
+                (
+                    format!("probe s{}", p.step + 1),
+                    format!("{}/{}", p.estimate.estimate, actual),
+                )
+            }
+            Plan::Intersect(a, _) => {
+                let actual = idx.query(&doc, &a.lookup).expect("plannable").len();
+                (
+                    "intersect".to_string(),
+                    format!("{}/{}", a.estimate.estimate, actual),
+                )
+            }
+            Plan::Scan => ("scan".to_string(), "-".to_string()),
+        };
+        table.row(&[
+            (*name).to_string(),
+            chosen.0,
+            chosen.1,
+            ms(cost_t),
+            ms(last_t),
+            ms(scan_t),
+            format!("{vs_last:.2}x"),
+            format!("{vs_scan:.2}x"),
+        ]);
+    }
+
+    println!(
+        "\nHeadline (first query, cost-based over forced last-predicate):\n\
+         {headline:.2}x — target >= 2x from XVI_SCALE=100 up. The last predicate\n\
+         of each query matches (nearly) every person or item, so the\n\
+         selectivity-blind pick probes and reverse-matches the fattest candidate\n\
+         set; the statistics-ranked plan probes the selective predicate instead.\n\
+         (The pre-statistics planner scanned outright on any multi-predicate\n\
+         query, so `vs scan` is the speedup over the shipped old behavior.)"
     );
 }
 

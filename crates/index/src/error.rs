@@ -26,6 +26,15 @@ pub enum IndexError {
     /// A group-commit leader panicked before this transaction's round
     /// completed; the transaction was not applied.
     CommitPipelinePoisoned,
+    /// A persisted catalog manifest declares a format version this
+    /// build does not understand — refusing to load beats mis-parsing
+    /// it as the wrong layout.
+    CatalogVersion {
+        /// The version the manifest declares.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -55,6 +64,13 @@ impl std::fmt::Display for IndexError {
                 write!(
                     f,
                     "the group-commit leader panicked; transaction not applied"
+                )
+            }
+            IndexError::CatalogVersion { found, supported } => {
+                write!(
+                    f,
+                    "catalog manifest has format version {found}, but this build supports \
+                     version {supported}"
                 )
             }
         }

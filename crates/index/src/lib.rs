@@ -50,6 +50,7 @@ mod manager;
 mod persist;
 pub mod query;
 pub mod service;
+pub mod stats;
 mod string_index;
 pub mod substring;
 pub mod txn;
@@ -60,10 +61,11 @@ pub use config::IndexConfig;
 pub use error::IndexError;
 pub use lookup::{Bounds, Lookup, QueryResult};
 pub use manager::{IndexManager, IndexStats};
-pub use query::{Explanation, Plan, Query, QueryEngine};
+pub use query::{Explanation, Plan, PlannerConfig, PredicateReport, Probe, Query, QueryEngine};
 pub use service::{
     CommitReceipt, CommitTicket, DocId, DocSnapshot, IndexService, ServiceConfig, ServiceSnapshot,
 };
+pub use stats::{CardinalityEstimate, EquiHistogram, QGramTable, Statistics, ValueHistogram};
 pub use string_index::StringIndex;
 pub use substring::SubstringIndex;
 pub use txn::{Transaction, TransactionalStore};

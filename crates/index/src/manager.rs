@@ -11,6 +11,7 @@ use crate::config::IndexConfig;
 use crate::create::index_subtree;
 use crate::error::IndexError;
 use crate::lookup::{Bounds, Lookup, QueryResult};
+use crate::stats::{CardinalityEstimate, Statistics};
 use crate::string_index::StringIndex;
 use crate::substring::SubstringIndex;
 use crate::typed_index::TypedIndex;
@@ -225,6 +226,93 @@ impl IndexManager {
         self.substring
             .as_ref()
             .ok_or(IndexError::IndexNotConfigured("substring"))
+    }
+
+    // ----- cardinality estimation -------------------------------------------
+
+    /// Estimates how many candidate nodes evaluating `lookup` would
+    /// produce, answered purely from the maintained per-index
+    /// statistics (no document access, no probe). The same lookups
+    /// that [`IndexManager::query`] rejects are rejected here with the
+    /// same typed errors.
+    ///
+    /// For value probes the returned [`CardinalityEstimate`] carries
+    /// guaranteed `[lower, upper]` bounds around the point estimate —
+    /// the contract the statistics-maintenance property tests pin
+    /// down, and what [`QueryEngine`](crate::QueryEngine) ranks
+    /// candidate predicates by. A [`Lookup::XPath`] request instead
+    /// estimates the *work* of the chosen plan with vacuous bounds
+    /// (`[0, usize::MAX]`): a query's result count can fan out beyond
+    /// any probe's candidates, so no finite bound would be sound.
+    ///
+    /// ```
+    /// use xvi_index::{Document, IndexConfig, IndexManager, Lookup};
+    ///
+    /// let doc = Document::parse(
+    ///     "<people><p><age>42</age></p><p><age>7</age></p></people>").unwrap();
+    /// let idx = IndexManager::build(&doc, IndexConfig::default());
+    /// let est = idx.estimate(&Lookup::range_f64(0.0..100.0)).unwrap();
+    /// let actual = idx.query(&doc, &Lookup::range_f64(0.0..100.0)).unwrap().len();
+    /// assert!(est.lower <= actual && actual <= est.upper);
+    /// ```
+    pub fn estimate(&self, lookup: &Lookup) -> Result<CardinalityEstimate, IndexError> {
+        match lookup {
+            Lookup::Equi(value) => Ok(self
+                .string
+                .as_ref()
+                .ok_or(IndexError::IndexNotConfigured("string"))?
+                .estimate_equi(hash_str(value))),
+            Lookup::RangeF64(bounds) => self.estimate_typed(XmlType::Double, bounds),
+            Lookup::TypedEq(ty, key) => self.estimate_typed(*ty, &Bounds::eq(*key)),
+            Lookup::TypedRange(ty, bounds) => self.estimate_typed(*ty, bounds),
+            Lookup::Contains(needle) => Ok(self.substring()?.estimate_contains(needle)),
+            Lookup::Wildcard(pattern) => Ok(self.substring()?.estimate_wildcard(pattern)),
+            Lookup::XPath(q) => Ok(crate::query::QueryEngine::estimate_query(self, q)),
+        }
+    }
+
+    fn estimate_typed(
+        &self,
+        ty: XmlType,
+        bounds: &Bounds,
+    ) -> Result<CardinalityEstimate, IndexError> {
+        Ok(self
+            .typed_index(ty)
+            .ok_or(IndexError::TypeNotIndexed(ty))?
+            .estimate_range(bounds))
+    }
+
+    /// A point-in-time snapshot of every configured index's
+    /// statistics (histograms are small; this clones them).
+    pub fn statistics(&self) -> Statistics {
+        Statistics {
+            string: self.string.as_ref().map(|s| s.statistics().clone()),
+            typed: self
+                .typed
+                .iter()
+                .map(|t| (t.xml_type(), t.statistics().clone()))
+                .collect(),
+            substring: self.substring.as_ref().map(|s| s.statistics().clone()),
+        }
+    }
+
+    /// A cheap proxy for the document's node population, derived from
+    /// the largest configured index — the scale the planner compares
+    /// scan costs against.
+    pub fn approx_node_count(&self) -> usize {
+        let string = self.string.as_ref().map(|s| s.len()).unwrap_or(0);
+        let typed = self
+            .typed
+            .iter()
+            .map(|t| t.stored_states())
+            .max()
+            .unwrap_or(0);
+        let substring = self
+            .substring
+            .as_ref()
+            .map(|s| s.indexed_nodes())
+            .unwrap_or(0);
+        string.max(typed).max(substring)
     }
 
     // ----- maintenance (paper Figure 8) -------------------------------------

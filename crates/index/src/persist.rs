@@ -29,11 +29,38 @@ use xvi_hash::HashValue;
 use xvi_xml::{Document, NodeId};
 
 use crate::config::IndexConfig;
+use crate::error::IndexError;
 use crate::manager::IndexManager;
 use crate::service::{IndexService, ServiceConfig};
 
 const MAGIC: &[u8; 4] = b"XVI1";
-const CATALOG_MAGIC: &[u8; 4] = b"XVC1";
+const CATALOG_MAGIC: &[u8; 4] = b"XVC2";
+/// The version-1 magic: catalogs written before the manifest carried a
+/// version field. Recognised only to reject them with a *typed*
+/// version error instead of "not a catalog".
+const CATALOG_MAGIC_V1: &[u8; 4] = b"XVC1";
+/// Catalog manifest format version. Bumped whenever the manifest
+/// layout changes; [`IndexService::load_catalog`] refuses any other
+/// version with a typed [`IndexError::CatalogVersion`] instead of
+/// mis-parsing the bytes. (Version 2 introduced the version field
+/// itself — with a new magic, so a version-1 manifest's shard count
+/// cannot alias as a version — alongside the statistics subsystem;
+/// index statistics are *rebuilt* from the bulk-loaded trees on load,
+/// not serialized.)
+const CATALOG_VERSION: u32 = 2;
+
+fn catalog_version_error(found: u32) -> io::Error {
+    // Typed rejection: the caller can downcast the source to
+    // `IndexError::CatalogVersion` to distinguish "wrong version" from
+    // plain corruption.
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        IndexError::CatalogVersion {
+            found,
+            supported: CATALOG_VERSION,
+        },
+    )
+}
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -304,6 +331,7 @@ impl IndexService {
         }
         write_file_atomically(dir, "catalog.xvi", |manifest| {
             manifest.write_all(CATALOG_MAGIC)?;
+            write_u32(manifest, CATALOG_VERSION)?;
             write_u32(manifest, cfg.shards as u32)?;
             write_u32(manifest, cfg.max_group as u32)?;
             write_index_config(manifest, &cfg.index)?;
@@ -325,8 +353,15 @@ impl IndexService {
         let mut manifest = std::io::BufReader::new(std::fs::File::open(dir.join("catalog.xvi"))?);
         let mut magic = [0u8; 4];
         manifest.read_exact(&mut magic)?;
+        if &magic == CATALOG_MAGIC_V1 {
+            return Err(catalog_version_error(1));
+        }
         if &magic != CATALOG_MAGIC {
             return Err(bad("not an xvi catalog manifest"));
+        }
+        let version = read_u32(&mut manifest)?;
+        if version != CATALOG_VERSION {
+            return Err(catalog_version_error(version));
         }
         let shards = read_u32(&mut manifest)? as usize;
         let max_group = read_u32(&mut manifest)? as usize;

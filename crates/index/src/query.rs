@@ -8,13 +8,14 @@
 //! //*[data(name) = "ArthurDent"]
 //! /site/people/person[@id = "person0"]
 //! //item[price < 50]
+//! //person[.//age = 42][.//education = "Graduate School"]
 //! ```
 //!
 //! Grammar (recursive descent, no external crates):
 //!
 //! ```text
 //! query     := ( '/' | '//' ) step ( ( '/' | '//' ) step )*
-//! step      := test predicate?
+//! step      := test predicate*
 //! test      := NAME | '*' | 'text()' | '@' NAME
 //! predicate := '[' relpath ( op literal )? ']'
 //! relpath   := '.' | 'data(' relpath ')' | ( './/' | './' | '' ) step ( ('/'|'//') step )*
@@ -23,12 +24,14 @@
 //! ```
 //!
 //! Two evaluators are provided: [`QueryEngine::evaluate_scan`] walks
-//! the tree (the baseline), while [`QueryEngine::evaluate`] serves
-//! string-equality predicates from the equi-index and numeric
-//! comparisons from the double range index, then *reverse-matches*
-//! candidates against the path — which is exactly how a value index
-//! that covers the whole document gets used: value first, structure
-//! second.
+//! the tree (the baseline), while [`QueryEngine::evaluate`] runs a
+//! **cost-based plan**: every comparison predicate on every step is a
+//! candidate for lowering into a value [`Lookup`], the candidates are
+//! ranked by the maintained per-index statistics
+//! ([`IndexManager::estimate`]), and the cheapest one (or the
+//! intersection of two probes on the same step, or a scan when nothing
+//! is selective) drives evaluation — value first, structure second,
+//! with the *most selective* value chosen.
 
 use std::collections::HashSet;
 
@@ -38,6 +41,7 @@ use xvi_xml::{Document, NodeId, NodeKind};
 use crate::error::IndexError;
 use crate::lookup::{Bounds, Lookup};
 use crate::manager::IndexManager;
+use crate::stats::CardinalityEstimate;
 
 /// Navigation axis of a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +110,8 @@ pub struct Step {
     pub axis: Axis,
     /// Which nodes it selects.
     pub test: Test,
-    /// Optional value predicate.
-    pub pred: Option<Predicate>,
+    /// Value predicates, all of which must hold (`[a][b]`).
+    pub preds: Vec<Predicate>,
 }
 
 /// A parsed query.
@@ -117,50 +121,166 @@ pub struct Query {
     pub steps: Vec<Step>,
 }
 
-/// How [`QueryEngine::evaluate`] will serve a query: the last step's
-/// predicate is *lowered* into a value [`Lookup`] when an index
-/// covers it, and the candidates are reverse-matched through the path.
+/// One plannable index probe: a predicate (addressed by step and
+/// predicate position) lowered into a value [`Lookup`], with its
+/// statistics-based cardinality estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Probe {
+    /// The lowered value lookup.
+    pub lookup: Lookup,
+    /// Index of the step carrying the predicate.
+    pub step: usize,
+    /// Index of the predicate within the step's `preds`.
+    pub pred: usize,
+    /// Estimated candidate cardinality of the probe.
+    pub estimate: CardinalityEstimate,
+}
+
+/// How [`QueryEngine::evaluate`] will serve a query, chosen
+/// cost-based from the per-index statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
-    /// Index probe with the lowered lookup, then reverse path matching.
-    Index(Lookup),
-    /// Full document scan.
+    /// Probe one index with the most selective lowered predicate, then
+    /// reverse path matching from the candidates.
+    Index(Probe),
+    /// Probe two indexes for two predicates of the *same* step,
+    /// intersect the anchor candidate sets, then reverse path matching
+    /// on the (smaller) intersection.
+    Intersect(Probe, Probe),
+    /// Full document scan — no predicate is covered, or none is
+    /// selective enough to beat the scan.
     Scan,
+}
+
+impl Plan {
+    /// The primary probe's lookup, if the plan probes an index.
+    pub fn lookup(&self) -> Option<&Lookup> {
+        match self {
+            Plan::Index(p) | Plan::Intersect(p, _) => Some(&p.lookup),
+            Plan::Scan => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Plan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Plan::Index(lookup) => write!(f, "index probe {lookup}, then reverse path match"),
+            Plan::Index(p) => write!(
+                f,
+                "index probe {} at step {} (est {}), then reverse path match",
+                p.lookup,
+                p.step + 1,
+                p.estimate
+            ),
+            Plan::Intersect(a, b) => write!(
+                f,
+                "intersect {} (est {}) with {} (est {}) at step {}, then reverse path match",
+                a.lookup,
+                a.estimate,
+                b.lookup,
+                b.estimate,
+                a.step + 1
+            ),
             Plan::Scan => write!(f, "full document scan"),
         }
     }
 }
 
+/// Cost-model knobs of the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Scan threshold: fall back to [`Plan::Scan`] when even the
+    /// cheapest probe's estimated candidate count exceeds this
+    /// fraction of the document's (approximate) node population —
+    /// verifying that many candidates costs more than one walk over
+    /// the tree.
+    pub scan_fraction: f64,
+    /// Consider intersecting a second probe only when the best probe
+    /// still expects more candidates than this.
+    pub intersect_min: usize,
+    /// A second probe joins an intersection only if its estimate is
+    /// within this factor of the best probe's (probing a wildly less
+    /// selective index costs more than it prunes).
+    pub intersect_factor: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            scan_fraction: 0.5,
+            intersect_min: 64,
+            intersect_factor: 8.0,
+        }
+    }
+}
+
+/// One enumerated candidate predicate in an [`Explanation`]: its
+/// lowered lookup, the statistics-based estimate, and the *actual*
+/// candidate count the probe produced — mis-estimates are visible as
+/// the gap between the two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateReport {
+    /// Index of the step carrying the predicate.
+    pub step: usize,
+    /// Index of the predicate within the step.
+    pub pred: usize,
+    /// The lowered value lookup.
+    pub lookup: Lookup,
+    /// Estimated candidate cardinality (what the planner ranked by).
+    pub estimate: CardinalityEstimate,
+    /// Actual candidate count of executing the probe.
+    pub actual: usize,
+    /// Whether the plan chose this probe.
+    pub chosen: bool,
+}
+
+impl std::fmt::Display for PredicateReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "predicate {} at step {}: est {}, actual {}{}",
+            self.lookup,
+            self.step + 1,
+            self.estimate,
+            self.actual,
+            if self.chosen { " (chosen)" } else { "" }
+        )
+    }
+}
+
 /// The rendered execution plan of one query — what
-/// [`QueryEngine::explain`] returns: whether the index covered the
-/// predicate, how many candidates the value probe produced, and how
-/// many survived the path match.
+/// [`QueryEngine::explain`] returns: the chosen plan, every candidate
+/// predicate with estimated vs. actual cardinality, how many
+/// candidates the chosen probe(s) produced, and the final result
+/// count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Explanation {
     /// The chosen plan.
     pub plan: Plan,
-    /// Nodes the value probe returned (`None` when the plan scans).
-    pub candidates: Option<usize>,
+    /// Every candidate predicate the planner enumerated, with
+    /// estimated and actual cardinalities.
+    pub predicates: Vec<PredicateReport>,
+    /// Candidates the chosen probe(s) returned (`None` when the plan
+    /// scans; the sum of both probes for an intersection).
+    pub probed: Option<usize>,
     /// Final result count after path matching.
     pub results: usize,
 }
 
 impl std::fmt::Display for Explanation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.candidates {
+        match self.probed {
             Some(c) => write!(
                 f,
                 "plan: {} — {} candidate(s), {} result(s)",
                 self.plan, c, self.results
-            ),
-            None => write!(f, "plan: {} — {} result(s)", self.plan, self.results),
+            )?,
+            None => write!(f, "plan: {} — {} result(s)", self.plan, self.results)?,
         }
+        for p in &self.predicates {
+            write!(f, "\n  {p}")?;
+        }
+        Ok(())
     }
 }
 
@@ -178,24 +298,15 @@ impl QueryEngine {
         .query()
     }
 
-    /// Chooses the execution plan for a query, lowering the predicate
-    /// on the *last* step into a value [`Lookup`] when it is the only
-    /// predicate and a configured index covers it.
-    pub fn plan(idx: &IndexManager, query: &Query) -> Plan {
-        let n_preds = query.steps.iter().filter(|s| s.pred.is_some()).count();
-        if n_preds != 1 {
-            return Plan::Scan;
-        }
-        let last = query.steps.last().expect("non-empty query");
-        let Some(pred) = &last.pred else {
-            return Plan::Scan;
-        };
-        if pred.path.iter().any(|s| s.pred.is_some()) {
-            return Plan::Scan;
+    /// Lowers one predicate into a value [`Lookup`], when its shape
+    /// allows it and a configured index covers it.
+    fn lower_predicate(idx: &IndexManager, pred: &Predicate) -> Option<Lookup> {
+        if pred.path.iter().any(|s| !s.preds.is_empty()) {
+            return None;
         }
         match &pred.cmp {
             Some((CmpOp::Eq, Literal::Str(s))) if idx.string_index().is_some() => {
-                Plan::Index(Lookup::Equi(s.clone()))
+                Some(Lookup::Equi(s.clone()))
             }
             Some((op, Literal::Num(v))) if idx.typed_index(XmlType::Double).is_some() => {
                 use std::ops::Bound::*;
@@ -205,32 +316,165 @@ impl QueryEngine {
                     CmpOp::Le => (Unbounded, Included(*v)),
                     CmpOp::Gt => (Excluded(*v), Unbounded),
                     CmpOp::Ge => (Included(*v), Unbounded),
-                    CmpOp::Ne => return Plan::Scan,
+                    CmpOp::Ne => return None,
                 };
-                Plan::Index(Lookup::RangeF64(Bounds { lo, hi }))
+                Some(Lookup::RangeF64(Bounds { lo, hi }))
             }
-            _ => Plan::Scan,
+            _ => None,
         }
     }
 
-    /// Index-accelerated evaluation; falls back to a scan when no
-    /// index applies. Results are in document order, deduplicated.
-    pub fn evaluate(doc: &Document, idx: &IndexManager, query: &Query) -> Vec<NodeId> {
+    /// Enumerates every plannable probe of a query: each comparison
+    /// predicate on each step that lowers into a covered [`Lookup`],
+    /// with its cardinality estimate from the maintained statistics.
+    pub fn candidate_probes(idx: &IndexManager, query: &Query) -> Vec<Probe> {
+        let mut probes = Vec::new();
+        for (si, step) in query.steps.iter().enumerate() {
+            for (pi, pred) in step.preds.iter().enumerate() {
+                let Some(lookup) = Self::lower_predicate(idx, pred) else {
+                    continue;
+                };
+                let Ok(estimate) = idx.estimate(&lookup) else {
+                    continue;
+                };
+                probes.push(Probe {
+                    lookup,
+                    step: si,
+                    pred: pi,
+                    estimate,
+                });
+            }
+        }
+        probes
+    }
+
+    /// Chooses the execution plan for a query with the default
+    /// [`PlannerConfig`] — see [`QueryEngine::plan_with`].
+    pub fn plan(idx: &IndexManager, query: &Query) -> Plan {
+        Self::plan_with(idx, query, &PlannerConfig::default())
+    }
+
+    /// Chooses the execution plan cost-based: enumerate every
+    /// candidate probe ([`QueryEngine::candidate_probes`]), rank them
+    /// by estimated cardinality, and emit
+    ///
+    /// * [`Plan::Scan`] when no predicate is covered or even the
+    ///   cheapest probe exceeds the scan threshold,
+    /// * [`Plan::Intersect`] when a second probe on the same step is
+    ///   close enough in selectivity to prune the anchor set further,
+    /// * [`Plan::Index`] with the most selective probe otherwise.
+    pub fn plan_with(idx: &IndexManager, query: &Query, cfg: &PlannerConfig) -> Plan {
+        let mut probes = Self::candidate_probes(idx, query);
+        if probes.is_empty() {
+            return Plan::Scan;
+        }
+        probes.sort_by_key(|p| p.estimate.estimate);
+        let scan_threshold = (cfg.scan_fraction * idx.approx_node_count() as f64) as usize;
+        let best = probes[0].clone();
+        if best.estimate.estimate > scan_threshold {
+            return Plan::Scan;
+        }
+        if best.estimate.estimate >= cfg.intersect_min {
+            let partner = probes[1..].iter().find(|p| {
+                p.step == best.step
+                    && p.pred != best.pred
+                    && p.estimate.estimate
+                        <= (best.estimate.estimate as f64 * cfg.intersect_factor) as usize
+                    && p.estimate.estimate <= scan_threshold
+            });
+            if let Some(second) = partner {
+                return Plan::Intersect(best, second.clone());
+            }
+        }
+        Plan::Index(best)
+    }
+
+    /// Estimates the evaluation *work* of a whole query — the chosen
+    /// probe's candidate estimate, or the document population for a
+    /// scan. This is what `IndexManager::estimate` reports for
+    /// [`Lookup::XPath`] requests.
+    ///
+    /// The returned bounds are deliberately vacuous
+    /// ([`CardinalityEstimate::unbounded`]): unlike a value probe, a
+    /// query's *result* count is not bounded by any probe's candidate
+    /// count — reverse anchoring and trailing steps can both fan out —
+    /// so no finite `upper` would be sound.
+    pub fn estimate_query(idx: &IndexManager, query: &Query) -> CardinalityEstimate {
         match Self::plan(idx, query) {
+            Plan::Index(p) => CardinalityEstimate::unbounded(p.estimate.estimate),
+            Plan::Intersect(a, b) => {
+                CardinalityEstimate::unbounded(a.estimate.estimate.min(b.estimate.estimate))
+            }
+            Plan::Scan => CardinalityEstimate::unbounded(idx.approx_node_count()),
+        }
+    }
+
+    /// Index-accelerated evaluation under the default planner
+    /// configuration; falls back to a scan when no index applies.
+    /// Results are in document order, deduplicated.
+    pub fn evaluate(doc: &Document, idx: &IndexManager, query: &Query) -> Vec<NodeId> {
+        Self::evaluate_with_plan(doc, idx, query, &Self::plan(idx, query))
+    }
+
+    /// Evaluates `query` under an explicitly chosen [`Plan`] (normally
+    /// from [`QueryEngine::plan_with`]; benchmarks use it to compare
+    /// plan shapes on identical queries). A probe whose lookup the
+    /// index cannot serve falls back to the scan plan.
+    pub fn evaluate_with_plan(
+        doc: &Document,
+        idx: &IndexManager,
+        query: &Query,
+        plan: &Plan,
+    ) -> Vec<NodeId> {
+        // A probe that does not address a predicate of *this* query —
+        // out-of-range indexes, a lookup that is not the addressed
+        // predicate's own lowering, or an intersection whose probes
+        // sit on different steps — cannot be evaluated soundly; treat
+        // it like an unservable lookup and scan instead of panicking
+        // or silently returning the wrong candidates' matches.
+        let addresses_query = |p: &Probe| {
+            query
+                .steps
+                .get(p.step)
+                .and_then(|s| s.preds.get(p.pred))
+                .and_then(|pred| Self::lower_predicate(idx, pred))
+                .is_some_and(|lowered| lowered == p.lookup)
+        };
+        let valid = match plan {
+            Plan::Scan => true,
+            Plan::Index(p) => addresses_query(p),
+            Plan::Intersect(a, b) => a.step == b.step && addresses_query(a) && addresses_query(b),
+        };
+        if !valid {
+            return Self::evaluate_scan(doc, query);
+        }
+        match plan {
             Plan::Scan => Self::evaluate_scan(doc, query),
-            Plan::Index(lookup) => {
-                let candidates = idx
-                    .query(doc, &lookup)
-                    .expect("plan() only lowers to configured indices");
-                let result = Self::contexts_of_candidates(doc, query, &candidates);
-                Self::in_doc_order(doc, result)
+            Plan::Index(p) => {
+                let Ok(candidates) = idx.query(doc, &p.lookup) else {
+                    return Self::evaluate_scan(doc, query);
+                };
+                let anchors = Self::anchors_of(doc, query, p.step, p.pred, &candidates);
+                Self::finish_from_anchors(doc, query, p.step, &[p.pred], anchors)
+            }
+            Plan::Intersect(a, b) => {
+                let (Ok(ca), Ok(cb)) = (idx.query(doc, &a.lookup), idx.query(doc, &b.lookup))
+                else {
+                    return Self::evaluate_scan(doc, query);
+                };
+                let anchors_a = Self::anchors_of(doc, query, a.step, a.pred, &ca);
+                let anchors_b = Self::anchors_of(doc, query, b.step, b.pred, &cb);
+                let anchors: HashSet<NodeId> =
+                    anchors_a.intersection(&anchors_b).copied().collect();
+                Self::finish_from_anchors(doc, query, a.step, &[a.pred, b.pred], anchors)
             }
         }
     }
 
     /// Explains how [`QueryEngine::evaluate`] serves `query`: the
-    /// chosen plan (index-covered vs. scan), the candidate count the
-    /// value probe produced, and the final result count.
+    /// chosen plan, estimated vs. actual cardinality for **every**
+    /// candidate predicate, the chosen probe's candidate count, and
+    /// the final result count.
     ///
     /// ```
     /// use xvi_index::{Document, IndexConfig, IndexManager, QueryEngine};
@@ -243,50 +487,87 @@ impl QueryEngine {
     /// assert_eq!(ex.results, 1);
     /// ```
     pub fn explain(doc: &Document, idx: &IndexManager, query: &Query) -> Explanation {
-        match Self::plan(idx, query) {
-            Plan::Scan => Explanation {
-                plan: Plan::Scan,
-                candidates: None,
-                results: Self::evaluate_scan(doc, query).len(),
-            },
-            Plan::Index(lookup) => {
-                let candidates = idx
-                    .query(doc, &lookup)
-                    .expect("plan() only lowers to configured indices");
-                let results = Self::contexts_of_candidates(doc, query, &candidates).len();
-                Explanation {
-                    plan: Plan::Index(lookup),
-                    candidates: Some(candidates.len()),
-                    results,
-                }
+        Self::explain_with(doc, idx, query, &PlannerConfig::default())
+    }
+
+    /// [`QueryEngine::explain`] under an explicit [`PlannerConfig`].
+    pub fn explain_with(
+        doc: &Document,
+        idx: &IndexManager,
+        query: &Query,
+        cfg: &PlannerConfig,
+    ) -> Explanation {
+        let plan = Self::plan_with(idx, query, cfg);
+        let chosen = |step: usize, pred: usize| match &plan {
+            Plan::Index(p) => p.step == step && p.pred == pred,
+            Plan::Intersect(a, b) => {
+                (a.step == step && a.pred == pred) || (b.step == step && b.pred == pred)
             }
+            Plan::Scan => false,
+        };
+        let mut probed = match plan {
+            Plan::Scan => None,
+            _ => Some(0),
+        };
+        let predicates: Vec<PredicateReport> = Self::candidate_probes(idx, query)
+            .into_iter()
+            .map(|p| {
+                let actual = idx
+                    .query(doc, &p.lookup)
+                    .map(|c| c.len())
+                    .unwrap_or_default();
+                let chosen = chosen(p.step, p.pred);
+                if chosen {
+                    if let Some(total) = probed.as_mut() {
+                        *total += actual;
+                    }
+                }
+                PredicateReport {
+                    step: p.step,
+                    pred: p.pred,
+                    lookup: p.lookup,
+                    estimate: p.estimate,
+                    actual,
+                    chosen,
+                }
+            })
+            .collect();
+        let results = Self::evaluate_with_plan(doc, idx, query, &plan).len();
+        Explanation {
+            plan,
+            predicates,
+            probed,
+            results,
         }
     }
 
     /// Pure tree-walk evaluation (the baseline the index beats).
     pub fn evaluate_scan(doc: &Document, query: &Query) -> Vec<NodeId> {
-        let mut context = vec![doc.document_node()];
-        for step in &query.steps {
+        let result = Self::forward_eval(doc, vec![doc.document_node()], &query.steps);
+        Self::in_doc_order(doc, result.into_iter().collect())
+    }
+
+    // ----- scan machinery ----------------------------------------------------
+
+    /// Applies `steps` (with their predicates) forward from a context
+    /// set, exactly as the scan evaluator walks the outer path.
+    fn forward_eval(doc: &Document, contexts: Vec<NodeId>, steps: &[Step]) -> Vec<NodeId> {
+        let mut context = contexts;
+        for step in steps {
             let mut next = Vec::new();
             for &c in &context {
                 Self::apply_step(doc, c, step, &mut next);
             }
             let mut pass = Vec::new();
             for n in next {
-                let ok = match &step.pred {
-                    None => true,
-                    Some(p) => Self::eval_predicate(doc, n, p),
-                };
-                if ok {
+                if step.preds.iter().all(|p| Self::eval_predicate(doc, n, p)) {
                     pass.push(n);
                 }
             }
             context = pass;
         }
-        Self::in_doc_order(doc, context.into_iter().collect())
+        context
     }
-
-    // ----- scan machinery ----------------------------------------------------
 
     fn apply_step(doc: &Document, ctx: NodeId, step: &Step, out: &mut Vec<NodeId>) {
         match (step.axis, &step.test) {
@@ -332,14 +613,7 @@ impl QueryEngine {
     }
 
     fn eval_predicate(doc: &Document, ctx: NodeId, pred: &Predicate) -> bool {
-        let mut selected = vec![ctx];
-        for step in &pred.path {
-            let mut next = Vec::new();
-            for &c in &selected {
-                Self::apply_step(doc, c, step, &mut next);
-            }
-            selected = next;
-        }
+        let selected = Self::forward_eval(doc, vec![ctx], &pred.path);
         match &pred.cmp {
             None => !selected.is_empty(),
             Some((op, lit)) => selected.iter().any(|&m| Self::compare(doc, m, *op, lit)),
@@ -382,40 +656,80 @@ impl QueryEngine {
 
     // ----- index machinery ----------------------------------------------------
 
-    /// Given nodes found *by value*, derive the query answers: each
-    /// candidate is reverse-matched through the predicate path to its
-    /// possible context nodes, which are then reverse-matched through
-    /// the outer query path to the document node.
-    fn contexts_of_candidates(
+    /// Given nodes found *by value* for the probe at `(step_idx,
+    /// pred_idx)`, derive the **anchor candidates**: nodes the probed
+    /// step could select such that the predicate path reaches a
+    /// candidate. Anchors are not yet verified against the rest of the
+    /// query.
+    fn anchors_of(
         doc: &Document,
         query: &Query,
+        step_idx: usize,
+        pred_idx: usize,
         candidates: &[NodeId],
     ) -> HashSet<NodeId> {
-        let last = query.steps.last().expect("non-empty query");
-        let pred = last.pred.as_ref().expect("planned query has a predicate");
-        let mut out = HashSet::new();
+        let step = &query.steps[step_idx];
+        let pred = &step.preds[pred_idx];
+        let mut anchors = HashSet::new();
         for &m in candidates {
             for ctx in Self::reverse_contexts(doc, m, &pred.path) {
-                if out.contains(&ctx) {
-                    continue;
-                }
-                if Self::matches_test(doc, ctx, &last.test)
-                    && Self::matches_absolute(doc, ctx, query)
-                {
-                    out.insert(ctx);
+                if Self::matches_test(doc, ctx, &step.test) {
+                    anchors.insert(ctx);
                 }
             }
         }
-        out
+        anchors
     }
 
-    /// All nodes `c` such that evaluating `steps` from `c` selects `m`.
+    /// Verifies anchors against the query prefix (absolute path up to
+    /// and including the probed step), then evaluates the remaining
+    /// steps forward from the survivors.
+    ///
+    /// The probed predicates (`skip_preds`, positions within the
+    /// anchor step) are **not** re-evaluated: their anchors came from
+    /// index candidates the probe already value-verified and
+    /// reverse-matched through the predicate path, so a per-anchor
+    /// tree walk would only repeat that work. Every other predicate —
+    /// on the anchor step and on every prefix step — is checked.
+    fn finish_from_anchors(
+        doc: &Document,
+        query: &Query,
+        step_idx: usize,
+        skip_preds: &[usize],
+        anchors: HashSet<NodeId>,
+    ) -> Vec<NodeId> {
+        let step = &query.steps[step_idx];
+        // Prefix with the anchor step's predicates stripped; the ones
+        // not covered by the probes are checked directly below.
+        let mut prefix = query.steps[..=step_idx].to_vec();
+        prefix[step_idx].preds = Vec::new();
+        let verified: Vec<NodeId> = anchors
+            .into_iter()
+            .filter(|&ctx| {
+                step.preds
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| skip_preds.contains(&i) || Self::eval_predicate(doc, ctx, p))
+                    && Self::matches_prefix(doc, ctx, &prefix)
+            })
+            .collect();
+        let result = Self::forward_eval(doc, verified, &query.steps[step_idx + 1..]);
+        Self::in_doc_order(doc, result.into_iter().collect())
+    }
+
+    /// All nodes `c` such that evaluating `steps` from `c` selects
+    /// `m`. Each reverse position also enforces the step's predicates,
+    /// so the returned contexts satisfy the whole sub-path, not just
+    /// its axis/test skeleton.
     fn reverse_contexts(doc: &Document, m: NodeId, steps: &[Step]) -> Vec<NodeId> {
         let mut cur = vec![m];
         for step in steps.iter().rev() {
             let mut prev = Vec::new();
             for &x in &cur {
                 if !Self::matches_test_or_self(doc, x, step) {
+                    continue;
+                }
+                if !step.preds.iter().all(|p| Self::eval_predicate(doc, x, p)) {
                     continue;
                 }
                 match step.axis {
@@ -445,35 +759,75 @@ impl QueryEngine {
         }
     }
 
-    /// Whether `node` is selected by the query path (ignoring the last
-    /// step's predicate, which the caller already satisfied by value).
-    fn matches_absolute(doc: &Document, node: NodeId, query: &Query) -> bool {
-        let stripped: Vec<Step> = query
-            .steps
-            .iter()
-            .map(|s| Step {
-                axis: s.axis,
-                test: s.test.clone(),
-                pred: None,
-            })
-            .collect();
-        Self::reverse_contexts(doc, node, &stripped).contains(&doc.document_node())
+    /// Whether `node` is selected by the absolute path `steps`
+    /// (anchored at the document node), predicates included.
+    fn matches_prefix(doc: &Document, node: NodeId, steps: &[Step]) -> bool {
+        Self::reverse_contexts(doc, node, steps).contains(&doc.document_node())
     }
 
+    /// Result sets at most this large are ordered by comparing
+    /// root-path sibling ranks (cost proportional to the involved
+    /// ancestor chains); larger sets amortise one full
+    /// [`Document::pre_post_view`] pass instead.
+    const SMALL_ORDER: usize = 256;
+
     fn in_doc_order(doc: &Document, nodes: HashSet<NodeId>) -> Vec<NodeId> {
-        let view = doc.pre_post_view();
         let mut v: Vec<NodeId> = nodes.into_iter().collect();
-        // Attributes have no pre rank; order them just after their
-        // owner element by (owner pre, attribute arena index).
-        v.sort_by_key(|&n| match view.pre(n) {
-            Some(p) => (p, 0usize),
-            None => (
-                doc.parent(n)
-                    .and_then(|p| view.pre(p))
-                    .unwrap_or(usize::MAX),
-                n.index() + 1,
-            ),
-        });
+        if v.len() > Self::SMALL_ORDER {
+            let view = doc.pre_post_view();
+            // Attributes have no pre rank; order them just after their
+            // owner element by (owner pre, attribute arena index).
+            v.sort_by_key(|&n| match view.pre(n) {
+                Some(p) => (p, 0usize),
+                None => (
+                    doc.parent(n)
+                        .and_then(|p| view.pre(p))
+                        .unwrap_or(usize::MAX),
+                    n.index() + 1,
+                ),
+            });
+            return v;
+        }
+        // Small result set: avoid the O(document) pre/post pass. Each
+        // node's sort key is its chain of sibling ranks from the root
+        // (lexicographic order on those chains *is* document order);
+        // sibling ranks are computed once per involved parent.
+        let mut ranks: std::collections::HashMap<NodeId, std::collections::HashMap<NodeId, i64>> =
+            std::collections::HashMap::new();
+        let mut rank_under = |parent: NodeId, child: NodeId| -> i64 {
+            *ranks
+                .entry(parent)
+                .or_insert_with(|| {
+                    doc.children(parent)
+                        .enumerate()
+                        .map(|(i, c)| (c, i as i64))
+                        .collect()
+                })
+                .get(&child)
+                .expect("child listed under its parent")
+        };
+        let keys: std::collections::HashMap<NodeId, Vec<i64>> = v
+            .iter()
+            .map(|&n| {
+                // An attribute sorts right after its owner element and
+                // before the owner's children: a trailing negative
+                // component keyed by arena index does both.
+                let (mut cur, mut key) = match doc.kind(n) {
+                    NodeKind::Attribute { .. } => (
+                        doc.parent(n).expect("attributes have an owner"),
+                        vec![i64::MIN + n.index() as i64],
+                    ),
+                    _ => (n, Vec::new()),
+                };
+                while let Some(p) = doc.parent(cur) {
+                    key.push(rank_under(p, cur));
+                    cur = p;
+                }
+                key.reverse();
+                (n, key)
+            })
+            .collect();
+        v.sort_by(|a, b| keys[a].cmp(&keys[b]));
         v
     }
 }
@@ -543,18 +897,19 @@ impl<'a> Parser<'a> {
 
     fn step(&mut self, axis: Axis) -> Result<Step, IndexError> {
         let test = self.test()?;
-        self.skip_ws();
-        let pred = if self.eat("[") {
-            let p = self.predicate()?;
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            preds.push(self.predicate()?);
             self.skip_ws();
             if !self.eat("]") {
                 return self.err("expected ']'");
             }
-            Some(p)
-        } else {
-            None
-        };
-        Ok(Step { axis, test, pred })
+        }
+        Ok(Step { axis, test, preds })
     }
 
     fn test(&mut self) -> Result<Test, IndexError> {
@@ -621,7 +976,7 @@ impl<'a> Parser<'a> {
             return Ok(vec![Step {
                 axis: Axis::SelfAxis,
                 test: Test::Any,
-                pred: None,
+                preds: Vec::new(),
             }]);
         } else {
             steps.push(self.step(Axis::Child)?);
@@ -731,9 +1086,17 @@ mod tests {
             "//person[age < 100]",
             "//person[age]",
             "//person",
+            "//person[.//age = 42][first/text() = \"Arthur\"]",
         ] {
             QueryEngine::parse(q).unwrap_or_else(|e| panic!("{q}: {e}"));
         }
+    }
+
+    #[test]
+    fn parse_multi_predicate_step() {
+        let q = QueryEngine::parse("//person[age = 42][first = \"Arthur\"]").unwrap();
+        assert_eq!(q.steps.len(), 1);
+        assert_eq!(q.steps[0].preds.len(), 2);
     }
 
     #[test]
@@ -757,6 +1120,12 @@ mod tests {
             "//person[name]",
             "//first",
             "//person[family/text() != \"Dent\"]",
+            // Multi-predicate and non-final-step predicates.
+            "//person[.//age = 200][.//first/text() = \"Ford\"]",
+            "//person[.//age = 200][.//first/text() = \"Arthur\"]",
+            "//person[.//age >= 30]/name/first",
+            "//person[.//first/text() = \"Tricia\"]/age",
+            "//person[name][.//age < 100]",
         ] {
             let query = QueryEngine::parse(q).unwrap();
             let scan = QueryEngine::evaluate_scan(&doc, &query);
@@ -773,7 +1142,10 @@ mod tests {
         assert_eq!(names_of(&doc, &hits), vec!["p1"]);
         assert!(matches!(
             QueryEngine::plan(&idx, &q),
-            Plan::Index(Lookup::RangeF64(_))
+            Plan::Index(Probe {
+                lookup: Lookup::RangeF64(_),
+                ..
+            })
         ));
     }
 
@@ -784,8 +1156,8 @@ mod tests {
         // needed from <person>.
         let q = QueryEngine::parse("//person[.//first/text() = \"Ford\"]").unwrap();
         assert_eq!(
-            QueryEngine::plan(&idx, &q),
-            Plan::Index(Lookup::equi("Ford"))
+            QueryEngine::plan(&idx, &q).lookup(),
+            Some(&Lookup::equi("Ford"))
         );
         let hits = QueryEngine::evaluate(&doc, &idx, &q);
         assert_eq!(names_of(&doc, &hits), vec!["p2"]);
@@ -842,6 +1214,99 @@ mod tests {
         assert_eq!(QueryEngine::plan(&idx, &q), Plan::Scan);
     }
 
+    /// Satellite regression: with two predicates on the final step,
+    /// both are enumerated as candidates and the *more selective* one
+    /// is chosen — regardless of predicate order. (The pre-cost-based
+    /// planner only ever looked at a lone final-step predicate.)
+    #[test]
+    fn most_selective_predicate_wins_regardless_of_order() {
+        // "common" appears in every <p>; each <name> value once.
+        let mut xml = String::from("<r>");
+        for i in 0..12 {
+            xml.push_str(&format!("<p><tag>common</tag><name>name{i}</name></p>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse(&xml).unwrap();
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+        for q in [
+            "//p[.//name = \"name7\"][.//tag = \"common\"]",
+            "//p[.//tag = \"common\"][.//name = \"name7\"]",
+        ] {
+            let query = QueryEngine::parse(q).unwrap();
+            let probes = QueryEngine::candidate_probes(&idx, &query);
+            assert_eq!(probes.len(), 2, "{q}: both predicates enumerated");
+            let plan = QueryEngine::plan(&idx, &query);
+            assert_eq!(
+                plan.lookup(),
+                Some(&Lookup::equi("name7")),
+                "{q}: the selective predicate must win, got {plan}"
+            );
+            let hits = QueryEngine::evaluate(&doc, &idx, &query);
+            assert_eq!(hits, QueryEngine::evaluate_scan(&doc, &query), "{q}");
+            assert_eq!(hits.len(), 1, "{q}");
+        }
+    }
+
+    /// A predicate on a *non-final* step is planned and evaluated
+    /// through the index, with the remaining steps walked forward from
+    /// the verified anchors.
+    #[test]
+    fn non_final_step_predicate_is_planned() {
+        let (doc, idx) = setup();
+        let q = QueryEngine::parse("//person[.//first/text() = \"Ford\"]/age").unwrap();
+        let plan = QueryEngine::plan(&idx, &q);
+        assert!(matches!(&plan, Plan::Index(p) if p.step == 0), "{plan}");
+        let hits = QueryEngine::evaluate(&doc, &idx, &q);
+        assert_eq!(hits, QueryEngine::evaluate_scan(&doc, &q));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.string_value(hits[0]), "200");
+    }
+
+    /// With an aggressive config, two same-step predicates of similar
+    /// selectivity are intersected, and the intersection agrees with
+    /// the scan.
+    #[test]
+    fn intersection_of_two_probes() {
+        let mut xml = String::from("<r>");
+        for i in 0..20 {
+            let a = if i % 2 == 0 { "even" } else { "odd" };
+            let b = if i % 3 == 0 { "fizz" } else { "buzz" };
+            xml.push_str(&format!("<p><a>{a}</a><b>{b}</b></p>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse(&xml).unwrap();
+        let idx = IndexManager::build(&doc, IndexConfig::default());
+        let q = QueryEngine::parse("//p[.//a = \"even\"][.//b = \"fizz\"]").unwrap();
+        let cfg = PlannerConfig {
+            scan_fraction: 1.0,
+            intersect_min: 1,
+            intersect_factor: 100.0,
+        };
+        let plan = QueryEngine::plan_with(&idx, &q, &cfg);
+        assert!(matches!(plan, Plan::Intersect(_, _)), "{plan}");
+        let fast = QueryEngine::evaluate_with_plan(&doc, &idx, &q, &plan);
+        assert_eq!(fast, QueryEngine::evaluate_scan(&doc, &q));
+        // Every fourth… no: i % 2 == 0 && i % 3 == 0 → i in {0, 6, 12, 18}.
+        assert_eq!(fast.len(), 4);
+    }
+
+    /// The scan threshold knob: a zero threshold forces every plan to
+    /// a scan; a generous one restores the index plan.
+    #[test]
+    fn scan_threshold_knob() {
+        let (_, idx) = setup();
+        let q = QueryEngine::parse("//person[.//age = 42]").unwrap();
+        let scan_cfg = PlannerConfig {
+            scan_fraction: 0.0,
+            ..PlannerConfig::default()
+        };
+        assert_eq!(QueryEngine::plan_with(&idx, &q, &scan_cfg), Plan::Scan);
+        assert!(matches!(
+            QueryEngine::plan_with(&idx, &q, &PlannerConfig::default()),
+            Plan::Index(_)
+        ));
+    }
+
     #[test]
     fn explain_reports_candidates_and_results() {
         let (doc, idx) = setup();
@@ -850,19 +1315,86 @@ mod tests {
         // the reverse path match.
         let q = QueryEngine::parse("//person[.//first/text() = \"Arthur\"]").unwrap();
         let ex = QueryEngine::explain(&doc, &idx, &q);
-        assert_eq!(ex.plan, Plan::Index(Lookup::equi("Arthur")));
-        assert_eq!(ex.candidates, Some(2));
+        assert_eq!(ex.plan.lookup(), Some(&Lookup::equi("Arthur")));
+        assert_eq!(ex.probed, Some(2));
         assert_eq!(ex.results, 1);
+        assert_eq!(ex.predicates.len(), 1);
+        assert_eq!(ex.predicates[0].actual, 2);
+        assert!(ex.predicates[0].chosen);
         let rendered = ex.to_string();
         assert!(rendered.contains("index probe"), "{rendered}");
         assert!(rendered.contains("2 candidate(s)"), "{rendered}");
+        assert!(rendered.contains("est"), "{rendered}");
+        assert!(rendered.contains("actual 2"), "{rendered}");
 
         // Scan fallback: no candidates to report.
         let q = QueryEngine::parse("//person[years]").unwrap();
         let ex = QueryEngine::explain(&doc, &idx, &q);
         assert_eq!(ex.plan, Plan::Scan);
-        assert_eq!(ex.candidates, None);
+        assert_eq!(ex.probed, None);
+        assert!(ex.predicates.is_empty());
         assert!(ex.to_string().contains("full document scan"));
+    }
+
+    /// Estimated *and* actual cardinalities are reported for every
+    /// candidate predicate, chosen or not.
+    #[test]
+    fn explain_reports_est_and_actual_for_every_candidate() {
+        let (doc, idx) = setup();
+        let q = QueryEngine::parse("//person[.//age = 200][.//first/text() = \"Ford\"]").unwrap();
+        let ex = QueryEngine::explain(&doc, &idx, &q);
+        assert_eq!(ex.predicates.len(), 2);
+        for p in &ex.predicates {
+            let actual = idx.query(&doc, &p.lookup).unwrap().len();
+            assert_eq!(p.actual, actual, "{}", p.lookup);
+            assert!(
+                p.estimate.lower <= actual && actual <= p.estimate.upper,
+                "{}: actual {} outside [{}, {}]",
+                p.lookup,
+                actual,
+                p.estimate.lower,
+                p.estimate.upper
+            );
+        }
+        assert_eq!(ex.predicates.iter().filter(|p| p.chosen).count(), 1);
+        let rendered = ex.to_string();
+        assert!(rendered.matches("est ").count() >= 2, "{rendered}");
+    }
+
+    /// The small-set document-order sort (sibling-rank chains) must
+    /// order exactly like the pre/post-view sort it bypasses,
+    /// attributes included.
+    #[test]
+    fn small_and_large_doc_order_sorts_agree() {
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(&format!("<p id=\"p{i}\"><a>x{i}</a><b>y{i}</b></p>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse(&xml).unwrap();
+        // Every node and attribute, shuffled into a set.
+        let mut nodes: HashSet<NodeId> = doc.descendants_or_self(doc.document_node()).collect();
+        for n in nodes.clone() {
+            nodes.extend(doc.attributes(n));
+        }
+        let small = QueryEngine::in_doc_order(&doc, nodes.clone());
+        assert!(
+            small.len() <= QueryEngine::SMALL_ORDER,
+            "stay on small path"
+        );
+        // Reference order from the pre/post view.
+        let view = doc.pre_post_view();
+        let mut reference: Vec<NodeId> = nodes.into_iter().collect();
+        reference.sort_by_key(|&n| match view.pre(n) {
+            Some(p) => (p, 0usize),
+            None => (
+                doc.parent(n)
+                    .and_then(|p| view.pre(p))
+                    .unwrap_or(usize::MAX),
+                n.index() + 1,
+            ),
+        });
+        assert_eq!(small, reference);
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::config::IndexConfig;
 use crate::error::IndexError;
 use crate::lookup::{Lookup, QueryResult};
 use crate::manager::IndexManager;
+use crate::stats::CardinalityEstimate;
 use crate::txn::Transaction;
 
 /// A document's catalog identifier.
@@ -608,6 +609,19 @@ impl IndexService {
             .query(lookup)
     }
 
+    /// Estimates the candidate cardinality of `lookup` against
+    /// `doc_id`'s committed state, from the maintained statistics —
+    /// the service-level twin of [`IndexManager::estimate`].
+    pub fn estimate(
+        &self,
+        doc_id: &str,
+        lookup: &Lookup,
+    ) -> Result<CardinalityEstimate, IndexError> {
+        self.snapshot(doc_id)
+            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?
+            .estimate(lookup)
+    }
+
     /// Number of transactions committed into `doc_id`'s current
     /// version.
     pub fn version_of(&self, doc_id: &str) -> Option<u64> {
@@ -948,6 +962,13 @@ impl DocSnapshot {
     pub fn query(&self, lookup: &Lookup) -> QueryResult {
         self.inner.idx.query(&self.inner.doc, lookup)
     }
+
+    /// Estimates the candidate cardinality of `lookup` against this
+    /// version, from the maintained per-index statistics (see
+    /// [`IndexManager::estimate`]).
+    pub fn estimate(&self, lookup: &Lookup) -> Result<CardinalityEstimate, IndexError> {
+        self.inner.idx.estimate(lookup)
+    }
 }
 
 /// A catalog-wide snapshot supporting fan-out lookups across every
@@ -997,6 +1018,18 @@ impl ServiceSnapshot {
                     .map(move |n| (id.as_str(), n))
             })
             .collect()
+    }
+
+    /// Estimates the fan-out cardinality of `lookup` across every
+    /// document in the snapshot: the component-wise sum of each
+    /// document's [`IndexManager::estimate`]. Documents whose
+    /// configuration lacks the needed index family contribute nothing,
+    /// mirroring [`ServiceSnapshot::query`]'s skip semantics.
+    pub fn estimate(&self, lookup: &Lookup) -> CardinalityEstimate {
+        self.docs
+            .iter()
+            .filter_map(|(_, v)| v.idx.estimate(lookup).ok())
+            .fold(CardinalityEstimate::empty(), CardinalityEstimate::sum)
     }
 }
 

@@ -5,15 +5,22 @@
 //! The annotation array is what makes updates cheap: recombining an
 //! ancestor reads its children's *stored* hashes, never their strings.
 
-use xvi_btree::{BPlusTree, PagedVec};
+use xvi_btree::{BPlusTree, PagedVec, TreeStats};
 use xvi_hash::HashValue;
 use xvi_xml::NodeId;
+
+use crate::stats::{CardinalityEstimate, EquiHistogram};
 
 /// The hash B+tree and per-node hash annotations.
 ///
 /// Both parts are paged with copy-on-write structural sharing, so
 /// cloning the index (the service's snapshot publish path) is O(pages)
 /// pointer bumps and a mutated clone copies only the touched pages.
+///
+/// The index also maintains an [`EquiHistogram`] incrementally (every
+/// tree insert/remove is mirrored into it), so
+/// [`StringIndex::estimate_equi`] answers without touching the
+/// document.
 #[derive(Debug, Default, Clone)]
 pub struct StringIndex {
     /// `(hash raw, node arena index) → ()`.
@@ -21,6 +28,8 @@ pub struct StringIndex {
     /// Hash annotation per arena slot. Slots that are not indexed
     /// (freed nodes, comments, PIs) hold `None`.
     hashes: PagedVec<Option<HashValue>>,
+    /// Cardinality statistics, maintained through every mutation.
+    stats: EquiHistogram,
     /// During initial creation, annotations accumulate in the column
     /// only; the tree is bulk-loaded once at the end.
     bulk: bool,
@@ -34,6 +43,7 @@ impl StringIndex {
         StringIndex {
             tree: BPlusTree::new(),
             hashes,
+            stats: EquiHistogram::default(),
             bulk: false,
         }
     }
@@ -44,6 +54,7 @@ impl StringIndex {
         StringIndex {
             tree: self.tree.deep_clone(),
             hashes: self.hashes.deep_clone(),
+            stats: self.stats.deep_clone(),
             bulk: self.bulk,
         }
     }
@@ -65,6 +76,8 @@ impl StringIndex {
             .filter_map(|(i, h)| h.map(|h| (h.raw(), i as u32)))
             .collect();
         entries.sort_unstable();
+        self.stats
+            .rebuild_from_sorted(entries.iter().map(|&(h, _)| h));
         self.tree = BPlusTree::from_sorted_iter(entries.into_iter().map(|k| (k, ())));
         self.bulk = false;
     }
@@ -80,7 +93,37 @@ impl StringIndex {
             .map(|(node, hash)| (hash.raw(), node))
             .collect();
         keys.sort_unstable();
+        self.stats.rebuild_from_sorted(keys.iter().map(|&(h, _)| h));
         self.tree = BPlusTree::from_sorted_iter(keys.into_iter().map(|k| (k, ())));
+    }
+
+    /// The hash's multiplicity in the tree, capped at
+    /// [`EquiHistogram::HEAVY_MIN`] (exact for tracked heavy hitters).
+    fn multiplicity_capped(&self, raw: u32) -> u32 {
+        if let Some(c) = self.stats.heavy_count(raw) {
+            return c;
+        }
+        self.tree
+            .range((raw, 0)..=(raw, u32::MAX))
+            .take(EquiHistogram::HEAVY_MIN as usize)
+            .count() as u32
+    }
+
+    /// Mirrors a tree insert into the histogram; call *before*
+    /// `tree.insert`.
+    fn note_tree_insert(&mut self, raw: u32) {
+        let prior = self.multiplicity_capped(raw);
+        self.stats.note_insert(raw, prior);
+    }
+
+    /// Mirrors a tree removal into the histogram; call *after*
+    /// `tree.remove`.
+    fn note_tree_remove(&mut self, raw: u32) {
+        let remaining = match self.stats.heavy_count(raw) {
+            Some(c) => c - 1,
+            None => self.multiplicity_capped(raw),
+        };
+        self.stats.note_remove(raw, remaining);
     }
 
     fn slot(&mut self, node: NodeId) -> &mut Option<HashValue> {
@@ -107,8 +150,11 @@ impl StringIndex {
             return;
         }
         if let Some(h) = old {
-            self.tree.remove(&(h.raw(), node.index() as u32));
+            if self.tree.remove(&(h.raw(), node.index() as u32)).is_some() {
+                self.note_tree_remove(h.raw());
+            }
         }
+        self.note_tree_insert(hash.raw());
         self.tree.insert((hash.raw(), node.index() as u32), ());
         *self.slot(node) = Some(hash);
     }
@@ -116,7 +162,9 @@ impl StringIndex {
     /// Removes `node` from the index entirely (subtree deletion).
     pub fn remove(&mut self, node: NodeId) {
         if let Some(h) = self.slot(node).take() {
-            self.tree.remove(&(h.raw(), node.index() as u32));
+            if self.tree.remove(&(h.raw(), node.index() as u32)).is_some() {
+                self.note_tree_remove(h.raw());
+            }
         }
     }
 
@@ -143,6 +191,24 @@ impl StringIndex {
     /// Approximate heap bytes: tree structure + annotation column.
     pub fn approx_bytes(&self) -> usize {
         self.tree.approx_bytes() + self.hashes.len() * std::mem::size_of::<Option<HashValue>>()
+    }
+
+    /// The maintained cardinality statistics.
+    pub fn statistics(&self) -> &EquiHistogram {
+        &self.stats
+    }
+
+    /// Estimated candidate count of an equality probe for `hash`,
+    /// answered from the maintained [`EquiHistogram`] — exact for
+    /// heavy hitters, bounded for everything else.
+    pub fn estimate_equi(&self, hash: HashValue) -> CardinalityEstimate {
+        self.stats.estimate_equi(hash.raw())
+    }
+
+    /// Storage statistics of the hash B+tree (pages, shared pages,
+    /// free slots).
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
     }
 }
 

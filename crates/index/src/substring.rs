@@ -19,14 +19,21 @@
 
 use std::collections::HashSet;
 
-use xvi_btree::{BPlusTree, PagedVec};
+use xvi_btree::{BPlusTree, PagedVec, TreeStats};
 use xvi_xml::{Document, NodeId, NodeKind};
+
+use crate::stats::{CardinalityEstimate, QGramTable};
 
 /// A trigram index over the directly stored node values.
 ///
 /// Both the posting tree and the membership column are paged with
 /// copy-on-write structural sharing, so cloning the index (the
 /// service's snapshot publish path) is O(pages) pointer bumps.
+///
+/// A [`QGramTable`] of per-trigram posting counts is maintained
+/// alongside the tree (every posting insert/remove mirrored), powering
+/// [`SubstringIndex::estimate_contains`] /
+/// [`SubstringIndex::estimate_wildcard`].
 #[derive(Debug, Default, Clone)]
 pub struct SubstringIndex {
     /// `(packed trigram, node) → ()`.
@@ -36,6 +43,8 @@ pub struct SubstringIndex {
     present: PagedVec<bool>,
     /// Number of `true` entries in `present`.
     indexed: usize,
+    /// Per-trigram posting counts, mirroring the tree.
+    grams: QGramTable,
 }
 
 /// Packs three bytes into the B+tree key space.
@@ -45,8 +54,19 @@ fn pack(b: &[u8]) -> u32 {
 }
 
 /// Distinct trigrams of a value.
-fn trigrams(s: &str) -> HashSet<u32> {
+pub(crate) fn trigrams(s: &str) -> HashSet<u32> {
     s.as_bytes().windows(3).map(pack).collect()
+}
+
+/// The longest literal run of a wildcard pattern — the filter both
+/// [`SubstringIndex::matches_wildcard`] executes with and
+/// [`QGramTable`] costs, kept in one place so the estimator can never
+/// silently diverge from the matcher.
+pub(crate) fn wildcard_filter(pattern: &str) -> &str {
+    pattern
+        .split(['*', '?'])
+        .max_by_key(|lit| lit.len())
+        .unwrap_or("")
 }
 
 impl SubstringIndex {
@@ -75,6 +95,8 @@ impl SubstringIndex {
         }
         entries.sort_unstable();
         entries.dedup();
+        idx.grams
+            .rebuild_from_sorted(entries.iter().map(|&(t, _)| t));
         idx.tree = BPlusTree::from_sorted_iter(entries.into_iter().map(|k| (k, ())));
         idx
     }
@@ -86,6 +108,7 @@ impl SubstringIndex {
             tree: self.tree.deep_clone(),
             present: self.present.deep_clone(),
             indexed: self.indexed,
+            grams: self.grams.deep_clone(),
         }
     }
 
@@ -113,7 +136,9 @@ impl SubstringIndex {
     pub(crate) fn add_value(&mut self, node: NodeId, value: &str) {
         self.mark_present(node);
         for t in trigrams(value) {
-            self.tree.insert((t, node.index() as u32), ());
+            if self.tree.insert((t, node.index() as u32), ()).is_none() {
+                self.grams.note_add(t);
+            }
         }
     }
 
@@ -126,7 +151,9 @@ impl SubstringIndex {
             }
         }
         for t in trigrams(old_value) {
-            self.tree.remove(&(t, node.index() as u32));
+            if self.tree.remove(&(t, node.index() as u32)).is_some() {
+                self.grams.note_remove(t);
+            }
         }
     }
 
@@ -135,10 +162,14 @@ impl SubstringIndex {
         let old_t = trigrams(old);
         let new_t = trigrams(new);
         for &t in old_t.difference(&new_t) {
-            self.tree.remove(&(t, node.index() as u32));
+            if self.tree.remove(&(t, node.index() as u32)).is_some() {
+                self.grams.note_remove(t);
+            }
         }
         for &t in new_t.difference(&old_t) {
-            self.tree.insert((t, node.index() as u32), ());
+            if self.tree.insert((t, node.index() as u32), ()).is_none() {
+                self.grams.note_add(t);
+            }
         }
         self.mark_present(node);
     }
@@ -223,10 +254,7 @@ impl SubstringIndex {
     /// itself is verified on every candidate.
     pub fn matches_wildcard(&self, doc: &Document, pattern: &str) -> Vec<NodeId> {
         // Longest literal run usable as an index filter.
-        let filter = pattern
-            .split(['*', '?'])
-            .max_by_key(|lit| lit.len())
-            .unwrap_or("");
+        let filter = wildcard_filter(pattern);
         let candidates: Vec<NodeId> = if filter.len() >= 3 {
             self.candidates(filter)
         } else {
@@ -257,6 +285,29 @@ impl SubstringIndex {
     /// Approximate heap bytes.
     pub fn approx_bytes(&self) -> usize {
         self.tree.approx_bytes() + self.present.len() * std::mem::size_of::<bool>()
+    }
+
+    /// The maintained q-gram frequency table.
+    pub fn statistics(&self) -> &QGramTable {
+        &self.grams
+    }
+
+    /// Estimated candidate count of a `contains` probe for `needle`,
+    /// answered from the maintained [`QGramTable`].
+    pub fn estimate_contains(&self, needle: &str) -> CardinalityEstimate {
+        self.grams
+            .estimate_contains(needle, Self::COMMON_CAP, self.indexed)
+    }
+
+    /// Estimated candidate count of a wildcard probe for `pattern`.
+    pub fn estimate_wildcard(&self, pattern: &str) -> CardinalityEstimate {
+        self.grams
+            .estimate_wildcard(pattern, Self::COMMON_CAP, self.indexed)
+    }
+
+    /// Storage statistics of the posting B+tree.
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
     }
 }
 

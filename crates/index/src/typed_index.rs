@@ -15,10 +15,12 @@
 
 use std::ops::Bound;
 
-use xvi_btree::BPlusTree;
+use xvi_btree::{BPlusTree, TreeStats};
 use xvi_fsm::{analyzer, StateId, TypedAnalyzer, XmlType};
 use xvi_xml::NodeId;
 
+use crate::lookup::Bounds;
+use crate::stats::{CardinalityEstimate, ValueHistogram};
 use crate::util::OrdF64;
 
 /// Per-node entry in the node-keyed tree, packed to 12 bytes: the
@@ -46,11 +48,19 @@ impl NodeEntry {
 }
 
 /// A range-lookup index for one XML type.
+///
+/// Alongside the two trees, the index maintains an equi-depth
+/// [`ValueHistogram`] over the stored keys, kept current through every
+/// mutation and rebuilt from the value tree once enough drift
+/// accumulates — the statistics behind
+/// [`TypedIndex::estimate_range`].
 #[derive(Debug, Clone)]
 pub struct TypedIndex {
     ty: XmlType,
     value_tree: BPlusTree<(OrdF64, u32), ()>,
     node_tree: BPlusTree<u32, NodeEntry>,
+    /// Cardinality statistics over the value tree's keys.
+    hist: ValueHistogram,
     /// Staging area for bulk creation (one entry per node, unsorted).
     staging: Option<Vec<(u32, NodeEntry)>>,
 }
@@ -62,6 +72,7 @@ impl TypedIndex {
             ty,
             value_tree: BPlusTree::new(),
             node_tree: BPlusTree::new(),
+            hist: ValueHistogram::default(),
             staging: None,
         }
     }
@@ -86,6 +97,8 @@ impl TypedIndex {
             .filter_map(|(n, e)| e.value().map(|v| (v, *n)))
             .collect();
         values.sort_unstable();
+        self.hist =
+            ValueHistogram::from_sorted(&values.iter().map(|&(v, _)| v.0).collect::<Vec<f64>>());
         self.node_tree = BPlusTree::from_sorted_iter(staged);
         self.value_tree = BPlusTree::from_sorted_iter(values.into_iter().map(|k| (k, ())));
     }
@@ -100,6 +113,8 @@ impl TypedIndex {
             .filter_map(|&(n, _, v)| v.map(|v| (OrdF64(v), n)))
             .collect();
         values.sort_unstable();
+        self.hist =
+            ValueHistogram::from_sorted(&values.iter().map(|&(v, _)| v.0).collect::<Vec<f64>>());
         self.node_tree = BPlusTree::from_sorted_iter(
             entries
                 .into_iter()
@@ -120,6 +135,7 @@ impl TypedIndex {
             ty: self.ty,
             value_tree: self.value_tree.deep_clone(),
             node_tree: self.node_tree.deep_clone(),
+            hist: self.hist.clone(),
             staging: self.staging.clone(),
         }
     }
@@ -160,12 +176,35 @@ impl TypedIndex {
         let new_value = entry.and_then(|e| e.value());
         if old_value != new_value {
             if let Some(v) = old_value {
-                self.value_tree.remove(&(v, n));
+                if self.value_tree.remove(&(v, n)).is_some() {
+                    let still_present = self.key_present(v);
+                    self.hist.note_remove(v.0, still_present);
+                }
             }
             if let Some(v) = new_value {
+                let was_present = self.key_present(v);
                 self.value_tree.insert((v, n), ());
+                self.hist.note_insert(v.0, was_present);
+            }
+            if self.hist.needs_rebuild() {
+                self.rebuild_histogram();
             }
         }
+    }
+
+    /// Whether any entry with key `v` exists in the value tree.
+    fn key_present(&self, v: OrdF64) -> bool {
+        self.value_tree
+            .range((v, 0)..=(v, u32::MAX))
+            .next()
+            .is_some()
+    }
+
+    /// Re-derives the equi-depth histogram from the live value tree
+    /// (drift-triggered; O(stored values), amortised over the drift).
+    fn rebuild_histogram(&mut self) {
+        let keys: Vec<f64> = self.value_tree.range(..).map(|(&(v, _), ())| v.0).collect();
+        self.hist = ValueHistogram::from_sorted(&keys);
     }
 
     /// Removes `node` from the index entirely.
@@ -209,6 +248,28 @@ impl TypedIndex {
     /// Approximate heap bytes of both trees.
     pub fn approx_bytes(&self) -> usize {
         self.value_tree.approx_bytes() + self.node_tree.approx_bytes()
+    }
+
+    /// The maintained cardinality statistics.
+    pub fn statistics(&self) -> &ValueHistogram {
+        &self.hist
+    }
+
+    /// Estimated entry count of a range probe, answered from the
+    /// maintained [`ValueHistogram`] — interior buckets exactly, the
+    /// straddling buckets with guaranteed bounds.
+    pub fn estimate_range(&self, bounds: &Bounds) -> CardinalityEstimate {
+        self.hist.estimate_range(bounds)
+    }
+
+    /// Storage statistics of the value tree.
+    pub fn value_tree_stats(&self) -> TreeStats {
+        self.value_tree.stats()
+    }
+
+    /// Storage statistics of the node tree.
+    pub fn node_tree_stats(&self) -> TreeStats {
+        self.node_tree.stats()
     }
 }
 

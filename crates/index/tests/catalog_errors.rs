@@ -1,0 +1,175 @@
+//! Error paths of the catalog persistence: corrupt, truncated,
+//! version-skewed and incomplete catalogs must come back as typed
+//! errors — never panics, never a mis-parsed service.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use xvi_index::{Document, IndexError, IndexService, ServiceConfig};
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("xvi-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn saved_catalog(tag: &str) -> ScratchDir {
+    let scratch = ScratchDir::new(tag);
+    let service = IndexService::new(ServiceConfig::with_shards(2));
+    service.insert_document(
+        "alpha",
+        Document::parse("<person><name>Arthur</name><age>42</age></person>").unwrap(),
+    );
+    service.insert_document(
+        "beta",
+        Document::parse("<log><n>17</n><n>18</n></log>").unwrap(),
+    );
+    service.save_catalog(&scratch.0).unwrap();
+    scratch
+}
+
+#[test]
+fn truncated_manifest_is_a_typed_error_not_a_panic() {
+    let scratch = saved_catalog("catalog-truncated");
+    let manifest = scratch.0.join("catalog.xvi");
+    let bytes = std::fs::read(&manifest).unwrap();
+    // Cut the manifest at every prefix length: each truncation must
+    // surface as an io::Error (UnexpectedEof or InvalidData), and
+    // never panic or return Ok.
+    for len in 0..bytes.len() {
+        std::fs::write(&manifest, &bytes[..len]).unwrap();
+        let err = IndexService::load_catalog(&scratch.0)
+            .expect_err(&format!("truncation at {len} bytes must fail"));
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::InvalidData
+            ),
+            "truncation at {len}: unexpected kind {:?}",
+            err.kind()
+        );
+    }
+}
+
+#[test]
+fn unknown_catalog_version_is_rejected_with_a_typed_error() {
+    let scratch = saved_catalog("catalog-version");
+    let manifest = scratch.0.join("catalog.xvi");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    // The version field sits right after the 4-byte magic.
+    bytes[4..8].copy_from_slice(&999u32.to_le_bytes());
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let source = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<IndexError>())
+        .expect("the error source is the typed IndexError");
+    assert!(
+        matches!(
+            source,
+            IndexError::CatalogVersion {
+                found: 999,
+                supported: _
+            }
+        ),
+        "{source:?}"
+    );
+    assert!(err.to_string().contains("version 999"), "{err}");
+}
+
+/// A version-1 catalog (the old magic, no version field) is rejected
+/// with the typed version error — its shard count must never alias as
+/// a format version.
+#[test]
+fn version_one_magic_is_rejected_with_a_typed_error() {
+    let scratch = saved_catalog("catalog-v1-magic");
+    let manifest = scratch.0.join("catalog.xvi");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    // Rewrite as the old layout: v1 magic, then the fields that used
+    // to follow it directly (drop the version word). shards == 2 here,
+    // which would alias as "version 2" if only the word were checked.
+    bytes.splice(0..8, *b"XVC1");
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    let source = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<IndexError>())
+        .expect("typed source");
+    assert!(
+        matches!(source, IndexError::CatalogVersion { found: 1, .. }),
+        "{source:?}"
+    );
+}
+
+#[test]
+fn missing_per_doc_index_image_is_a_typed_error() {
+    let scratch = saved_catalog("catalog-missing-idx");
+    // Two documents were saved as doc0/doc1; removing either image
+    // must fail the load with NotFound, not panic.
+    std::fs::remove_file(scratch.0.join("doc1.idx")).unwrap();
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound, "{err}");
+}
+
+#[test]
+fn missing_per_doc_document_is_a_typed_error() {
+    let scratch = saved_catalog("catalog-missing-xml");
+    std::fs::remove_file(scratch.0.join("doc0.xml")).unwrap();
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound, "{err}");
+}
+
+#[test]
+fn truncated_index_image_is_a_typed_error() {
+    let scratch = saved_catalog("catalog-torn-idx");
+    let image = scratch.0.join("doc0.idx");
+    let bytes = std::fs::read(&image).unwrap();
+    let mut f = std::fs::File::create(&image).unwrap();
+    f.write_all(&bytes[..bytes.len() / 2]).unwrap();
+    drop(f);
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::InvalidData
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn garbage_document_xml_is_a_typed_error() {
+    let scratch = saved_catalog("catalog-bad-xml");
+    std::fs::write(scratch.0.join("doc0.xml"), "<oops>").unwrap();
+    let err = IndexService::load_catalog(&scratch.0).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+}
+
+/// The version field round-trips: a freshly saved catalog loads, and
+/// the loaded service still answers and commits.
+#[test]
+fn current_version_round_trips() {
+    let scratch = saved_catalog("catalog-roundtrip-v");
+    let loaded = IndexService::load_catalog(&scratch.0).unwrap();
+    assert_eq!(loaded.doc_ids(), vec!["alpha", "beta"]);
+    for id in loaded.doc_ids() {
+        loaded
+            .read(&id, |doc, idx| idx.verify_against(doc).unwrap())
+            .unwrap();
+    }
+}

@@ -51,35 +51,39 @@ fn arb_query() -> impl Strategy<Value = Query> {
         "[abc]".prop_map(|n| vec![Step {
             axis: Axis::Descendant,
             test: Test::Name(n),
-            pred: None
+            preds: Vec::new()
         }]),
         // x (child)
         "[abc]".prop_map(|n| vec![Step {
             axis: Axis::Child,
             test: Test::Name(n),
-            pred: None
+            preds: Vec::new()
         }]),
         // @k
         Just(vec![Step {
             axis: Axis::Child,
             test: Test::Attr("k".into()),
-            pred: None
+            preds: Vec::new()
         }]),
         // . (self)
         Just(vec![Step {
             axis: Axis::SelfAxis,
             test: Test::Any,
-            pred: None
+            preds: Vec::new()
         }]),
     ];
-    (test, pred_path, op, lit, any::<bool>()).prop_map(|(test, path, op, lit, use_pred)| Query {
+    let pred = (pred_path, op, lit).prop_map(|(path, op, lit)| Predicate {
+        path,
+        cmp: Some((op, lit)),
+    });
+    // Zero, one, or two predicates on the step — the cost-based
+    // planner enumerates them all and must stay scan-equivalent for
+    // any choice it makes.
+    (test, proptest::collection::vec(pred, 0..3)).prop_map(|(test, preds)| Query {
         steps: vec![Step {
             axis: Axis::Descendant,
             test,
-            pred: use_pred.then_some(Predicate {
-                path,
-                cmp: Some((op, lit)),
-            }),
+            preds,
         }],
     })
 }

@@ -6,16 +6,21 @@
 //! cargo run --release --bin xvi-cli -- path/to/doc.xml
 //! cargo run --release --bin xvi-cli -- --dataset xmark1 --scale 100
 //! cargo run --release --bin xvi-cli -- query --dataset xmark1 --explain '//person[.//age = 42]'
+//! cargo run --release --bin xvi-cli -- stats --dataset xmark1 --scale 100
 //! cargo run --release --bin xvi-cli -- stress --threads 8 --ops 5000
 //! cargo run --release --bin xvi-cli -- stress --threads 1 --pipeline 64
 //! ```
 //!
 //! Then type `help` at the prompt (interactive mode), let the `query`
 //! subcommand evaluate one mini-XPath query (with `--explain` showing
-//! the chosen plan), or let the `stress` subcommand drive the sharded
-//! index service with a mixed concurrent workload and report
-//! throughput (`--pipeline <depth>` keeps that many commits in flight
-//! per writer via `submit`/`CommitTicket` instead of blocking).
+//! the cost-based plan and estimated vs. actual cardinalities per
+//! candidate predicate), let the `stats` subcommand dump the per-index
+//! `Statistics` (histograms, heavy hitters, q-gram table) and B+tree
+//! `TreeStats` (pages/shared_pages/free_slots) of a loaded document,
+//! or let the `stress` subcommand drive the sharded index service with
+//! a mixed concurrent workload and report throughput
+//! (`--pipeline <depth>` keeps that many commits in flight per writer
+//! via `submit`/`CommitTicket` instead of blocking).
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write as _};
@@ -51,6 +56,18 @@ fn main() {
                 eprintln!(
                     "usage: xvi-cli query [--explain] [--dataset <name> | <file.xml>] \
                      [--scale <permille>] '<mini-xpath>'"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("stats") {
+        match run_stats_cmd(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: xvi-cli stats [--dataset <name> | <file.xml>] [--scale <permille>]"
                 );
                 std::process::exit(2);
             }
@@ -107,7 +124,10 @@ fn main() {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" => help(),
-            "stats" => print_stats(&doc, &idx),
+            "stats" => {
+                print_stats(&doc, &idx);
+                print_statistics(&idx);
+            }
             "query" | "scan" => run_query(&doc, &idx, cmd == "query", rest),
             "explain" => explain_query(&doc, &idx, rest),
             "eq" => timed_nodes("equi", &doc, || {
@@ -221,6 +241,72 @@ fn explain_query(doc: &Document, idx: &IndexManager, q: &str) {
     match QueryEngine::parse(q) {
         Ok(query) => println!("{}", QueryEngine::explain(doc, idx, &query)),
         Err(e) => println!("error: {e}"),
+    }
+}
+
+/// `stats`: build all indices over a document and dump the maintained
+/// per-index `Statistics` plus each B+tree's `TreeStats`.
+fn run_stats_cmd(args: &[String]) -> Result<(), String> {
+    let (label, xml) = if args.is_empty() {
+        parse_args(&["--dataset".to_string(), "xmark1".to_string()])?
+    } else {
+        parse_args(args)?
+    };
+    let doc = Document::parse(&xml).map_err(|e| format!("failed to parse {label}: {e}"))?;
+    let idx = IndexManager::build(
+        &doc,
+        IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime]).with_substring_index(),
+    );
+    println!("source: {label}");
+    print_stats(&doc, &idx);
+    print_statistics(&idx);
+    Ok(())
+}
+
+fn tree_line(label: &str, t: xvi::btree::TreeStats) {
+    println!(
+        "  {label}: {} entries, depth {}, {} leaves / {} internals, \
+         {} pages ({} shared, {} free slots)",
+        t.len, t.depth, t.leaves, t.internals, t.pages, t.shared_pages, t.free_slots
+    );
+}
+
+/// Dumps the statistics subsystem's view of every configured index:
+/// histograms, heavy hitters, q-gram table, and the underlying
+/// B+trees' storage shape.
+fn print_statistics(idx: &IndexManager) {
+    let stats = idx.statistics();
+    if let (Some(h), Some(s)) = (&stats.string, idx.string_index()) {
+        println!(
+            "string statistics: {} entries, {} distinct hashes, {} heavy hitter(s) \
+             (threshold {})",
+            h.total(),
+            h.distinct(),
+            h.heavy_hitters(),
+            xvi::index::EquiHistogram::HEAVY_MIN
+        );
+        tree_line("hash tree", s.tree_stats());
+    }
+    for (ty, h) in &stats.typed {
+        println!(
+            "{} statistics: equi-depth histogram, {} bucket(s) over {} value(s)",
+            ty.name(),
+            h.buckets(),
+            h.total()
+        );
+        if let Some(t) = idx.typed_index(*ty) {
+            tree_line("value tree", t.value_tree_stats());
+            tree_line("node tree", t.node_tree_stats());
+        }
+    }
+    if let (Some(g), Some(s)) = (&stats.substring, idx.substring_index()) {
+        println!(
+            "substring statistics: {} distinct trigram(s), {} posting(s) over {} node(s)",
+            g.distinct_grams(),
+            g.total_postings(),
+            s.indexed_nodes()
+        );
+        tree_line("posting tree", s.tree_stats());
     }
 }
 
@@ -456,14 +542,14 @@ fn help() {
         "commands:\n\
          \x20 query <mini-xpath>   evaluate with index acceleration, e.g. query //person[.//age = 42]\n\
          \x20 scan <mini-xpath>    evaluate by full scan (for comparison)\n\
-         \x20 explain <mini-xpath> show the chosen plan (index-covered vs. scan, candidate counts)\n\
+         \x20 explain <mini-xpath> show the cost-based plan (probe/intersect/scan, est vs. actual counts)\n\
          \x20 eq <string>          string equality lookup over all nodes\n\
          \x20 range <lo> <hi>      double range lookup\n\
          \x20 contains <needle>    substring lookup over stored values\n\
          \x20 like <pattern>       wildcard lookup (* and ?)\n\
          \x20 set <node-id> <val>  update a text/attribute value (index maintained)\n\
          \x20 show <node-id>       print one node\n\
-         \x20 stats                document and index statistics\n\
+         \x20 stats                document, index and histogram/TreeStats statistics\n\
          \x20 quit"
     );
 }

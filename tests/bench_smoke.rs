@@ -50,3 +50,12 @@ fn cow_publish_runs_at_tiny_scale() {
     // is a release-mode property at realistic scales.
     experiments::run_cow(1, 1);
 }
+
+#[test]
+fn planner_runs_at_tiny_scale() {
+    // Every planner-experiment cell asserts that cost-based,
+    // last-predicate and scan evaluations return identical results;
+    // the >= 2x cost-over-last claim is a release-mode property at
+    // realistic scales.
+    experiments::run_planner(1, 1);
+}
