@@ -8,7 +8,10 @@
 //! a pinned snapshot, shared-page vs. deep-clone behaviour across
 //! document sizes. Pass `planner` to run the cost-based-planning sweep
 //! ([`xvi_bench::experiments::run_planner`]): cost-based vs.
-//! last-predicate plans on multi-predicate XMark queries.
+//! last-predicate plans on multi-predicate XMark queries. Pass `wal`
+//! to run the durability sweep ([`xvi_bench::experiments::run_wal`]):
+//! durable-commit latency vs. document size, group-fsync WAL vs.
+//! per-commit full-image saves.
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -18,9 +21,10 @@ fn main() {
         "pipelined" => xvi_bench::experiments::run_pipelined(permille, reps),
         "cow" => xvi_bench::experiments::run_cow(permille, reps),
         "planner" => xvi_bench::experiments::run_planner(permille, reps),
+        "wal" => xvi_bench::experiments::run_wal(permille, reps),
         other => {
             eprintln!(
-                "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, or `planner`)"
+                "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, `planner`, or `wal`)"
             );
             std::process::exit(2);
         }

@@ -26,6 +26,20 @@ pub enum IndexError {
     /// A group-commit leader panicked before this transaction's round
     /// completed; the transaction was not applied.
     CommitPipelinePoisoned,
+    /// A commit could not be made durable: the write-ahead-log append
+    /// or fsync failed. The transaction was **not** applied — an
+    /// unlogged commit must never become visible.
+    Durability(String),
+    /// A value to be persisted (a string, write count or document
+    /// count) exceeds the catalog/WAL format's `u32` field width.
+    /// Refusing to write beats silently truncating the count and
+    /// producing a manifest or log record that parses to wrong data.
+    Oversize {
+        /// What was being written (e.g. `"document count"`).
+        what: &'static str,
+        /// The offending length/count.
+        len: u64,
+    },
     /// A persisted catalog manifest declares a format version this
     /// build does not understand — refusing to load beats mis-parsing
     /// it as the wrong layout.
@@ -64,6 +78,15 @@ impl std::fmt::Display for IndexError {
                 write!(
                     f,
                     "the group-commit leader panicked; transaction not applied"
+                )
+            }
+            IndexError::Durability(msg) => {
+                write!(f, "commit not durable (WAL append/fsync failed): {msg}")
+            }
+            IndexError::Oversize { what, len } => {
+                write!(
+                    f,
+                    "{what} of {len} exceeds the persistent format's u32 field width"
                 )
             }
             IndexError::CatalogVersion { found, supported } => {

@@ -56,6 +56,7 @@ pub mod substring;
 pub mod txn;
 mod typed_index;
 mod util;
+mod wal;
 
 pub use config::IndexConfig;
 pub use error::IndexError;
@@ -63,7 +64,8 @@ pub use lookup::{Bounds, Lookup, QueryResult};
 pub use manager::{IndexManager, IndexStats};
 pub use query::{Explanation, Plan, PlannerConfig, PredicateReport, Probe, Query, QueryEngine};
 pub use service::{
-    CommitReceipt, CommitTicket, DocId, DocSnapshot, IndexService, ServiceConfig, ServiceSnapshot,
+    CommitReceipt, CommitTicket, DocId, DocSnapshot, Durability, IndexService, ServiceConfig,
+    ServiceSnapshot,
 };
 pub use stats::{CardinalityEstimate, EquiHistogram, QGramTable, Statistics, ValueHistogram};
 pub use string_index::StringIndex;

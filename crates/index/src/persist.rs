@@ -44,10 +44,13 @@ const CATALOG_MAGIC_V1: &[u8; 4] = b"XVC1";
 /// version with a typed [`IndexError::CatalogVersion`] instead of
 /// mis-parsing the bytes. (Version 2 introduced the version field
 /// itself — with a new magic, so a version-1 manifest's shard count
-/// cannot alias as a version — alongside the statistics subsystem;
-/// index statistics are *rebuilt* from the bulk-loaded trees on load,
-/// not serialized.)
-const CATALOG_VERSION: u32 = 2;
+/// cannot alias as a version. Version 3 appends one u64 per shard
+/// after the document list: the write-ahead-log sequence number each
+/// shard had reached when the images were captured, so recovery knows
+/// exactly which WAL records the checkpoint already covers. Index
+/// statistics are *rebuilt* from the bulk-loaded trees on load, not
+/// serialized.)
+const CATALOG_VERSION: u32 = 3;
 
 fn catalog_version_error(found: u32) -> io::Error {
     // Typed rejection: the caller can downcast the source to
@@ -62,28 +65,45 @@ fn catalog_version_error(found: u32) -> io::Error {
     )
 }
 
-fn bad(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
+}
+
+/// Narrows a length/count to the persistent format's `u32` field
+/// width, rejecting (instead of silently truncating via `as u32`)
+/// values that do not fit — a truncated count would make the manifest
+/// or WAL record parse cleanly to *wrong* data. The error's source is
+/// a typed [`IndexError::Oversize`].
+pub(crate) fn checked_u32(len: usize, what: &'static str) -> io::Result<u32> {
+    u32::try_from(len).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            IndexError::Oversize {
+                what,
+                len: len as u64,
+            },
+        )
+    })
 }
 
 fn type_tag(ty: XmlType) -> u8 {
@@ -270,12 +290,12 @@ impl IndexManager {
     }
 }
 
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    write_u32(w, s.len() as u32)?;
+pub(crate) fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, checked_u32(s.len(), "string length")?)?;
     w.write_all(s.as_bytes())
 }
 
-fn read_str(r: &mut impl Read) -> io::Result<String> {
+pub(crate) fn read_str(r: &mut impl Read) -> io::Result<String> {
     let n = read_u32(r)? as usize;
     let mut buf = vec![0u8; n];
     r.read_exact(&mut buf)?;
@@ -283,65 +303,199 @@ fn read_str(r: &mut impl Read) -> io::Result<String> {
 }
 
 /// Writes `content` produced by `fill` to `<dir>/<name>` crash-safely:
-/// the bytes go to a `.tmp` sibling first, are fsynced, and only then
-/// renamed over the final name — a torn save never clobbers a
-/// previously valid file.
-fn write_file_atomically(
+/// the bytes go to a `.tmp` sibling first, are fsynced, renamed over
+/// the final name, and the parent **directory** is fsynced so the
+/// rename itself survives power loss — a torn save never clobbers a
+/// previously valid file, and a completed save cannot be undone by a
+/// crash. A failing `fill` (or rename) removes the temp file instead
+/// of stranding it.
+pub(crate) fn write_file_atomically(
     dir: &Path,
     name: &str,
     fill: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> io::Result<()>,
 ) -> io::Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
-    let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-    fill(&mut w)?;
-    w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-    std::fs::rename(&tmp, dir.join(name))
+    let result = (|| -> io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        fill(&mut w)?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, dir.join(name))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    crate::wal::fsync_dir(dir)
+}
+
+/// Removes stranded `*.tmp` siblings (left by a crash between a temp
+/// write and its rename) so they cannot accumulate forever. Run by
+/// both `save_catalog` and `load_catalog` — either end of a round trip
+/// cleans up after an earlier torn save.
+pub(crate) fn sweep_tmp_files(dir: &Path) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Removes `doc<N>.xml` / `doc<N>.idx` pairs with `N >= keep` — the
+/// orphans a re-save into a directory that previously held more
+/// documents would otherwise leave paired with the new manifest.
+fn remove_orphan_docs(dir: &Path, keep: usize) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_suffix(".xml")
+            .or_else(|| name.strip_suffix(".idx"))
+        else {
+            continue;
+        };
+        let Some(n) = stem
+            .strip_prefix("doc")
+            .and_then(|d| d.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if n >= keep {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes one captured catalog state into `dir`: per-doc images plus
+/// the version-3 manifest (which carries `seqs`, the per-shard WAL
+/// sequence numbers the capture observed — all zeros for a service
+/// without a WAL). Shared by [`IndexService::save_catalog`] and the
+/// WAL checkpointer.
+pub(crate) fn save_snapshot_to(
+    dir: &Path,
+    snap: &crate::ServiceSnapshot,
+    seqs: &[u64],
+    cfg: &ServiceConfig,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    sweep_tmp_files(dir)?;
+    for (i, (_, doc_snap)) in snap.iter().enumerate() {
+        write_file_atomically(dir, &format!("doc{i}.xml"), |w| {
+            w.write_all(xvi_xml::serialize::to_string(doc_snap.document()).as_bytes())
+        })?;
+        write_file_atomically(dir, &format!("doc{i}.idx"), |w| {
+            doc_snap.index().save_to(doc_snap.document(), w)
+        })?;
+    }
+    write_file_atomically(dir, "catalog.xvi", |manifest| {
+        manifest.write_all(CATALOG_MAGIC)?;
+        write_u32(manifest, CATALOG_VERSION)?;
+        write_u32(manifest, checked_u32(cfg.shards, "shard count")?)?;
+        write_u32(manifest, checked_u32(cfg.max_group, "group limit")?)?;
+        write_index_config(manifest, &cfg.index)?;
+        write_u32(manifest, checked_u32(snap.doc_count(), "document count")?)?;
+        for (id, doc_snap) in snap.iter() {
+            write_str(manifest, id)?;
+            write_u64(manifest, doc_snap.version())?;
+        }
+        for &seq in seqs {
+            write_u64(manifest, seq)?;
+        }
+        Ok(())
+    })?;
+    // The manifest now names doc0..docN-1; anything beyond that is an
+    // orphan from an earlier, larger save in the same directory.
+    remove_orphan_docs(dir, snap.doc_count())
+}
+
+/// A parsed catalog/checkpoint directory: everything
+/// [`IndexService::load_catalog`] needs to rebuild a service, plus the
+/// per-shard WAL sequence numbers recovery needs to know which log
+/// records the images already cover.
+pub(crate) struct Checkpoint {
+    pub(crate) shards: usize,
+    pub(crate) max_group: usize,
+    pub(crate) index: IndexConfig,
+    /// Per-shard WAL sequence captured when the images were saved;
+    /// recovery replays only records with a larger sequence.
+    pub(crate) seqs: Vec<u64>,
+    /// `(id, version, document, index)` per hosted document.
+    pub(crate) docs: Vec<(String, u64, Document, IndexManager)>,
+}
+
+/// Reads the manifest and every per-doc image under `dir` (also
+/// sweeping stranded `*.tmp` files from an earlier torn save).
+pub(crate) fn read_checkpoint(dir: &Path) -> io::Result<Checkpoint> {
+    let mut manifest = std::io::BufReader::new(std::fs::File::open(dir.join("catalog.xvi"))?);
+    sweep_tmp_files(dir)?;
+    let mut magic = [0u8; 4];
+    manifest.read_exact(&mut magic)?;
+    if &magic == CATALOG_MAGIC_V1 {
+        return Err(catalog_version_error(1));
+    }
+    if &magic != CATALOG_MAGIC {
+        return Err(bad("not an xvi catalog manifest"));
+    }
+    let version = read_u32(&mut manifest)?;
+    if version != CATALOG_VERSION {
+        return Err(catalog_version_error(version));
+    }
+    let shards = read_u32(&mut manifest)? as usize;
+    let max_group = read_u32(&mut manifest)? as usize;
+    let index = read_index_config(&mut manifest)?;
+    let doc_count = read_u32(&mut manifest)? as usize;
+    let mut docs = Vec::with_capacity(doc_count.min(1 << 16));
+    for i in 0..doc_count {
+        let id = read_str(&mut manifest)?;
+        let version = read_u64(&mut manifest)?;
+        let xml = std::fs::read_to_string(dir.join(format!("doc{i}.xml")))?;
+        let doc = Document::parse(&xml)
+            .map_err(|e| bad(format!("catalog document {id:?} failed to parse: {e}")))?;
+        let image = std::io::BufReader::new(std::fs::File::open(dir.join(format!("doc{i}.idx")))?);
+        let idx = IndexManager::load_from(&doc, image)?;
+        docs.push((id, version, doc, idx));
+    }
+    let mut seqs = Vec::with_capacity(shards.min(1 << 16));
+    for _ in 0..shards {
+        seqs.push(read_u64(&mut manifest)?);
+    }
+    Ok(Checkpoint {
+        shards,
+        max_group,
+        index,
+        seqs,
+        docs,
+    })
 }
 
 impl IndexService {
     /// Persists the whole catalog into `dir` (created if missing): a
     /// `catalog.xvi` manifest carrying the service configuration
     /// (shard count, group limit, index config), every document id and
-    /// its committed version, plus one serialized document
-    /// (`doc<i>.xml`) and one index image (`doc<i>.idx`) per hosted
-    /// document. The save works from one [`ServiceSnapshot`], so a
-    /// concurrently committing service persists a consistent
+    /// its committed version — plus the per-shard WAL sequence numbers
+    /// when the service has a write-ahead log — and one serialized
+    /// document (`doc<i>.xml`) and one index image (`doc<i>.idx`) per
+    /// hosted document. The save works from one [`ServiceSnapshot`],
+    /// so a concurrently committing service persists a consistent
     /// per-document prefix of the commit history.
     ///
-    /// Every file is written to a temporary sibling, fsynced and
-    /// renamed into place, with the manifest renamed **last** — a
-    /// crash or full disk mid-save never truncates or tears an
-    /// existing manifest or image (though overwriting a live catalog
-    /// in place can still leave manifest and document files from
-    /// different saves paired; keep per-save directories where that
-    /// matters).
+    /// Every file is written to a temporary sibling, fsynced, renamed
+    /// into place and made durable with a directory fsync, with the
+    /// manifest renamed **last** — a crash or full disk mid-save never
+    /// truncates or tears an existing manifest or image. Stranded
+    /// `*.tmp` files from an earlier torn save are swept, and
+    /// `doc<N>.*` files beyond the new manifest's document count are
+    /// deleted, so the directory is self-consistent after every save —
+    /// re-saving a shrunk catalog in place is safe.
     ///
     /// [`ServiceSnapshot`]: crate::ServiceSnapshot
     pub fn save_catalog(&self, dir: &Path) -> io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let snap = self.snapshot_all();
-        let cfg = self.config();
-        for (i, (_, doc_snap)) in snap.iter().enumerate() {
-            write_file_atomically(dir, &format!("doc{i}.xml"), |w| {
-                w.write_all(xvi_xml::serialize::to_string(doc_snap.document()).as_bytes())
-            })?;
-            write_file_atomically(dir, &format!("doc{i}.idx"), |w| {
-                doc_snap.index().save_to(doc_snap.document(), w)
-            })?;
-        }
-        write_file_atomically(dir, "catalog.xvi", |manifest| {
-            manifest.write_all(CATALOG_MAGIC)?;
-            write_u32(manifest, CATALOG_VERSION)?;
-            write_u32(manifest, cfg.shards as u32)?;
-            write_u32(manifest, cfg.max_group as u32)?;
-            write_index_config(manifest, &cfg.index)?;
-            write_u32(manifest, snap.doc_count() as u32)?;
-            for (id, doc_snap) in snap.iter() {
-                write_str(manifest, id)?;
-                write_u64(manifest, doc_snap.version())?;
-            }
-            Ok(())
-        })
+        let (snap, seqs) = self.capture_for_checkpoint();
+        save_snapshot_to(dir, &snap, &seqs, self.config())
     }
 
     /// Restores a service persisted by [`IndexService::save_catalog`]:
@@ -349,38 +503,23 @@ impl IndexService {
     /// per-document versions all round-trip. Each document is reparsed
     /// and its indices bulk-loaded from the saved image (with the
     /// image's staleness fingerprint still enforced).
+    ///
+    /// The restored service is **ephemeral** (no write-ahead log) and
+    /// the saved WAL sequence numbers are ignored: this is the plain
+    /// full-image restore. To reopen a WAL-backed service — checkpoint
+    /// plus replay of the durable log suffix — use
+    /// [`IndexService::open`] with [`Durability::Wal`].
+    ///
+    /// [`Durability::Wal`]: crate::service::Durability::Wal
     pub fn load_catalog(dir: &Path) -> io::Result<IndexService> {
-        let mut manifest = std::io::BufReader::new(std::fs::File::open(dir.join("catalog.xvi"))?);
-        let mut magic = [0u8; 4];
-        manifest.read_exact(&mut magic)?;
-        if &magic == CATALOG_MAGIC_V1 {
-            return Err(catalog_version_error(1));
-        }
-        if &magic != CATALOG_MAGIC {
-            return Err(bad("not an xvi catalog manifest"));
-        }
-        let version = read_u32(&mut manifest)?;
-        if version != CATALOG_VERSION {
-            return Err(catalog_version_error(version));
-        }
-        let shards = read_u32(&mut manifest)? as usize;
-        let max_group = read_u32(&mut manifest)? as usize;
-        let index = read_index_config(&mut manifest)?;
+        let cp = read_checkpoint(dir)?;
         let service = IndexService::new(ServiceConfig {
-            shards,
-            max_group,
-            index,
+            shards: cp.shards,
+            max_group: cp.max_group,
+            index: cp.index,
+            durability: crate::service::Durability::Ephemeral,
         });
-        let docs = read_u32(&mut manifest)? as usize;
-        for i in 0..docs {
-            let id = read_str(&mut manifest)?;
-            let version = read_u64(&mut manifest)?;
-            let xml = std::fs::read_to_string(dir.join(format!("doc{i}.xml")))?;
-            let doc = Document::parse(&xml)
-                .map_err(|e| bad(format!("catalog document {id:?} failed to parse: {e}")))?;
-            let image =
-                std::io::BufReader::new(std::fs::File::open(dir.join(format!("doc{i}.idx")))?);
-            let idx = IndexManager::load_from(&doc, image)?;
+        for (id, version, doc, idx) in cp.docs {
             service.install_version(id, doc, idx, version);
         }
         Ok(service)
@@ -502,6 +641,7 @@ mod tests {
             shards: 3,
             max_group: 16,
             index: IndexConfig::with_types(&[XmlType::Double, XmlType::Integer]),
+            durability: crate::service::Durability::Ephemeral,
         };
         let service = IndexService::new(config);
         for (id, xml) in [
@@ -563,6 +703,57 @@ mod tests {
         txn.set_value(node, "Marvin");
         let receipt = loaded.commit("alpha", txn).unwrap();
         assert_eq!(receipt.version, 3);
+    }
+
+    #[test]
+    fn failing_fill_removes_the_temp_file() {
+        let scratch = ScratchDir::new("tmp-cleanup");
+        std::fs::create_dir_all(&scratch.0).unwrap();
+        let err = write_file_atomically(&scratch.0, "out.bin", |_| {
+            Err(io::Error::other("fill failed"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "fill failed");
+        assert!(
+            !scratch.0.join("out.bin.tmp").exists(),
+            "the error path must not strand the temp file"
+        );
+        assert!(!scratch.0.join("out.bin").exists());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_success() {
+        let scratch = ScratchDir::new("tmp-success");
+        std::fs::create_dir_all(&scratch.0).unwrap();
+        for payload in [b"first".as_slice(), b"second".as_slice()] {
+            write_file_atomically(&scratch.0, "out.bin", |w| w.write_all(payload)).unwrap();
+            assert_eq!(std::fs::read(scratch.0.join("out.bin")).unwrap(), payload);
+            assert!(!scratch.0.join("out.bin.tmp").exists());
+        }
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn oversize_counts_are_rejected_with_a_typed_error() {
+        let err = checked_u32(u32::MAX as usize + 1, "document count").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let source = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<IndexError>())
+            .expect("typed Oversize source");
+        assert!(
+            matches!(
+                source,
+                IndexError::Oversize {
+                    what: "document count",
+                    len
+                } if *len == u32::MAX as u64 + 1
+            ),
+            "{source:?}"
+        );
+        // In-range values pass through unchanged.
+        assert_eq!(checked_u32(0, "x").unwrap(), 0);
+        assert_eq!(checked_u32(u32::MAX as usize, "x").unwrap(), u32::MAX);
     }
 
     #[test]

@@ -52,6 +52,8 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -65,9 +67,30 @@ use crate::lookup::{Lookup, QueryResult};
 use crate::manager::IndexManager;
 use crate::stats::CardinalityEstimate;
 use crate::txn::Transaction;
+use crate::wal::{ShardWal, WalRecord};
 
 /// A document's catalog identifier.
 pub type DocId = String;
+
+/// How (whether) an [`IndexService`] makes commits durable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// No persistence: commits live only in memory (the default, and
+    /// the previous behaviour). [`IndexService::save_catalog`] remains
+    /// available for explicit full-image saves.
+    #[default]
+    Ephemeral,
+    /// Per-shard write-ahead logging under the given directory: the
+    /// group-commit leader appends each coalesced batch as one framed,
+    /// checksummed record and issues **one fsync per batch** before
+    /// publishing, so the durable cost of a commit is O(batch delta),
+    /// not O(catalog). [`IndexService::open`] recovers by loading the
+    /// last checkpoint in the same directory (if any) and replaying
+    /// each shard's log, tolerating a torn final record;
+    /// [`IndexService::checkpoint`] bounds replay time by saving fresh
+    /// images and truncating the logs.
+    Wal(PathBuf),
+}
 
 /// Tuning knobs for an [`IndexService`].
 #[derive(Debug, Clone)]
@@ -82,6 +105,9 @@ pub struct ServiceConfig {
     pub max_group: usize,
     /// Index configuration applied to every hosted document.
     pub index: IndexConfig,
+    /// Durability mode: ephemeral (default) or per-shard write-ahead
+    /// logging.
+    pub durability: Durability,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +116,7 @@ impl Default for ServiceConfig {
             shards: 8,
             max_group: 64,
             index: IndexConfig::default(),
+            durability: Durability::Ephemeral,
         }
     }
 }
@@ -112,6 +139,13 @@ impl ServiceConfig {
     /// Sets the per-document index configuration.
     pub fn with_index(mut self, index: IndexConfig) -> ServiceConfig {
         self.index = index;
+        self
+    }
+
+    /// Enables per-shard write-ahead logging under `dir` (see
+    /// [`Durability::Wal`]).
+    pub fn with_wal(mut self, dir: impl Into<PathBuf>) -> ServiceConfig {
+        self.durability = Durability::Wal(dir.into());
         self
     }
 }
@@ -412,17 +446,26 @@ impl Pipeline {
     }
 }
 
-/// One shard: a slice of the document catalog plus its commit queue.
+/// One shard: a slice of the document catalog plus its commit queue
+/// and (in [`Durability::Wal`] mode) its write-ahead log.
+///
+/// Lock order, everywhere: `wal` mutex → `catalog` lock → a handle's
+/// `published` lock. The leader holds the wal mutex from the record
+/// append through the publish, which gives checkpointing its exactness
+/// guarantee: capturing `(catalog state, wal.seq)` under the wal mutex
+/// observes either none or all of every logged batch's effects.
 struct Shard {
     catalog: RwLock<HashMap<String, Arc<DocHandle>>>,
     pipeline: Pipeline,
+    wal: Option<Mutex<ShardWal>>,
 }
 
 impl Shard {
-    fn new() -> Shard {
+    fn new(wal: Option<ShardWal>) -> Shard {
         Shard {
             catalog: RwLock::new(HashMap::new()),
             pipeline: Pipeline::new(),
+            wal: wal.map(Mutex::new),
         }
     }
 }
@@ -472,14 +515,200 @@ impl std::fmt::Debug for IndexService {
 }
 
 impl IndexService {
-    /// Creates an empty service.
+    /// Creates an empty service. For [`Durability::Wal`] configs this
+    /// delegates to [`IndexService::open`] (creating the directory and
+    /// recovering any existing checkpoint + logs) and panics on I/O
+    /// failure; call `open` directly to handle such failures.
     pub fn new(config: ServiceConfig) -> IndexService {
-        let shards = config.shards.max(1);
+        match config.durability {
+            Durability::Ephemeral => {
+                let shards = config.shards.max(1);
+                IndexService::build(config, (0..shards).map(|_| None).collect())
+            }
+            Durability::Wal(_) => {
+                IndexService::open(config).expect("opening the WAL-backed service failed")
+            }
+        }
+    }
+
+    fn build(config: ServiceConfig, wals: Vec<Option<ShardWal>>) -> IndexService {
+        debug_assert_eq!(wals.len(), config.shards.max(1));
         IndexService {
-            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shards: wals.into_iter().map(Shard::new).collect(),
             config,
             commits: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a service with recovery. For [`Durability::Ephemeral`]
+    /// this is just an empty service. For [`Durability::Wal`] it
+    /// restores the durable state from the log directory:
+    ///
+    /// 1. if a checkpoint (`catalog.xvi` + per-doc images) exists, it
+    ///    is loaded — and its shard count, group limit and index
+    ///    config **override** the passed config, since the logs are
+    ///    sharded by the persisted shard count;
+    /// 2. each shard's `wal<i>.log` is scanned, a torn final record
+    ///    (crash mid-append) is truncated off, and every record newer
+    ///    than the checkpoint's captured sequence is replayed.
+    ///
+    /// The result is byte-identical to a serial replay of the durable
+    /// prefix of the commit history.
+    pub fn open(config: ServiceConfig) -> io::Result<IndexService> {
+        let Durability::Wal(dir) = config.durability.clone() else {
+            let shards = config.shards.max(1);
+            return Ok(IndexService::build(
+                config,
+                (0..shards).map(|_| None).collect(),
+            ));
+        };
+        std::fs::create_dir_all(&dir)?;
+        let checkpoint = if dir.join("catalog.xvi").exists() {
+            Some(crate::persist::read_checkpoint(&dir)?)
+        } else {
+            None
+        };
+        let (config, seqs, docs) = match checkpoint {
+            Some(cp) => (
+                ServiceConfig {
+                    shards: cp.shards,
+                    max_group: cp.max_group,
+                    index: cp.index,
+                    durability: Durability::Wal(dir.clone()),
+                },
+                cp.seqs,
+                cp.docs,
+            ),
+            None => {
+                let shards = config.shards.max(1);
+                (config, vec![0; shards], Vec::new())
+            }
+        };
+        let shard_count = config.shards.max(1);
+        if seqs.len() != shard_count {
+            return Err(crate::persist::bad(format!(
+                "checkpoint has {} shard sequence numbers for {shard_count} shards",
+                seqs.len()
+            )));
+        }
+        let mut wals = Vec::with_capacity(shard_count);
+        let mut logs = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let (records, wal) = ShardWal::open(&dir, shard)?;
+            wals.push(Some(wal));
+            logs.push(records);
+        }
+        let service = IndexService::build(config, wals);
+        for (id, version, doc, idx) in docs {
+            service.install_version(id, doc, idx, version);
+        }
+        for (shard, records) in logs.into_iter().enumerate() {
+            for (seq, record) in records {
+                if seq > seqs[shard] {
+                    service.replay_record(record)?;
+                }
+            }
+        }
+        Ok(service)
+    }
+
+    /// Applies one recovered WAL record directly to the catalog
+    /// (without re-logging it — the record is already durable).
+    fn replay_record(&self, record: WalRecord) -> io::Result<()> {
+        match record {
+            WalRecord::Insert { doc, xml } => {
+                let parsed = Document::parse(&xml).map_err(|e| {
+                    crate::persist::bad(format!("WAL document {doc:?} failed to parse: {e}"))
+                })?;
+                let idx = IndexManager::build(&parsed, self.config.index.clone());
+                self.install_version(doc, parsed, idx, 0);
+            }
+            WalRecord::Remove { doc } => {
+                self.shard_of(&doc).catalog.write().remove(&doc);
+            }
+            WalRecord::Commit {
+                doc,
+                committed,
+                publish_version,
+                writes,
+            } => {
+                let handle = self.handle(&doc).ok_or_else(|| {
+                    crate::persist::bad(format!(
+                        "WAL commit record targets unknown document {doc:?}"
+                    ))
+                })?;
+                let mut published = handle.published.write();
+                let version = Arc::get_mut(&mut published)
+                    .expect("recovery is single-threaded: no snapshot pins this version");
+                let writes = writes
+                    .iter()
+                    .map(|(n, v)| (NodeId::from_index(*n as usize), v.as_str()));
+                version
+                    .idx
+                    .update_values(Arc::make_mut(&mut version.doc), writes)
+                    .map_err(|e| {
+                        crate::persist::bad(format!("WAL commit replay on {doc:?} failed: {e}"))
+                    })?;
+                version.version = publish_version;
+                drop(published);
+                self.commits.fetch_add(committed, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Captures a consistent `(catalog snapshot, per-shard WAL
+    /// sequence)` pair for checkpointing. Each shard's handles and
+    /// sequence are read under that shard's wal mutex — the same mutex
+    /// the leader holds from record append through publish — so the
+    /// captured images reflect **exactly** the records with
+    /// `seq <= seqs[shard]`: never a logged-but-unpublished batch,
+    /// never a published-but-unlogged one. (For ephemeral services the
+    /// sequences are all zero.)
+    pub(crate) fn capture_for_checkpoint(&self) -> (ServiceSnapshot, Vec<u64>) {
+        let mut docs: Vec<(String, Arc<SharedVersion>)> = Vec::new();
+        let mut seqs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let wal_guard = shard
+                .wal
+                .as_ref()
+                .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()));
+            for handle in shard.catalog.read().values() {
+                docs.push((handle.id.clone(), handle.current()));
+            }
+            seqs.push(wal_guard.as_ref().map_or(0, |w| w.seq));
+        }
+        docs.sort_by(|a, b| a.0.cmp(&b.0));
+        (ServiceSnapshot { docs }, seqs)
+    }
+
+    /// Checkpoints a [`Durability::Wal`] service: saves fresh per-doc
+    /// images plus the manifest into the WAL directory (via the same
+    /// crash-safe writer as [`IndexService::save_catalog`]), then
+    /// truncates each shard's log up to the captured sequence number.
+    /// Recovery time after a checkpoint is proportional to the commits
+    /// since it, not to history length.
+    ///
+    /// Returns [`io::ErrorKind::Unsupported`] for ephemeral services.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let Durability::Wal(dir) = &self.config.durability else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "checkpoint requires a WAL-backed service (Durability::Wal)",
+            ));
+        };
+        let (snap, seqs) = self.capture_for_checkpoint();
+        crate::persist::save_snapshot_to(dir, &snap, &seqs, self.config())?;
+        for (shard, &seq) in self.shards.iter().zip(&seqs) {
+            let mut wal = shard
+                .wal
+                .as_ref()
+                .expect("WAL-backed service has a log per shard")
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            wal.truncate_through(seq)?;
+        }
+        Ok(())
     }
 
     /// The active configuration.
@@ -505,10 +734,38 @@ impl IndexService {
 
     /// Builds indices for `doc` (outside any lock) and registers it
     /// under `id`, replacing any previous document with that id.
+    ///
+    /// On a [`Durability::Wal`] service the registration is logged and
+    /// fsynced before it becomes visible; this infallible wrapper
+    /// panics if that fails — use
+    /// [`IndexService::try_insert_document`] to handle log I/O errors.
     pub fn insert_document(&self, id: impl Into<String>, doc: Document) {
+        self.try_insert_document(id, doc)
+            .expect("WAL append/fsync failed while registering the document")
+    }
+
+    /// Fallible [`IndexService::insert_document`]: an `Err` means the
+    /// WAL append or fsync failed and the document was **not**
+    /// registered.
+    pub fn try_insert_document(&self, id: impl Into<String>, doc: Document) -> io::Result<()> {
         let id = id.into();
         let idx = IndexManager::build(&doc, self.config.index.clone());
-        self.install_version(id, doc, idx, 0);
+        let shard = self.shard_of(&id);
+        // Lock order: wal → catalog. The wal mutex is held through the
+        // install so a concurrent checkpoint capture sees the logged
+        // record and the catalog entry together or not at all.
+        let wal_guard = shard
+            .wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()));
+        if let Some(mut wal) = wal_guard {
+            wal.append_insert(&id, &xvi_xml::serialize::to_string(&doc))?;
+            wal.sync()?;
+            self.install_version(id, doc, idx, 0);
+        } else {
+            self.install_version(id, doc, idx, 0);
+        }
+        Ok(())
     }
 
     /// Registers a prebuilt `(document, index, version)` triple — the
@@ -532,13 +789,39 @@ impl IndexService {
         self.shard_of(&id).catalog.write().insert(id, handle);
     }
 
-    /// Removes a document, returning its final state.
+    /// Removes a document, returning its final state. Panics if the
+    /// removal could not be logged on a [`Durability::Wal`] service;
+    /// use [`IndexService::try_remove_document`] to handle that.
     pub fn remove_document(&self, id: &str) -> Option<(Document, IndexManager)> {
-        let handle = self.shard_of(id).catalog.write().remove(id)?;
+        self.try_remove_document(id)
+            .expect("WAL append/fsync failed while removing the document")
+    }
+
+    /// Fallible [`IndexService::remove_document`]: an `Err` means the
+    /// WAL append or fsync failed and the document is still
+    /// registered.
+    pub fn try_remove_document(&self, id: &str) -> io::Result<Option<(Document, IndexManager)>> {
+        let shard = self.shard_of(id);
+        // Lock order: wal → catalog (see `Shard`).
+        let mut wal_guard = shard
+            .wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut catalog = shard.catalog.write();
+        if !catalog.contains_key(id) {
+            return Ok(None);
+        }
+        if let Some(wal) = wal_guard.as_mut() {
+            wal.append_remove(id)?;
+            wal.sync()?;
+        }
+        let handle = catalog.remove(id).expect("presence checked above");
+        drop(catalog);
+        drop(wal_guard);
         let version = handle.current();
         match Arc::try_unwrap(version) {
-            Ok(v) => Some((Arc::unwrap_or_clone(v.doc), v.idx)),
-            Err(shared) => Some(((*shared.doc).clone(), shared.idx.clone())),
+            Ok(v) => Ok(Some((Arc::unwrap_or_clone(v.doc), v.idx))),
+            Err(shared) => Ok(Some(((*shared.doc).clone(), shared.idx.clone()))),
         }
     }
 
@@ -766,14 +1049,16 @@ impl IndexService {
                 let n = st.queue.len().min(max_group);
                 st.queue.drain(..n).collect()
             };
-            self.apply_group(round);
+            self.apply_group(shard, round);
         }
     }
 
     /// Applies one group round: coalesces the batches per document,
-    /// repairs each affected document's ancestors once, publishes the
-    /// new versions, and wakes every waiting committer.
-    fn apply_group(&self, round: Vec<Pending>) {
+    /// makes each coalesced batch durable (one WAL record + one fsync
+    /// per batch, when a log is configured), repairs each affected
+    /// document's ancestors once, publishes the new versions, and
+    /// wakes every waiting committer.
+    fn apply_group(&self, shard: &Shard, round: Vec<Pending>) {
         // If this round unwinds partway (a panic inside the apply),
         // fail every slot that was not yet filled so its committer
         // wakes up instead of blocking forever. `fill` is idempotent,
@@ -842,17 +1127,52 @@ impl IndexService {
             drop(base);
 
             if !coalesced.is_empty() {
+                // Lock order: wal → catalog → published (see `Shard`).
+                // The wal mutex stays held from the append through the
+                // publish, so a checkpoint capture can never observe a
+                // logged-but-unpublished (or published-but-unlogged)
+                // batch.
+                let mut wal_guard = shard
+                    .wal
+                    .as_ref()
+                    .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()));
                 // Apply under the catalog read lock, after checking
                 // the handle is still the catalog's entry for this id:
                 // `insert_document` / `remove_document` take the
                 // catalog *write* lock, so a concurrent replacement or
                 // removal cannot orphan this apply — the commit either
                 // lands in the live document or fails loudly.
-                let catalog = self.shard_of(&handle.id).catalog.read();
+                let catalog = shard.catalog.read();
                 let still_current = catalog
                     .get(&handle.id)
                     .is_some_and(|h| Arc::ptr_eq(h, &handle));
                 if still_current {
+                    // Durability first: the coalesced batch goes to the
+                    // shard's log as ONE framed record with ONE fsync
+                    // before any reader can observe its effects — the
+                    // durable cost of the round is O(batch delta). On
+                    // failure nothing publishes: an unlogged commit
+                    // must never become visible, so every transaction
+                    // of the batch reports `Durability` instead.
+                    let durable = match wal_guard.as_mut() {
+                        Some(wal) => wal
+                            .append_commit(&handle.id, committed, publish_version, &coalesced)
+                            .and_then(|_| wal.sync()),
+                        None => Ok(()),
+                    };
+                    if let Err(e) = durable {
+                        drop(catalog);
+                        drop(wal_guard);
+                        for (_, r) in results.iter_mut() {
+                            if r.is_ok() {
+                                *r = Err(IndexError::Durability(e.to_string()));
+                            }
+                        }
+                        for (slot, r) in results {
+                            slot.fill(r);
+                        }
+                        continue;
+                    }
                     let mut published = handle.published.write();
                     let writes = coalesced.iter().map(|(n, v)| (*n, v.as_str()));
                     if let Some(version) = Arc::get_mut(&mut published) {
@@ -1190,6 +1510,7 @@ mod tests {
             shards: 4,
             max_group: 8,
             index: IndexConfig::default(),
+            durability: Durability::Ephemeral,
         }));
         let n_docs = 6;
         for i in 0..n_docs {
@@ -1553,6 +1874,7 @@ mod tests {
             shards: 1,
             max_group: 1,
             index: IndexConfig::default(),
+            durability: Durability::Ephemeral,
         });
         service.insert_document("a", Document::parse(DOC_A).unwrap());
         // Node ids are stable across versions (values are replaced in

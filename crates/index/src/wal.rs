@@ -1,0 +1,471 @@
+//! Per-shard write-ahead logging for the [`IndexService`] commit
+//! pipeline.
+//!
+//! Each shard owns one append-only log file (`wal<shard>.log` inside
+//! the durability directory). The group-commit leader appends every
+//! coalesced per-document batch as **one framed, checksummed record**
+//! and issues **one fsync per batch** before publishing, so the
+//! durable cost of a commit round is O(batch delta) — independent of
+//! catalog or document size. Document registration and removal are
+//! logged too, so a crash between checkpoints loses nothing that a
+//! committer was told succeeded.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [payload len: u32 le][crc32(payload): u32 le][payload]
+//! payload := [seq: u64 le][tag: u8][record fields...]
+//! ```
+//!
+//! `seq` is a shard-local, strictly increasing record number; the
+//! checkpoint manifest stores the per-shard sequence captured at
+//! checkpoint time, and recovery replays only records with a larger
+//! sequence. A torn final frame — short header, length running past
+//! end-of-file, checksum mismatch, or an undecodable payload — marks
+//! the end of the durable prefix: [`ShardWal::open`] truncates the
+//! file there and replay proceeds from the valid prefix only.
+//!
+//! ## Crash safety of the files themselves
+//!
+//! Appends go to a pre-existing file, so only `File::sync_data` is
+//! needed per batch. Creating a fresh log and rewriting one during
+//! checkpoint truncation both follow the same discipline as
+//! `persist.rs`: write a `.tmp` sibling, fsync it, rename over the
+//! final name, then **fsync the parent directory** so the rename
+//! itself survives power loss.
+//!
+//! [`IndexService`]: crate::IndexService
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use xvi_xml::NodeId;
+
+use crate::persist::{bad, read_str, read_u32, read_u64, write_str, write_u32, write_u64};
+
+/// Record tag bytes (part of the on-disk format; never renumber).
+const TAG_COMMIT: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+
+/// Smallest decodable payload: sequence number plus tag byte.
+const MIN_PAYLOAD: usize = 8 + 1;
+
+/// One logical log record, decoded from a frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// A published group-commit batch for one document: `committed`
+    /// transactions coalesced into `writes`, bringing the document to
+    /// `publish_version`.
+    Commit {
+        doc: String,
+        committed: u64,
+        publish_version: u64,
+        writes: Vec<(u32, String)>,
+    },
+    /// A document registered under `doc` with serialized content
+    /// `xml` (version resets to 0, replacing any previous document).
+    Insert { doc: String, xml: String },
+    /// The document registered under `doc` was removed.
+    Remove { doc: String },
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the frame checksum.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    !bytes.iter().fold(!0u32, |c, &b| {
+        (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xff) as usize]
+    })
+}
+
+/// Fsyncs a directory so a rename/creation inside it is durable.
+/// (On Linux, directory fsync is the documented way to persist the
+/// directory entry itself; a plain file fsync does not cover it.)
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn decode(payload: &[u8]) -> io::Result<(u64, WalRecord)> {
+    let mut r = payload;
+    let seq = read_u64(&mut r)?;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let record = match tag[0] {
+        TAG_COMMIT => {
+            let doc = read_str(&mut r)?;
+            let committed = read_u64(&mut r)?;
+            let publish_version = read_u64(&mut r)?;
+            let n = read_u32(&mut r)? as usize;
+            let mut writes = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let node = read_u32(&mut r)?;
+                let value = read_str(&mut r)?;
+                writes.push((node, value));
+            }
+            WalRecord::Commit {
+                doc,
+                committed,
+                publish_version,
+                writes,
+            }
+        }
+        TAG_INSERT => WalRecord::Insert {
+            doc: read_str(&mut r)?,
+            xml: read_str(&mut r)?,
+        },
+        TAG_REMOVE => WalRecord::Remove {
+            doc: read_str(&mut r)?,
+        },
+        other => return Err(bad(format!("unknown WAL record tag {other}"))),
+    };
+    Ok((seq, record))
+}
+
+/// One parsed frame plus its byte span in the file — the span lets
+/// checkpoint truncation rewrite the kept suffix without re-encoding.
+struct RawFrame {
+    seq: u64,
+    start: usize,
+    end: usize,
+    record: WalRecord,
+}
+
+/// Parses frames from the start of `bytes`, stopping at the first
+/// torn or corrupt frame. Returns the frames and the length of the
+/// valid prefix (everything past it is an un-fsynced or torn tail to
+/// be truncated away).
+fn scan(bytes: &[u8]) -> (Vec<RawFrame>, usize) {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while let Some(header) = bytes.get(off..off + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len < MIN_PAYLOAD {
+            break;
+        }
+        let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok((seq, record)) = decode(payload) else {
+            break;
+        };
+        frames.push(RawFrame {
+            seq,
+            start: off,
+            end: off + 8 + len,
+            record,
+        });
+        off += 8 + len;
+    }
+    (frames, off)
+}
+
+/// The append side of one shard's log.
+#[derive(Debug)]
+pub(crate) struct ShardWal {
+    file: File,
+    path: PathBuf,
+    /// Sequence number of the last record appended (or recovered).
+    pub(crate) seq: u64,
+}
+
+fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("wal{shard}.log"))
+}
+
+impl ShardWal {
+    /// Opens (creating if missing) shard `shard`'s log under `dir`,
+    /// returning the records of its valid prefix in append order. A
+    /// torn tail — any suffix that does not parse as whole, checksummed
+    /// frames — is truncated off the file before the append handle is
+    /// handed out, so later appends can never bury garbage mid-log.
+    pub(crate) fn open(dir: &Path, shard: usize) -> io::Result<(Vec<(u64, WalRecord)>, ShardWal)> {
+        let path = wal_path(dir, shard);
+        let existed = path.exists();
+        let bytes = if existed {
+            std::fs::read(&path)?
+        } else {
+            Vec::new()
+        };
+        let (frames, valid_len) = scan(&bytes);
+        if valid_len < bytes.len() {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
+        let seq = frames.last().map(|f| f.seq).unwrap_or(0);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if !existed {
+            // The file's directory entry must survive power loss too.
+            file.sync_all()?;
+            fsync_dir(dir)?;
+        }
+        let records = frames.into_iter().map(|f| (f.seq, f.record)).collect();
+        Ok((records, ShardWal { file, path, seq }))
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        write_u32(&mut frame, payload.len() as u32)?;
+        write_u32(&mut frame, crc32(payload))?;
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        Ok(self.seq)
+    }
+
+    fn payload_header(&mut self, tag: u8) -> io::Result<Vec<u8>> {
+        self.seq += 1;
+        let mut payload = Vec::new();
+        write_u64(&mut payload, self.seq)?;
+        payload.push(tag);
+        Ok(payload)
+    }
+
+    /// Appends one coalesced commit batch (no fsync — call
+    /// [`ShardWal::sync`] once per batch).
+    pub(crate) fn append_commit(
+        &mut self,
+        doc: &str,
+        committed: u64,
+        publish_version: u64,
+        writes: &[(NodeId, String)],
+    ) -> io::Result<u64> {
+        let mut payload = self.payload_header(TAG_COMMIT)?;
+        write_str(&mut payload, doc)?;
+        write_u64(&mut payload, committed)?;
+        write_u64(&mut payload, publish_version)?;
+        write_u32(
+            &mut payload,
+            crate::persist::checked_u32(writes.len(), "write count")?,
+        )?;
+        for (node, value) in writes {
+            write_u32(
+                &mut payload,
+                crate::persist::checked_u32(node.index(), "node id")?,
+            )?;
+            write_str(&mut payload, value)?;
+        }
+        self.append_payload(&payload)
+    }
+
+    /// Appends a document-registration record.
+    pub(crate) fn append_insert(&mut self, doc: &str, xml: &str) -> io::Result<u64> {
+        let mut payload = self.payload_header(TAG_INSERT)?;
+        write_str(&mut payload, doc)?;
+        write_str(&mut payload, xml)?;
+        self.append_payload(&payload)
+    }
+
+    /// Appends a document-removal record.
+    pub(crate) fn append_remove(&mut self, doc: &str) -> io::Result<u64> {
+        let mut payload = self.payload_header(TAG_REMOVE)?;
+        write_str(&mut payload, doc)?;
+        self.append_payload(&payload)
+    }
+
+    /// The group fsync: one durable barrier per coalesced batch.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Drops every record with `seq <= keep_after` (they are covered
+    /// by a checkpoint image) by atomically rewriting the log with the
+    /// kept suffix: tmp sibling → fsync → rename → directory fsync.
+    pub(crate) fn truncate_through(&mut self, keep_after: u64) -> io::Result<()> {
+        let bytes = std::fs::read(&self.path)?;
+        let (frames, _) = scan(&bytes);
+        let mut kept = Vec::new();
+        for f in &frames {
+            if f.seq > keep_after {
+                kept.extend_from_slice(&bytes[f.start..f.end]);
+            }
+        }
+        let dir = self
+            .path
+            .parent()
+            .ok_or_else(|| bad("WAL path has no parent directory"))?
+            .to_path_buf();
+        let tmp = self.path.with_extension("log.tmp");
+        let result = (|| -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&kept)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &self.path)?;
+            fsync_dir(&dir)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return result;
+        }
+        // Re-point the append handle at the new file (the rename left
+        // the old handle on the unlinked inode).
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xvi-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_sync_reopen_round_trips() {
+        let dir = scratch("roundtrip");
+        let (records, mut wal) = ShardWal::open(&dir, 0).unwrap();
+        assert!(records.is_empty());
+        wal.append_insert("alpha", "<a/>").unwrap();
+        wal.append_commit("alpha", 2, 2, &[(NodeId::from_index(3), "x".to_string())])
+            .unwrap();
+        wal.append_remove("alpha").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (records, wal) = ShardWal::open(&dir, 0).unwrap();
+        assert_eq!(wal.seq, 3);
+        assert_eq!(
+            records,
+            vec![
+                (
+                    1,
+                    WalRecord::Insert {
+                        doc: "alpha".into(),
+                        xml: "<a/>".into()
+                    }
+                ),
+                (
+                    2,
+                    WalRecord::Commit {
+                        doc: "alpha".into(),
+                        committed: 2,
+                        publish_version: 2,
+                        writes: vec![(3, "x".into())],
+                    }
+                ),
+                (
+                    3,
+                    WalRecord::Remove {
+                        doc: "alpha".into()
+                    }
+                ),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_prefix() {
+        let dir = scratch("torn");
+        let (_, mut wal) = ShardWal::open(&dir, 0).unwrap();
+        wal.append_insert("doc", "<r>hello</r>").unwrap();
+        wal.append_remove("doc").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let path = wal_path(&dir, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        let (frames, valid) = scan(&bytes);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(valid, bytes.len());
+        let first_end = frames[0].end;
+
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let (records, wal) = ShardWal::open(&dir, 0).unwrap();
+            let expect = if cut >= bytes.len() {
+                2
+            } else if cut >= first_end {
+                1
+            } else {
+                0
+            };
+            assert_eq!(records.len(), expect, "cut at {cut}");
+            // The torn tail is physically gone after open.
+            drop(wal);
+            let kept = std::fs::read(&path).unwrap().len();
+            assert!(kept == if expect == 0 { 0 } else { first_end } || kept == bytes.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_through_keeps_only_newer_records() {
+        let dir = scratch("truncate");
+        let (_, mut wal) = ShardWal::open(&dir, 1).unwrap();
+        for i in 0..5 {
+            wal.append_remove(&format!("d{i}")).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.truncate_through(3).unwrap();
+        // The handle stays appendable after the rewrite.
+        wal.append_remove("post").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (records, wal) = ShardWal::open(&dir, 1).unwrap();
+        let seqs: Vec<u64> = records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+        assert_eq!(wal.seq, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_invalidate_the_frame() {
+        let dir = scratch("bitflip");
+        let (_, mut wal) = ShardWal::open(&dir, 0).unwrap();
+        wal.append_insert("doc", "<r>payload</r>").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let path = wal_path(&dir, 0);
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            let (records, _) = ShardWal::open(&dir, 0).unwrap();
+            assert!(
+                records.is_empty(),
+                "flip at byte {i} must invalidate the only frame"
+            );
+            std::fs::write(&path, &clean).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

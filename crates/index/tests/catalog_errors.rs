@@ -160,6 +160,46 @@ fn garbage_document_xml_is_a_typed_error() {
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
 }
 
+/// Stranded `*.tmp` siblings — what a crash between a temp write and
+/// its rename leaves behind — are swept by the next save **and** by a
+/// load, so they cannot accumulate forever.
+#[test]
+fn stranded_tmp_files_are_swept_on_save_and_load() {
+    let scratch = saved_catalog("catalog-tmp-sweep");
+    std::fs::write(scratch.0.join("doc7.xml.tmp"), b"torn").unwrap();
+    std::fs::write(scratch.0.join("catalog.xvi.tmp"), b"torn").unwrap();
+    let loaded = IndexService::load_catalog(&scratch.0).unwrap();
+    assert!(!scratch.0.join("doc7.xml.tmp").exists(), "load sweeps");
+    assert!(!scratch.0.join("catalog.xvi.tmp").exists(), "load sweeps");
+
+    std::fs::write(scratch.0.join("doc9.idx.tmp"), b"torn again").unwrap();
+    loaded.save_catalog(&scratch.0).unwrap();
+    assert!(!scratch.0.join("doc9.idx.tmp").exists(), "save sweeps");
+}
+
+/// Re-saving a shrunk catalog into the same directory must delete the
+/// `docN.*` files beyond the new manifest's count — otherwise stale
+/// pairs from the larger save stay paired with the new manifest.
+#[test]
+fn shrinking_resave_removes_orphaned_doc_files() {
+    let scratch = saved_catalog("catalog-orphans");
+    assert!(scratch.0.join("doc1.xml").exists());
+    assert!(scratch.0.join("doc1.idx").exists());
+
+    let service = IndexService::load_catalog(&scratch.0).unwrap();
+    assert!(service.remove_document("beta").is_some());
+    service.save_catalog(&scratch.0).unwrap();
+    for orphan in ["doc1.xml", "doc1.idx"] {
+        assert!(
+            !scratch.0.join(orphan).exists(),
+            "{orphan} must be deleted by the shrinking re-save"
+        );
+    }
+    // The shrunk directory loads cleanly and holds exactly one doc.
+    let reloaded = IndexService::load_catalog(&scratch.0).unwrap();
+    assert_eq!(reloaded.doc_ids(), vec!["alpha"]);
+}
+
 /// The version field round-trips: a freshly saved catalog loads, and
 /// the loaded service still answers and commits.
 #[test]

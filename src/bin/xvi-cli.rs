@@ -9,6 +9,8 @@
 //! cargo run --release --bin xvi-cli -- stats --dataset xmark1 --scale 100
 //! cargo run --release --bin xvi-cli -- stress --threads 8 --ops 5000
 //! cargo run --release --bin xvi-cli -- stress --threads 1 --pipeline 64
+//! cargo run --release --bin xvi-cli -- stress --threads 4 --wal /tmp/xvi-wal
+//! cargo run --release --bin xvi-cli -- recover /tmp/xvi-wal --checkpoint
 //! ```
 //!
 //! Then type `help` at the prompt (interactive mode), let the `query`
@@ -20,7 +22,11 @@
 //! or let the `stress` subcommand drive the sharded index service with
 //! a mixed concurrent workload and report throughput
 //! (`--pipeline <depth>` keeps that many commits in flight per writer
-//! via `submit`/`CommitTicket` instead of blocking).
+//! via `submit`/`CommitTicket` instead of blocking; `--wal <dir>` runs
+//! the same workload durably, group-fsyncing every commit batch into a
+//! per-shard write-ahead log). The `recover` subcommand reopens such a
+//! directory — checkpoint plus WAL replay — and reports what survived;
+//! `--checkpoint` then folds the replayed log into a fresh checkpoint.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write as _};
@@ -42,8 +48,18 @@ fn main() {
                 eprintln!(
                     "usage: xvi-cli stress [--docs <n>] [--threads <n>] [--ops <n>] \
                      [--scale <permille>] [--write-pct <0-100>] [--group <n>] \
-                     [--shards <n>] [--seed <n>] [--pipeline <depth>]"
+                     [--shards <n>] [--seed <n>] [--pipeline <depth>] [--wal <dir>]"
                 );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("recover") {
+        match run_recover(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: xvi-cli recover <dir> [--checkpoint]");
                 std::process::exit(2);
             }
         }
@@ -310,11 +326,60 @@ fn print_statistics(idx: &IndexManager) {
     }
 }
 
+/// `recover`: reopen a WAL-backed service directory — load the last
+/// checkpoint (if any) and replay each shard's log, tolerating a torn
+/// final record — then report what survived. With `--checkpoint`, fold
+/// the replayed tail into a fresh checkpoint and truncate the logs.
+fn run_recover(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut checkpoint = false;
+    for arg in args {
+        match arg.as_str() {
+            "--checkpoint" => checkpoint = true,
+            other if dir.is_none() && !other.starts_with("--") => dir = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let dir = dir.ok_or("no directory given")?;
+    let t = Instant::now();
+    let service = IndexService::open(ServiceConfig::default().with_wal(&dir))
+        .map_err(|e| format!("{dir}: {e}"))?;
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "recovered {} document(s) from {dir} in {ms:.0} ms \
+         ({} committed write(s) on record)",
+        service.doc_count(),
+        service.commit_count()
+    );
+    for id in service.doc_ids() {
+        let version = service.version_of(&id).expect("listed ids are present");
+        let nodes = service
+            .read(&id, |doc, idx| {
+                idx.verify_against(doc)
+                    .map_err(|e| format!("{id}: recovered index diverges: {e}"))?;
+                Ok::<usize, String>(doc.stats().total_nodes)
+            })
+            .expect("listed ids are present")?;
+        println!("  {id}: version {version}, {nodes} nodes, indices verified");
+    }
+    if checkpoint {
+        let t = Instant::now();
+        service.checkpoint().map_err(|e| format!("{dir}: {e}"))?;
+        println!(
+            "checkpointed and truncated the logs in {:.0} ms",
+            t.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    Ok(())
+}
+
 /// `stress`: host several synthetic documents in an [`IndexService`]
 /// and hammer it with a zipf-skewed mixed reader/writer workload from
 /// many threads, then report throughput and verify the indices.
 /// `--pipeline <depth>` switches writers from blocking `commit` to
-/// `submit` with up to `depth` tickets in flight each.
+/// `submit` with up to `depth` tickets in flight each; `--wal <dir>`
+/// makes every commit durable (group-fsynced WAL in `dir`) and
+/// checkpoints the directory once the run verifies.
 fn run_stress(args: &[String]) -> Result<(), String> {
     let mut docs_n = 8usize;
     let mut threads = 4usize;
@@ -325,6 +390,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
     let mut shards = 8usize;
     let mut seed = 42u64;
     let mut pipeline = 1usize;
+    let mut wal: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let val = |j: usize| -> Result<&String, String> {
@@ -355,6 +421,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
                     return Err("--pipeline must be at least 1".into());
                 }
             }
+            "--wal" => wal = Some(val(i + 1)?.clone()),
             other => return Err(format!("unknown stress option `{other}`")),
         }
         i += 2;
@@ -372,9 +439,20 @@ fn run_stress(args: &[String]) -> Result<(), String> {
         })
         .collect();
 
-    let service = Arc::new(IndexService::new(
-        ServiceConfig::with_shards(shards).with_max_group(group),
-    ));
+    let config = ServiceConfig::with_shards(shards).with_max_group(group);
+    let service = Arc::new(match &wal {
+        Some(dir) => {
+            let service = IndexService::open(config.with_wal(dir))
+                .map_err(|e| format!("--wal {dir}: {e}"))?;
+            println!(
+                "durable mode: group-fsync WAL in {dir} ({} document(s) recovered)",
+                service.doc_count()
+            );
+            service
+        }
+        None => IndexService::new(config),
+    });
+    let base_commits = service.commit_count();
     let t = Instant::now();
     for (i, doc) in docs.iter().enumerate() {
         service.insert_document(format!("d{i}"), doc.clone());
@@ -474,7 +552,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
         ops as f64 / elapsed.as_secs_f64()
     );
     assert_eq!(
-        service.commit_count(),
+        service.commit_count() - base_commits,
         writes as u64,
         "commit accounting diverged"
     );
@@ -489,6 +567,16 @@ fn run_stress(args: &[String]) -> Result<(), String> {
             .expect("stress documents are registered");
     }
     println!("ok");
+    if let Some(dir) = &wal {
+        let t = Instant::now();
+        service
+            .checkpoint()
+            .map_err(|e| format!("--wal {dir}: {e}"))?;
+        println!(
+            "checkpointed {dir} (logs truncated) in {:.0} ms",
+            t.elapsed().as_secs_f64() * 1000.0
+        );
+    }
     Ok(())
 }
 

@@ -53,9 +53,9 @@ pub mod prelude {
     pub use xvi_fsm::{Sct, TypedValue, XmlType};
     pub use xvi_hash::{combine, hash_str, HashValue};
     pub use xvi_index::{
-        Bounds, CardinalityEstimate, CommitReceipt, CommitTicket, DocSnapshot, IndexConfig,
-        IndexManager, IndexService, Lookup, Plan, PlannerConfig, QueryEngine, ServiceConfig,
-        ServiceSnapshot, Statistics, TransactionalStore,
+        Bounds, CardinalityEstimate, CommitReceipt, CommitTicket, DocSnapshot, Durability,
+        IndexConfig, IndexManager, IndexService, Lookup, Plan, PlannerConfig, QueryEngine,
+        ServiceConfig, ServiceSnapshot, Statistics, TransactionalStore,
     };
     pub use xvi_xml::{Document, NodeId, NodeKind};
 }

@@ -52,6 +52,15 @@ fn cow_publish_runs_at_tiny_scale() {
 }
 
 #[test]
+fn wal_runs_at_tiny_scale() {
+    // At permille 1 every document size also drops and reopens the
+    // WAL-backed service, checking recovery restores the version count
+    // and verifiable indices; the ~flat-latency claim is a
+    // release-mode property at realistic scales.
+    experiments::run_wal(1, 1);
+}
+
+#[test]
 fn planner_runs_at_tiny_scale() {
     // Every planner-experiment cell asserts that cost-based,
     // last-predicate and scan evaluations return identical results;
