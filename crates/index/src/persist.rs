@@ -44,12 +44,14 @@ const CATALOG_MAGIC_V1: &[u8; 4] = b"XVC1";
 /// version with a typed [`IndexError::CatalogVersion`] instead of
 /// mis-parsing the bytes. (Version 2 introduced the version field
 /// itself — with a new magic, so a version-1 manifest's shard count
-/// cannot alias as a version. Version 3 appends one u64 per shard
-/// after the document list: the write-ahead-log sequence number each
+/// cannot alias as a version. Version 3 appends, after the document
+/// list, one u64 per shard — the write-ahead-log sequence number each
 /// shard had reached when the images were captured, so recovery knows
-/// exactly which WAL records the checkpoint already covers. Index
-/// statistics are *rebuilt* from the bulk-loaded trees on load, not
-/// serialized.)
+/// exactly which WAL records the checkpoint already covers — and one
+/// final u64 with the total committed-transaction count at capture, so
+/// [`IndexService::commit_count`] stays monotonic across restarts.
+/// Index statistics are *rebuilt* from the bulk-loaded trees on load,
+/// not serialized.)
 const CATALOG_VERSION: u32 = 3;
 
 fn catalog_version_error(found: u32) -> io::Error {
@@ -373,12 +375,14 @@ fn remove_orphan_docs(dir: &Path, keep: usize) -> io::Result<()> {
 /// Writes one captured catalog state into `dir`: per-doc images plus
 /// the version-3 manifest (which carries `seqs`, the per-shard WAL
 /// sequence numbers the capture observed — all zeros for a service
-/// without a WAL). Shared by [`IndexService::save_catalog`] and the
-/// WAL checkpointer.
+/// without a WAL — and `commits`, the committed-transaction total at
+/// capture). Shared by [`IndexService::save_catalog`] and the WAL
+/// checkpointer.
 pub(crate) fn save_snapshot_to(
     dir: &Path,
     snap: &crate::ServiceSnapshot,
     seqs: &[u64],
+    commits: u64,
     cfg: &ServiceConfig,
 ) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -405,6 +409,7 @@ pub(crate) fn save_snapshot_to(
         for &seq in seqs {
             write_u64(manifest, seq)?;
         }
+        write_u64(manifest, commits)?;
         Ok(())
     })?;
     // The manifest now names doc0..docN-1; anything beyond that is an
@@ -423,6 +428,10 @@ pub(crate) struct Checkpoint {
     /// Per-shard WAL sequence captured when the images were saved;
     /// recovery replays only records with a larger sequence.
     pub(crate) seqs: Vec<u64>,
+    /// Total committed transactions at capture time; restore seeds
+    /// [`IndexService::commit_count`] from it so the total stays
+    /// monotonic across restarts.
+    pub(crate) commits: u64,
     /// `(id, version, document, index)` per hosted document.
     pub(crate) docs: Vec<(String, u64, Document, IndexManager)>,
 }
@@ -463,11 +472,13 @@ pub(crate) fn read_checkpoint(dir: &Path) -> io::Result<Checkpoint> {
     for _ in 0..shards {
         seqs.push(read_u64(&mut manifest)?);
     }
+    let commits = read_u64(&mut manifest)?;
     Ok(Checkpoint {
         shards,
         max_group,
         index,
         seqs,
+        commits,
         docs,
     })
 }
@@ -494,8 +505,12 @@ impl IndexService {
     ///
     /// [`ServiceSnapshot`]: crate::ServiceSnapshot
     pub fn save_catalog(&self, dir: &Path) -> io::Result<()> {
-        let (snap, seqs) = self.capture_for_checkpoint();
-        save_snapshot_to(dir, &snap, &seqs, self.config())
+        // Serialized with checkpoint(): a save into the WAL directory
+        // interleaving with a checkpoint's log truncation could
+        // otherwise leave a manifest older than the truncated logs.
+        let _serialize = self.checkpoint_guard();
+        let (snap, seqs, commits) = self.capture_for_checkpoint();
+        save_snapshot_to(dir, &snap, &seqs, commits, self.config())
     }
 
     /// Restores a service persisted by [`IndexService::save_catalog`]:
@@ -519,6 +534,7 @@ impl IndexService {
             index: cp.index,
             durability: crate::service::Durability::Ephemeral,
         });
+        service.seed_commit_count(cp.commits);
         for (id, version, doc, idx) in cp.docs {
             service.install_version(id, doc, idx, version);
         }

@@ -449,15 +449,22 @@ impl Pipeline {
 /// One shard: a slice of the document catalog plus its commit queue
 /// and (in [`Durability::Wal`] mode) its write-ahead log.
 ///
-/// Lock order, everywhere: `wal` mutex → `catalog` lock → a handle's
-/// `published` lock. The leader holds the wal mutex from the record
-/// append through the publish, which gives checkpointing its exactness
-/// guarantee: capturing `(catalog state, wal.seq)` under the wal mutex
-/// observes either none or all of every logged batch's effects.
+/// Lock order, everywhere: the service's `ckpt` mutex → `wal` mutex →
+/// `catalog` lock → a handle's `published` lock. The leader holds the
+/// wal mutex from the record append through the publish, which gives
+/// checkpointing its exactness guarantee: capturing `(catalog state,
+/// wal.seq, commit count)` under the wal mutex observes either none or
+/// all of every logged batch's effects.
 struct Shard {
     catalog: RwLock<HashMap<String, Arc<DocHandle>>>,
     pipeline: Pipeline,
     wal: Option<Mutex<ShardWal>>,
+    /// Transactions committed into this shard's documents. Kept
+    /// per-shard (the leader increments it while holding the shard's
+    /// wal mutex) so a checkpoint capture reads a count exactly
+    /// consistent with the shard's images and WAL sequence; only the
+    /// sum across shards is meaningful to callers.
+    commits: AtomicU64,
 }
 
 impl Shard {
@@ -466,6 +473,7 @@ impl Shard {
             catalog: RwLock::new(HashMap::new()),
             pipeline: Pipeline::new(),
             wal: wal.map(Mutex::new),
+            commits: AtomicU64::new(0),
         }
     }
 }
@@ -501,7 +509,12 @@ impl Shard {
 pub struct IndexService {
     shards: Vec<Shard>,
     config: ServiceConfig,
-    commits: AtomicU64,
+    /// Serializes whole checkpoint/save cycles (capture → write images
+    /// and manifest → truncate logs). Without it, two interleaved
+    /// checkpoints could truncate the logs past the manifest that ends
+    /// up on disk, leaving acked commits unrecoverable. Lock order:
+    /// this mutex strictly before any shard's wal mutex.
+    ckpt: Mutex<()>,
 }
 
 impl std::fmt::Debug for IndexService {
@@ -536,7 +549,7 @@ impl IndexService {
         IndexService {
             shards: wals.into_iter().map(Shard::new).collect(),
             config,
-            commits: AtomicU64::new(0),
+            ckpt: Mutex::new(()),
         }
     }
 
@@ -568,7 +581,7 @@ impl IndexService {
         } else {
             None
         };
-        let (config, seqs, docs) = match checkpoint {
+        let (config, seqs, docs, commits) = match checkpoint {
             Some(cp) => (
                 ServiceConfig {
                     shards: cp.shards,
@@ -578,10 +591,11 @@ impl IndexService {
                 },
                 cp.seqs,
                 cp.docs,
+                cp.commits,
             ),
             None => {
                 let shards = config.shards.max(1);
-                (config, vec![0; shards], Vec::new())
+                (config, vec![0; shards], Vec::new(), 0)
             }
         };
         let shard_count = config.shards.max(1);
@@ -599,6 +613,7 @@ impl IndexService {
             logs.push(records);
         }
         let service = IndexService::build(config, wals);
+        service.seed_commit_count(commits);
         for (id, version, doc, idx) in docs {
             service.install_version(id, doc, idx, version);
         }
@@ -651,23 +666,39 @@ impl IndexService {
                     })?;
                 version.version = publish_version;
                 drop(published);
-                self.commits.fetch_add(committed, Ordering::Relaxed);
+                self.shard_of(&doc)
+                    .commits
+                    .fetch_add(committed, Ordering::Relaxed);
             }
         }
         Ok(())
     }
 
+    /// Seeds the restored commit total (the recovery/load entry
+    /// point). Only the sum across shards is meaningful to callers, so
+    /// the whole total lands on shard 0; records replayed afterwards
+    /// add onto their own shards.
+    pub(crate) fn seed_commit_count(&self, total: u64) {
+        self.shards[0].commits.store(total, Ordering::Relaxed);
+    }
+
+    /// Serializes a whole checkpoint/save cycle; see the `ckpt` field.
+    pub(crate) fn checkpoint_guard(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.ckpt.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Captures a consistent `(catalog snapshot, per-shard WAL
-    /// sequence)` pair for checkpointing. Each shard's handles and
-    /// sequence are read under that shard's wal mutex — the same mutex
-    /// the leader holds from record append through publish — so the
-    /// captured images reflect **exactly** the records with
-    /// `seq <= seqs[shard]`: never a logged-but-unpublished batch,
-    /// never a published-but-unlogged one. (For ephemeral services the
-    /// sequences are all zero.)
-    pub(crate) fn capture_for_checkpoint(&self) -> (ServiceSnapshot, Vec<u64>) {
+    /// sequence, commit total)` triple for checkpointing. Each shard's
+    /// handles, sequence and commit counter are read under that
+    /// shard's wal mutex — the same mutex the leader holds from record
+    /// append through publish — so the captured images reflect
+    /// **exactly** the records with `seq <= seqs[shard]`: never a
+    /// logged-but-unpublished batch, never a published-but-unlogged
+    /// one. (For ephemeral services the sequences are all zero.)
+    pub(crate) fn capture_for_checkpoint(&self) -> (ServiceSnapshot, Vec<u64>, u64) {
         let mut docs: Vec<(String, Arc<SharedVersion>)> = Vec::new();
         let mut seqs = Vec::with_capacity(self.shards.len());
+        let mut commits = 0u64;
         for shard in &self.shards {
             let wal_guard = shard
                 .wal
@@ -677,9 +708,10 @@ impl IndexService {
                 docs.push((handle.id.clone(), handle.current()));
             }
             seqs.push(wal_guard.as_ref().map_or(0, |w| w.seq));
+            commits += shard.commits.load(Ordering::Relaxed);
         }
         docs.sort_by(|a, b| a.0.cmp(&b.0));
-        (ServiceSnapshot { docs }, seqs)
+        (ServiceSnapshot { docs }, seqs, commits)
     }
 
     /// Checkpoints a [`Durability::Wal`] service: saves fresh per-doc
@@ -689,6 +721,12 @@ impl IndexService {
     /// Recovery time after a checkpoint is proportional to the commits
     /// since it, not to history length.
     ///
+    /// Whole checkpoints are serialized against each other (and
+    /// against [`IndexService::save_catalog`]): without that, a slow
+    /// checkpoint could overwrite the manifest with images older than
+    /// the log suffix a faster one already truncated, losing acked
+    /// commits.
+    ///
     /// Returns [`io::ErrorKind::Unsupported`] for ephemeral services.
     pub fn checkpoint(&self) -> io::Result<()> {
         let Durability::Wal(dir) = &self.config.durability else {
@@ -697,8 +735,9 @@ impl IndexService {
                 "checkpoint requires a WAL-backed service (Durability::Wal)",
             ));
         };
-        let (snap, seqs) = self.capture_for_checkpoint();
-        crate::persist::save_snapshot_to(dir, &snap, &seqs, self.config())?;
+        let _serialize = self.checkpoint_guard();
+        let (snap, seqs, commits) = self.capture_for_checkpoint();
+        crate::persist::save_snapshot_to(dir, &snap, &seqs, commits, self.config())?;
         for (shard, &seq) in self.shards.iter().zip(&seqs) {
             let mut wal = shard
                 .wal
@@ -911,9 +950,15 @@ impl IndexService {
         Some(self.handle(doc_id)?.current().version)
     }
 
-    /// Total committed transactions across all documents.
+    /// Total committed transactions across all documents. On a
+    /// [`Durability::Wal`] service the total survives restarts: the
+    /// checkpoint manifest persists it and recovery seeds the counter
+    /// from it before replaying post-checkpoint records.
     pub fn commit_count(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.commits.load(Ordering::Relaxed))
+            .sum()
     }
 
     // ----- commits ----------------------------------------------------------
@@ -1210,7 +1255,10 @@ impl IndexService {
                     }
                     drop(published);
                     drop(catalog);
-                    self.commits.fetch_add(committed, Ordering::Relaxed);
+                    // Still under the wal mutex: the count stays
+                    // exactly consistent with the log sequence a
+                    // concurrent checkpoint capture would read.
+                    shard.commits.fetch_add(committed, Ordering::Relaxed);
                     for (_, r) in results.iter_mut() {
                         if let Ok(receipt) = r {
                             receipt.version = publish_version;
@@ -1866,6 +1914,61 @@ mod tests {
             Poll::Pending => panic!("commit published: ticket must be ready"),
         }
         assert_eq!(service.version_of("a"), Some(2));
+    }
+
+    /// A WAL fsync failure must fail the commit with a typed
+    /// `Durability` error, publish nothing, poison the shard's log so
+    /// later commits cannot append after potential garbage, and stay
+    /// invisible after recovery (the failed record must not be
+    /// resurrected as durable).
+    #[test]
+    fn wal_fsync_failure_fails_the_commit_and_poisons_the_shard() {
+        let dir = std::env::temp_dir().join(format!("xvi-svc-walfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal_config = || ServiceConfig::with_shards(1).with_wal(&dir);
+        {
+            let service = IndexService::new(wal_config());
+            service.insert_document("a", Document::parse(DOC_A).unwrap());
+            let node = service
+                .read("a", |doc, _| text_node(doc, "Arthur"))
+                .unwrap();
+            service.shards[0]
+                .wal
+                .as_ref()
+                .unwrap()
+                .lock()
+                .unwrap()
+                .fail_next_sync = true;
+            let mut txn = service.begin();
+            txn.set_value(node, "lost");
+            let err = service.commit("a", txn).unwrap_err();
+            assert!(matches!(err, IndexError::Durability(_)), "{err:?}");
+            // Nothing published: the unlogged commit never became visible.
+            assert_eq!(service.version_of("a"), Some(0));
+            assert_eq!(service.commit_count(), 0);
+            // The shard's log is poisoned: later commits fail too
+            // instead of appending records after potential garbage.
+            let mut txn = service.begin();
+            txn.set_value(node, "also-lost");
+            assert!(matches!(
+                service.commit("a", txn).unwrap_err(),
+                IndexError::Durability(_)
+            ));
+        }
+        // Recovery reopens the log: the failed commit is gone and the
+        // service accepts new commits again.
+        let recovered = IndexService::open(wal_config()).unwrap();
+        assert_eq!(recovered.version_of("a"), Some(0));
+        let node = recovered
+            .read("a", |doc, idx| {
+                assert_eq!(idx.query(doc, &Lookup::equi("Arthur")).unwrap().len(), 2);
+                text_node(doc, "Arthur")
+            })
+            .unwrap();
+        let mut txn = recovered.begin();
+        txn.set_value(node, "works");
+        assert_eq!(recovered.commit("a", txn).unwrap().version, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

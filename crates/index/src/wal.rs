@@ -25,6 +25,30 @@
 //! the end of the durable prefix: [`ShardWal::open`] truncates the
 //! file there and replay proceeds from the valid prefix only.
 //!
+//! ## Failure handling on the append side
+//!
+//! Because recovery stops at the *first* bad frame, a torn frame must
+//! never end up buried mid-file with good frames appended after it —
+//! those later records would be silently discarded even though their
+//! fsync was acknowledged. The log therefore tracks the last good
+//! frame boundary and reacts to every I/O failure:
+//!
+//! * a **failed append** (short write, `ENOSPC`, `EIO`) cuts the file
+//!   back to the last good boundary through a fresh descriptor and
+//!   reopens the append handle before any further record is accepted;
+//! * a **failed fsync poisons the log**: the kernel may have dropped
+//!   the dirty pages, and on Linux re-fsyncing the same descriptor can
+//!   falsely report success (the "fsyncgate" failure mode), so the
+//!   handle is never trusted again — every later append/sync/truncate
+//!   fails until the log is reopened (which re-scans the file). The
+//!   suffix whose fsync failed was reported *not durable* to its
+//!   committers, so it is also scrubbed off the file (best effort,
+//!   through a fresh descriptor) lest recovery resurrect a commit that
+//!   was reported as failed;
+//! * a checkpoint rewrite that fails after its rename may have left
+//!   the append handle on the unlinked inode, so it poisons the log
+//!   too rather than appending records that no open() would ever see.
+//!
 //! ## Crash safety of the files themselves
 //!
 //! Appends go to a pre-existing file, so only `File::sync_data` is
@@ -159,13 +183,23 @@ struct RawFrame {
 fn scan(bytes: &[u8]) -> (Vec<RawFrame>, usize) {
     let mut frames = Vec::new();
     let mut off = 0usize;
-    while let Some(header) = bytes.get(off..off + 8) {
+    // `len` comes from untrusted file bytes and can be up to u32::MAX:
+    // all bounds are checked arithmetic so a huge length is an
+    // explicit torn tail, not a usize wraparound (which on 32-bit
+    // targets would only accidentally degrade to the same outcome).
+    while let Some(payload_start) = off.checked_add(8) {
+        let Some(header) = bytes.get(off..payload_start) else {
+            break;
+        };
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if len < MIN_PAYLOAD {
             break;
         }
-        let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
+        let Some(end) = payload_start.checked_add(len) else {
+            break;
+        };
+        let Some(payload) = bytes.get(payload_start..end) else {
             break;
         };
         if crc32(payload) != crc {
@@ -177,10 +211,10 @@ fn scan(bytes: &[u8]) -> (Vec<RawFrame>, usize) {
         frames.push(RawFrame {
             seq,
             start: off,
-            end: off + 8 + len,
+            end,
             record,
         });
-        off += 8 + len;
+        off = end;
     }
     (frames, off)
 }
@@ -192,6 +226,29 @@ pub(crate) struct ShardWal {
     path: PathBuf,
     /// Sequence number of the last record appended (or recovered).
     pub(crate) seq: u64,
+    /// Logical end of the log: the offset just past the last frame
+    /// that was appended whole. A failed append cuts the file back to
+    /// this boundary before anything else is accepted, so a torn frame
+    /// can never end up buried under later records.
+    len: u64,
+    /// Prefix confirmed durable by the last successful [`ShardWal::sync`].
+    /// A failed fsync scrubs the file back to this boundary: everything
+    /// past it was reported *not* durable to its committers.
+    synced_len: u64,
+    /// Set when the log can no longer be trusted (unrepairable append,
+    /// any fsync failure, a half-swapped checkpoint rewrite). Every
+    /// later durable operation fails with this message until the log
+    /// is reopened via [`ShardWal::open`], which re-scans the file.
+    poisoned: Option<String>,
+    /// Test-only fault injection: the next appended frame is cut off
+    /// after this many bytes and the write reports failure.
+    #[cfg(test)]
+    pub(crate) fail_append_after: Option<usize>,
+    /// Test-only fault injection: the next sync skips the fsync and
+    /// reports failure (the appended bytes stay in the file, modelling
+    /// "the data may have reached disk anyway").
+    #[cfg(test)]
+    pub(crate) fail_next_sync: bool,
 }
 
 fn wal_path(dir: &Path, shard: usize) -> PathBuf {
@@ -226,22 +283,88 @@ impl ShardWal {
             fsync_dir(dir)?;
         }
         let records = frames.into_iter().map(|f| (f.seq, f.record)).collect();
-        Ok((records, ShardWal { file, path, seq }))
+        Ok((
+            records,
+            ShardWal {
+                file,
+                path,
+                seq,
+                len: valid_len as u64,
+                synced_len: valid_len as u64,
+                poisoned: None,
+                #[cfg(test)]
+                fail_append_after: None,
+                #[cfg(test)]
+                fail_next_sync: false,
+            },
+        ))
+    }
+
+    fn check_usable(&self) -> io::Result<()> {
+        match &self.poisoned {
+            Some(msg) => Err(io::Error::other(format!(
+                "shard WAL poisoned, reopen to recover: {msg}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        #[cfg(test)]
+        if let Some(cut) = self.fail_append_after.take() {
+            let cut = cut.min(frame.len());
+            self.file.write_all(&frame[..cut])?;
+            return Err(io::Error::other("injected append fault"));
+        }
+        self.file.write_all(frame)
+    }
+
+    /// A failed append may have left a torn frame past `self.len`.
+    /// Cuts the file back to the last good frame boundary (through a
+    /// fresh descriptor — the failed one may be wedged) and reopens
+    /// the append handle; if the cut itself fails, the log is poisoned
+    /// so nothing can ever be appended after the garbage.
+    fn rewind_torn_append(&mut self, cause: &io::Error) {
+        let repaired = (|| -> io::Result<()> {
+            let f = OpenOptions::new().write(true).open(&self.path)?;
+            f.set_len(self.len)?;
+            f.sync_all()?;
+            self.file = OpenOptions::new().append(true).open(&self.path)?;
+            Ok(())
+        })();
+        if let Err(e) = repaired {
+            self.poisoned = Some(format!(
+                "append failed ({cause}) and the torn frame could not be cut off ({e})"
+            ));
+        }
     }
 
     fn append_payload(&mut self, payload: &[u8]) -> io::Result<u64> {
+        self.check_usable()?;
         let mut frame = Vec::with_capacity(payload.len() + 8);
-        write_u32(&mut frame, payload.len() as u32)?;
+        write_u32(
+            &mut frame,
+            crate::persist::checked_u32(payload.len(), "WAL payload length")?,
+        )?;
         write_u32(&mut frame, crc32(payload))?;
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.write_frame(&frame) {
+            self.rewind_torn_append(&e);
+            return Err(e);
+        }
+        // Only now does the record exist: a failed append consumes
+        // neither log space nor a sequence number.
+        self.len += frame.len() as u64;
+        self.seq += 1;
         Ok(self.seq)
     }
 
-    fn payload_header(&mut self, tag: u8) -> io::Result<Vec<u8>> {
-        self.seq += 1;
+    /// Starts a payload for the record that would carry the *next*
+    /// sequence number; [`ShardWal::append_payload`] claims the number
+    /// only once the frame is fully in the file.
+    fn payload_header(&self, tag: u8) -> io::Result<Vec<u8>> {
         let mut payload = Vec::new();
-        write_u64(&mut payload, self.seq)?;
+        write_u64(&mut payload, self.seq + 1)?;
         payload.push(tag);
         Ok(payload)
     }
@@ -289,14 +412,51 @@ impl ShardWal {
     }
 
     /// The group fsync: one durable barrier per coalesced batch.
+    ///
+    /// A failure here **poisons the log** (see the module docs): the
+    /// error is reported to every committer of the batch as
+    /// not-durable, the un-acked suffix is scrubbed off the file so
+    /// recovery cannot resurrect it, and no further append/sync
+    /// succeeds on this handle — the caller must reopen to recover.
     pub(crate) fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.check_usable()?;
+        #[cfg(test)]
+        let result = if std::mem::take(&mut self.fail_next_sync) {
+            Err(io::Error::other("injected fsync fault"))
+        } else {
+            self.file.sync_data()
+        };
+        #[cfg(not(test))]
+        let result = self.file.sync_data();
+        match result {
+            Ok(()) => {
+                self.synced_len = self.len;
+                Ok(())
+            }
+            Err(e) => {
+                // Best effort: the suffix past `synced_len` was just
+                // reported NOT durable, but its pages may have reached
+                // disk before the failure — truncate it away through a
+                // fresh descriptor (the failed one can falsely ack a
+                // retried fsync) so a commit reported as failed is not
+                // replayed as durable on recovery.
+                let _ = (|| -> io::Result<()> {
+                    let f = OpenOptions::new().write(true).open(&self.path)?;
+                    f.set_len(self.synced_len)?;
+                    f.sync_all()
+                })();
+                self.len = self.synced_len;
+                self.poisoned = Some(format!("fsync failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// Drops every record with `seq <= keep_after` (they are covered
     /// by a checkpoint image) by atomically rewriting the log with the
     /// kept suffix: tmp sibling → fsync → rename → directory fsync.
     pub(crate) fn truncate_through(&mut self, keep_after: u64) -> io::Result<()> {
+        self.check_usable()?;
         let bytes = std::fs::read(&self.path)?;
         let (frames, _) = scan(&bytes);
         let mut kept = Vec::new();
@@ -311,21 +471,39 @@ impl ShardWal {
             .ok_or_else(|| bad("WAL path has no parent directory"))?
             .to_path_buf();
         let tmp = self.path.with_extension("log.tmp");
-        let result = (|| -> io::Result<()> {
+        // Stage the kept suffix first: a failure here leaves the live
+        // log (and the append handle) completely untouched.
+        if let Err(e) = (|| -> io::Result<()> {
             let mut f = File::create(&tmp)?;
             f.write_all(&kept)?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, &self.path)?;
-            fsync_dir(&dir)
-        })();
-        if result.is_err() {
+            f.sync_all()
+        })() {
             let _ = std::fs::remove_file(&tmp);
-            return result;
+            return Err(e);
         }
-        // Re-point the append handle at the new file (the rename left
-        // the old handle on the unlinked inode).
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
-        Ok(())
+        // Swap it in and re-point the append handle at the new file
+        // (the rename leaves the old handle on the unlinked inode). A
+        // failure anywhere in the swap poisons the log: the handle may
+        // now point at an inode no future open() will ever read, so
+        // appending further records would silently lose them.
+        let swapped = (|| -> io::Result<()> {
+            std::fs::rename(&tmp, &self.path)?;
+            fsync_dir(&dir)?;
+            self.file = OpenOptions::new().append(true).open(&self.path)?;
+            Ok(())
+        })();
+        match swapped {
+            Ok(()) => {
+                self.len = kept.len() as u64;
+                self.synced_len = self.len;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.poisoned = Some(format!("checkpoint log rewrite failed mid-swap: {e}"));
+                Err(e)
+            }
+        }
     }
 }
 
@@ -443,6 +621,90 @@ mod tests {
         let seqs: Vec<u64> = records.iter().map(|(s, _)| *s).collect();
         assert_eq!(seqs, vec![4, 5, 6]);
         assert_eq!(wal.seq, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A failed append (at every torn prefix length) must leave the
+    /// file at the last good frame boundary, consume no sequence
+    /// number, and keep the log usable — later records land after the
+    /// good prefix, never after buried garbage.
+    #[test]
+    fn failed_append_is_cut_off_and_the_log_stays_usable() {
+        let dir = scratch("append-fault");
+        let (_, mut wal) = ShardWal::open(&dir, 0).unwrap();
+        wal.append_remove("before").unwrap();
+        wal.sync().unwrap();
+        let clean_len = std::fs::metadata(wal_path(&dir, 0)).unwrap().len();
+        for torn in 0..(clean_len as usize + 8) {
+            wal.fail_append_after = Some(torn);
+            let err = wal.append_remove("torn").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Other, "cut at {torn}");
+            assert_eq!(
+                std::fs::metadata(wal_path(&dir, 0)).unwrap().len(),
+                clean_len,
+                "torn frame (cut at {torn}) must be physically gone"
+            );
+        }
+        assert_eq!(
+            wal.seq, 1,
+            "failed appends must not consume sequence numbers"
+        );
+        wal.append_remove("after").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (records, wal) = ShardWal::open(&dir, 0).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                (
+                    1,
+                    WalRecord::Remove {
+                        doc: "before".into()
+                    }
+                ),
+                (
+                    2,
+                    WalRecord::Remove {
+                        doc: "after".into()
+                    }
+                ),
+            ]
+        );
+        assert_eq!(wal.seq, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A failed fsync poisons the log — every later durable operation
+    /// fails until reopen — and scrubs the un-acked suffix, so a
+    /// record whose sync was reported as failed is never replayed as
+    /// durable.
+    #[test]
+    fn failed_fsync_poisons_the_log_and_scrubs_the_unacked_suffix() {
+        let dir = scratch("sync-fault");
+        let (_, mut wal) = ShardWal::open(&dir, 0).unwrap();
+        wal.append_remove("durable").unwrap();
+        wal.sync().unwrap();
+        wal.append_remove("unacked").unwrap();
+        wal.fail_next_sync = true;
+        assert!(wal.sync().is_err());
+        // Poisoned: appends, syncs and checkpoint rewrites all refuse.
+        assert!(wal.append_remove("later").is_err());
+        assert!(wal.sync().is_err());
+        assert!(wal.truncate_through(0).is_err());
+        drop(wal);
+
+        let (records, _) = ShardWal::open(&dir, 0).unwrap();
+        assert_eq!(
+            records,
+            vec![(
+                1,
+                WalRecord::Remove {
+                    doc: "durable".into()
+                }
+            )],
+            "the record whose fsync failed must not be resurrected"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -203,6 +203,120 @@ fn checkpoint_truncates_the_log_and_recovery_stacks_replay_on_it() {
     assert_eq!(recovered.version_of("doc"), Some(3));
 }
 
+/// The global commit total is part of the durable state: the manifest
+/// persists it at checkpoint/save time and recovery seeds the counter
+/// from it before replaying post-checkpoint records — so the count
+/// stays monotonic across restarts instead of resetting to the
+/// post-checkpoint replay length.
+#[test]
+fn commit_count_survives_checkpoint_and_restart() {
+    let scratch = ScratchDir::new("commit-count");
+    {
+        let service = IndexService::new(wal_config(&scratch.0));
+        service.insert_document("doc", Document::parse(DOC).unwrap());
+        let nodes = service.read("doc", |doc, _| text_nodes(doc)).unwrap();
+        for (i, value) in ["one", "two", "three"].iter().enumerate() {
+            let mut txn = service.begin();
+            txn.set_value(nodes[i], *value);
+            service.commit("doc", txn).unwrap();
+        }
+        assert_eq!(service.commit_count(), 3);
+        service.checkpoint().unwrap();
+        let mut txn = service.begin();
+        txn.set_value(nodes[3], "four");
+        service.commit("doc", txn).unwrap();
+        assert_eq!(service.commit_count(), 4);
+    }
+    // 3 commits live only in the checkpoint images, 1 only in the log.
+    let recovered = IndexService::open(wal_config(&scratch.0)).unwrap();
+    assert_eq!(recovered.commit_count(), 4);
+    // A further checkpoint folds everything into the manifest; the
+    // total still survives a restart off an empty log.
+    recovered.checkpoint().unwrap();
+    drop(recovered);
+    let again = IndexService::open(wal_config(&scratch.0)).unwrap();
+    assert_eq!(again.commit_count(), 4);
+}
+
+/// Checkpoints racing each other (and racing live commits) must never
+/// leave the directory in a state that loses acked commits: whole
+/// checkpoint cycles are serialized, so the manifest on disk always
+/// covers at least the log suffix that was truncated away.
+#[test]
+fn concurrent_checkpoints_and_commits_recover_every_acked_commit() {
+    use std::sync::Arc;
+
+    let scratch = ScratchDir::new("ckpt-race");
+    let commits_per_writer = 30usize;
+    let writers = 3usize;
+    {
+        let service = Arc::new(IndexService::new(wal_config(&scratch.0)));
+        service.insert_document("doc", Document::parse(DOC).unwrap());
+        let nodes = service.read("doc", |doc, _| text_nodes(doc)).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let checkpointers: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        service.checkpoint().unwrap();
+                    }
+                })
+            })
+            .collect();
+        let committers: Vec<_> = (0..writers)
+            .map(|w| {
+                let service = Arc::clone(&service);
+                let nodes = nodes.clone();
+                std::thread::spawn(move || {
+                    for c in 0..commits_per_writer {
+                        let mut txn = service.begin();
+                        txn.set_value(nodes[w], format!("w{w}c{c}"));
+                        service.commit("doc", txn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in committers {
+            h.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in checkpointers {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            service.commit_count(),
+            (writers * commits_per_writer) as u64
+        );
+    }
+    // Every acked commit must be recoverable from checkpoint + log.
+    let recovered = IndexService::open(wal_config(&scratch.0)).unwrap();
+    assert_eq!(
+        recovered.commit_count(),
+        (writers * commits_per_writer) as u64
+    );
+    assert_eq!(
+        recovered.version_of("doc"),
+        Some((writers * commits_per_writer) as u64)
+    );
+    // Each writer owned one leaf and wrote its final value last.
+    recovered
+        .read("doc", |doc, idx| {
+            idx.verify_against(doc).unwrap();
+            for w in 0..writers {
+                let wanted = format!("w{w}c{}", commits_per_writer - 1);
+                assert!(
+                    !idx.query(doc, &xvi_index::Lookup::equi(wanted.as_str()))
+                        .unwrap()
+                        .is_empty(),
+                    "writer {w}'s final value {wanted:?} must survive recovery"
+                );
+            }
+        })
+        .unwrap();
+}
+
 #[test]
 fn insert_and_remove_records_replay() {
     let scratch = ScratchDir::new("insert-remove");
