@@ -11,7 +11,10 @@
 //! last-predicate plans on multi-predicate XMark queries. Pass `wal`
 //! to run the durability sweep ([`xvi_bench::experiments::run_wal`]):
 //! durable-commit latency vs. document size, group-fsync WAL vs.
-//! per-commit full-image saves.
+//! per-commit full-image saves. Pass `aggregates` to run the exact-
+//! aggregate sweep ([`xvi_bench::experiments::run_aggregates`]):
+//! monoid-summary `count_range` vs. histogram estimate vs. full scan,
+//! with identical answers asserted.
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -22,9 +25,11 @@ fn main() {
         "cow" => xvi_bench::experiments::run_cow(permille, reps),
         "planner" => xvi_bench::experiments::run_planner(permille, reps),
         "wal" => xvi_bench::experiments::run_wal(permille, reps),
+        "aggregates" => xvi_bench::experiments::run_aggregates(permille, reps),
         other => {
             eprintln!(
-                "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, `planner`, or `wal`)"
+                "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, `planner`, \
+                 `wal`, or `aggregates`)"
             );
             std::process::exit(2);
         }

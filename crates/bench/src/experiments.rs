@@ -949,6 +949,138 @@ pub fn run_planner(permille: u32, reps: usize) {
     );
 }
 
+/// Exact aggregates from the monoid summaries: `count_range` against
+/// the histogram estimate and the full index scan, on XMark range and
+/// equality probes of varying selectivity.
+///
+/// Every exact count is asserted identical to the scan's answer, and
+/// the probe counter is asserted within its `2·depth + 1` budget —
+/// the benchmark doubles as an end-to-end correctness gate for the
+/// summary maintenance under a real document's tree shapes.
+pub fn run_aggregates(permille: u32, reps: usize) {
+    println!(
+        "Aggregates — exact count_range (monoid summaries) vs. histogram \
+         estimate vs. full scan (scale {permille}‰, {reps} reps)\n"
+    );
+
+    let (_, doc) = load(Dataset::XMark(1), permille);
+    let idx = IndexManager::build(&doc, IndexConfig::default());
+    let typed = idx.typed_index(XmlType::Double).expect("double index");
+    let string = idx.string_index().expect("string index");
+    let depth = typed.value_tree_stats().depth;
+
+    // Range probes from near-everything down to near-nothing, plus two
+    // equality probes (a common value and an absent one).
+    let ranges: &[(&str, f64, f64)] = &[
+        ("range all", f64::NEG_INFINITY, f64::INFINITY),
+        ("range wide", 0.0, 10_000.0),
+        ("range mid", 50.0, 500.0),
+        ("range narrow", 100.0, 102.5),
+        ("range empty", 9e15, 9.1e15),
+    ];
+
+    let table = Table::new(&[
+        ("Probe", 14),
+        ("answer", 10),
+        ("hist est", 10),
+        ("probes", 8),
+        ("exact µs", 10),
+        ("hist µs", 10),
+        ("scan µs", 10),
+        ("vs scan", 9),
+    ]);
+
+    let us = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e6);
+    let mut headline = 0.0f64;
+
+    for (i, &(name, lo, hi)) in ranges.iter().enumerate() {
+        let bounds = xvi_index::Bounds::from_range(lo..=hi);
+        let truth = typed.range(lo..=hi).len();
+        let (exact, probes) = typed.count_range_probed(&bounds);
+        assert_eq!(exact, truth, "{name}: exact count disagrees with scan");
+        assert!(
+            probes <= 2 * depth + 1,
+            "{name}: {probes} probes exceeds 2·{depth}+1"
+        );
+        let hist = typed.histogram_estimate_range(&bounds);
+        assert!(
+            hist.lower <= truth && truth <= hist.upper,
+            "{name}: histogram bounds [{}, {}] miss {truth}",
+            hist.lower,
+            hist.upper
+        );
+
+        let exact_t = time_mean(reps, |_| {
+            std::hint::black_box(typed.estimate_range(&bounds));
+        });
+        let hist_t = time_mean(reps, |_| {
+            std::hint::black_box(typed.histogram_estimate_range(&bounds));
+        });
+        let scan_t = time_mean(reps, |_| {
+            std::hint::black_box(typed.range(lo..=hi).len());
+        });
+        let vs_scan = scan_t.as_secs_f64() / exact_t.as_secs_f64();
+        if i == 0 {
+            headline = vs_scan;
+        }
+        table.row(&[
+            name.to_string(),
+            exact.to_string(),
+            hist.estimate.to_string(),
+            probes.to_string(),
+            us(exact_t),
+            us(hist_t),
+            us(scan_t),
+            format!("{vs_scan:.1}x"),
+        ]);
+    }
+
+    // Equality probes against the string tree.
+    let numbers = string.len();
+    for (name, value) in [("equi common", "1"), ("equi absent", "no such value")] {
+        let hash = xvi_hash::hash_str(value);
+        let truth = string.candidates(hash).len();
+        let exact = string.estimate_equi(hash);
+        assert_eq!(exact.estimate, truth, "{name}: exact equi count diverged");
+        assert_eq!((exact.lower, exact.upper), (truth, truth));
+        let hist = string.histogram_estimate_equi(hash);
+        assert!(
+            hist.lower <= truth && truth <= hist.upper,
+            "{name}: histogram bounds miss the truth"
+        );
+
+        let exact_t = time_mean(reps, |_| {
+            std::hint::black_box(string.estimate_equi(hash));
+        });
+        let hist_t = time_mean(reps, |_| {
+            std::hint::black_box(string.histogram_estimate_equi(hash));
+        });
+        let scan_t = time_mean(reps, |_| {
+            std::hint::black_box(string.candidates(hash).len());
+        });
+        table.row(&[
+            name.to_string(),
+            exact.estimate.to_string(),
+            hist.estimate.to_string(),
+            "-".to_string(),
+            us(exact_t),
+            us(hist_t),
+            us(scan_t),
+            format!("{:.1}x", scan_t.as_secs_f64() / exact_t.as_secs_f64()),
+        ]);
+    }
+
+    println!(
+        "\nHeadline (widest range, exact count over materialised scan):\n\
+         {headline:.1}x on {numbers} indexed strings — the summary walk visits\n\
+         at most 2·depth+1 = {budget} nodes regardless of how many entries the\n\
+         range covers, where the scan's cost is the answer itself. The\n\
+         histogram column is the PR 5 estimate the summaries replace for\n\
+         tree-backed probes: bounded, but only exact for heavy hitters.",
+        budget = 2 * depth + 1
+    );
+}
+
 /// Executes a workload against the service on `threads` barrier-
 /// synchronised worker threads, blocking until all operations finish.
 pub fn drive(service: &Arc<IndexService>, workload: ConcurrentWorkload, threads: usize) {

@@ -9,9 +9,10 @@
 //! point updates behave identically to an insert-built tree.
 
 use crate::node::{Node, NIL};
+use crate::summary::Summary;
 use crate::tree::BPlusTree;
 
-impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+impl<K: Ord + Clone + std::hash::Hash, V: Clone> BPlusTree<K, V> {
     /// Builds a tree from strictly increasing `(key, value)` pairs
     /// using [`crate::DEFAULT_ORDER`].
     ///
@@ -129,8 +130,16 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                 let group = &level[i..i + take];
                 let children: Vec<u32> = group.iter().map(|(id, _)| *id).collect();
                 let keys: Vec<K> = group[1..].iter().map(|(_, k)| k.clone()).collect();
+                // Children were built bottom-up and are final, so their
+                // summaries can be folded up right here.
+                let summaries: Vec<Summary<K>> =
+                    children.iter().map(|&c| tree.node_summary(c)).collect();
                 let first = group[0].1.clone();
-                let id = tree.alloc_node(Node::Internal { keys, children });
+                let id = tree.alloc_node(Node::Internal {
+                    keys,
+                    children,
+                    summaries,
+                });
                 next.push((id, first));
                 i += take;
             }

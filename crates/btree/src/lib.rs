@@ -15,7 +15,16 @@
 //!   cloning a tree is O(pages) pointer bumps and mutating the clone
 //!   copies only the touched pages — the substrate that makes the
 //!   index service's snapshot publishes proportional to the touched
-//!   set instead of the document size.
+//!   set instead of the document size,
+//! * **monoid summaries in interior nodes** ([`Summary`]): every
+//!   interior node stores, per child, the exact entry count, min/max
+//!   key and order-sensitive key-sequence hash of that child's
+//!   subtree, maintained through every mutation path. This buys exact
+//!   [`BPlusTree::count_range`] cardinalities in O(log n) node visits,
+//!   an O(fan-out) [`BPlusTree::subtree_hash`] for structural
+//!   comparison, and O(log n + Δ) snapshot diffs
+//!   ([`BPlusTree::diff_keys`]). Keys must therefore implement
+//!   [`std::hash::Hash`].
 //!
 //! Duplicate logical keys (e.g. many nodes sharing one hash value) are
 //! handled the way databases usually do it: with composite keys such as
@@ -28,8 +37,10 @@ mod bulk;
 mod iter;
 mod node;
 mod page;
+mod summary;
 mod tree;
 
 pub use iter::Range;
 pub use page::{PagedVec, PAGE_SIZE};
+pub use summary::{key_hash, Summary};
 pub use tree::{BPlusTree, TreeStats, DEFAULT_ORDER};

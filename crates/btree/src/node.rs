@@ -1,5 +1,7 @@
 //! Arena node representation.
 
+use crate::summary::Summary;
+
 /// Sentinel "null" node id inside the arena.
 pub(crate) const NIL: u32 = u32::MAX;
 
@@ -10,7 +12,17 @@ pub(crate) const NIL: u32 = u32::MAX;
 pub(crate) enum Node<K, V> {
     /// Inner routing node: `keys.len() + 1 == children.len()`, and
     /// `keys[i]` is the smallest key reachable under `children[i + 1]`.
-    Internal { keys: Vec<K>, children: Vec<u32> },
+    /// `summaries[i]` is the maintained monoid summary of the whole
+    /// subtree under `children[i]` (see [`crate::Summary`]); every
+    /// mutation path repairs the affected slots on its way back up.
+    /// Storing the summary *per child* (rather than one per node) is
+    /// what lets `count_range` credit a fully-covered child without
+    /// ever visiting it.
+    Internal {
+        keys: Vec<K>,
+        children: Vec<u32>,
+        summaries: Vec<Summary<K>>,
+    },
     /// Leaf node holding the actual entries plus sibling links.
     Leaf {
         keys: Vec<K>,

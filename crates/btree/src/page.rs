@@ -15,6 +15,12 @@
 //! few ten-thousand page counters, and a subsequent point insert
 //! copies only the handful of pages on the root-to-leaf path.
 //!
+//! Detached pages are **bit-identical copies** of the shared page, so
+//! any derived data stored inside the slots — in particular the
+//! per-child monoid summaries of B+tree interior nodes — remains valid
+//! across a detach; only the mutation that triggered the detach has to
+//! repair the summaries along its own descent path.
+//!
 //! ```
 //! use xvi_btree::PagedVec;
 //!

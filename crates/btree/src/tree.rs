@@ -1,11 +1,14 @@
 //! The B+tree proper: lookup, insert with splits, delete with
-//! borrow/merge rebalancing, and structural statistics.
+//! borrow/merge rebalancing, monoid-summary maintenance, exact range
+//! aggregates, snapshot diffing, and structural statistics.
 
-use std::ops::RangeBounds;
+use std::hash::Hash;
+use std::ops::{Bound, RangeBounds};
 
 use crate::iter::Range;
 use crate::node::{Node, NIL};
 use crate::page::PagedVec;
+use crate::summary::Summary;
 
 /// Default maximum number of keys per node.
 ///
@@ -68,15 +71,19 @@ pub struct TreeStats {
     /// Freed arena slots awaiting reuse; [`BPlusTree::shrink_to_fit`]
     /// compacts them away.
     pub free_slots: usize,
+    /// The root [`Summary`] hash — an order-sensitive hash of the full
+    /// key sequence, equal iff (modulo 64-bit collisions) two trees
+    /// hold the same keys. See [`BPlusTree::subtree_hash`].
+    pub root_hash: u64,
 }
 
-impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+impl<K: Ord + Clone + Hash, V: Clone> Default for BPlusTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+impl<K: Ord + Clone + Hash, V: Clone> BPlusTree<K, V> {
     /// Creates an empty tree with [`DEFAULT_ORDER`].
     pub fn new() -> Self {
         Self::with_order(DEFAULT_ORDER)
@@ -230,7 +237,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         let mut id = self.root;
         loop {
             match self.node(id) {
-                Node::Internal { keys, children } => id = children[Self::route(keys, key)],
+                Node::Internal { keys, children, .. } => id = children[Self::route(keys, key)],
                 Node::Leaf { .. } => return id,
                 Node::Free => unreachable!("descended into a freed node"),
             }
@@ -269,9 +276,12 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         let (old, split) = self.insert_rec(self.root, key, value);
         if let Some((sep, right)) = split {
             let old_root = self.root;
+            let left_sum = self.node_summary(old_root);
+            let right_sum = self.node_summary(right);
             self.root = self.alloc(Node::Internal {
                 keys: vec![sep],
                 children: vec![old_root, right],
+                summaries: vec![left_sum, right_sum],
             });
         }
         if old.is_none() {
@@ -283,7 +293,10 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
     fn insert_rec(&mut self, id: u32, key: K, value: V) -> (Option<V>, Option<(K, u32)>) {
         // Route first with a short-lived borrow, recurse, then mutate.
         let child = match self.node(id) {
-            Node::Internal { keys, children } => Some(children[Self::route(keys, &key)]),
+            Node::Internal { keys, children, .. } => {
+                let i = Self::route(keys, &key);
+                Some((children[i], i))
+            }
             Node::Leaf { .. } => None,
             Node::Free => unreachable!(),
         };
@@ -307,16 +320,28 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                 let split = overflow.then(|| self.split_leaf(id));
                 (None, split)
             }
-            Some(child_id) => {
+            Some((child_id, routed)) => {
                 let (old, child_split) = self.insert_rec(child_id, key, value);
                 let split = if let Some((sep, new_child)) = child_split {
+                    // Summaries of both halves are computed before the
+                    // parent borrow; the split child keeps its slot,
+                    // the new right sibling goes just after it.
+                    let child_sum = self.node_summary(child_id);
+                    let new_sum = self.node_summary(new_child);
                     let overflow = {
                         let order = self.order;
                         match self.node_mut(id) {
-                            Node::Internal { keys, children } => {
+                            Node::Internal {
+                                keys,
+                                children,
+                                summaries,
+                            } => {
                                 let i = keys.partition_point(|k| k < &sep);
+                                debug_assert_eq!(children[i], child_id, "split slot mismatch");
                                 keys.insert(i, sep);
                                 children.insert(i + 1, new_child);
+                                summaries[i] = child_sum;
+                                summaries.insert(i + 1, new_sum);
                                 keys.len() > order
                             }
                             _ => unreachable!(),
@@ -324,6 +349,13 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     };
                     overflow.then(|| self.split_internal(id))
                 } else {
+                    if old.is_none() {
+                        // A fresh key changed the child's key sequence.
+                        // (Replace-only inserts leave keys — and hence
+                        // summaries — untouched, keeping the parent
+                        // page attached on the COW fast path.)
+                        self.refresh_child_summary(id, routed);
+                    }
                     None
                 };
                 (old, split)
@@ -363,19 +395,25 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
 
     /// Splits an overflowing internal node; the middle key moves up.
     fn split_internal(&mut self, id: u32) -> (K, u32) {
-        let (sep, up_keys, up_children) = match self.node_mut(id) {
-            Node::Internal { keys, children } => {
+        let (sep, up_keys, up_children, up_summaries) = match self.node_mut(id) {
+            Node::Internal {
+                keys,
+                children,
+                summaries,
+            } => {
                 let mid = keys.len() / 2;
                 let up_keys = keys.split_off(mid + 1);
                 let sep = keys.pop().expect("mid key exists");
                 let up_children = children.split_off(mid + 1);
-                (sep, up_keys, up_children)
+                let up_summaries = summaries.split_off(mid + 1);
+                (sep, up_keys, up_children, up_summaries)
             }
             _ => unreachable!(),
         };
         let new_id = self.alloc(Node::Internal {
             keys: up_keys,
             children: up_children,
+            summaries: up_summaries,
         });
         (sep, new_id)
     }
@@ -386,7 +424,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         if removed.is_some() {
             self.len -= 1;
             // Collapse a root that lost its last separator.
-            if let Node::Internal { keys, children } = self.node(self.root) {
+            if let Node::Internal { keys, children, .. } = self.node(self.root) {
                 if keys.is_empty() {
                     let only_child = children[0];
                     let old_root = self.root;
@@ -400,7 +438,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
 
     fn remove_rec(&mut self, id: u32, key: &K) -> Option<V> {
         let child = match self.node(id) {
-            Node::Internal { keys, children } => {
+            Node::Internal { keys, children, .. } => {
                 let idx = Self::route(keys, key);
                 Some((children[idx], idx))
             }
@@ -421,8 +459,14 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
             },
             Some((child_id, idx)) => {
                 let out = self.remove_rec(child_id, key);
-                if out.is_some() && self.node(child_id).key_count() < self.min_keys() {
-                    self.rebalance(id, idx);
+                if out.is_some() {
+                    // Repair the stored summary before any rebalance
+                    // reads sibling shapes; rebalance re-repairs the
+                    // slots it moves entries across.
+                    self.refresh_child_summary(id, idx);
+                    if self.node(child_id).key_count() < self.min_keys() {
+                        self.rebalance(id, idx);
+                    }
                 }
                 out
             }
@@ -475,6 +519,34 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         }
     }
 
+    /// Recomputes the stored summary of `children[idx]` under `parent`
+    /// from that child's own state (leaf keys, or its stored per-child
+    /// summaries — O(fan-out) either way).
+    fn refresh_child_summary(&mut self, parent: u32, idx: usize) {
+        let child = match self.node(parent) {
+            Node::Internal { children, .. } => children[idx],
+            _ => unreachable!("summary refresh on a non-internal parent"),
+        };
+        let s = self.node_summary(child);
+        match self.node_mut(parent) {
+            Node::Internal { summaries, .. } => summaries[idx] = s,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The combined summary of the subtree rooted at `id`. For a leaf
+    /// this folds the keys; for an internal node it folds the *stored*
+    /// per-child summaries — never the subtree itself.
+    pub(crate) fn node_summary(&self, id: u32) -> Summary<K> {
+        match self.node(id) {
+            Node::Leaf { keys, .. } => Summary::of_sorted_keys(keys),
+            Node::Internal { summaries, .. } => summaries
+                .iter()
+                .fold(Summary::empty(), |acc, s| acc.combine(s)),
+            Node::Free => unreachable!("summary of a freed node"),
+        }
+    }
+
     fn borrow_from_left(&mut self, parent: u32, idx: usize) {
         let (left_id, child_id) = match self.node(parent) {
             Node::Internal { children, .. } => (children[idx - 1], children[idx]),
@@ -517,12 +589,19 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     Node::Internal {
                         keys: lk,
                         children: lc,
+                        summaries: ls,
                     },
-                    Node::Internal { children: cc, .. },
+                    Node::Internal {
+                        children: cc,
+                        summaries: cs,
+                        ..
+                    },
                 ) => {
                     let rotated_key = lk.pop().expect("left internal has spare key");
                     let rotated_child = lc.pop().expect("left internal has spare child");
+                    let rotated_sum = ls.pop().expect("summaries parallel children");
                     cc.insert(0, rotated_child);
+                    cs.insert(0, rotated_sum);
                     Rot::Internal(rotated_key)
                 }
                 _ => unreachable!("siblings are at the same level"),
@@ -540,6 +619,9 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                 }
             }
         }
+        // One entry crossed the sibling boundary: both slots changed.
+        self.refresh_child_summary(parent, idx - 1);
+        self.refresh_child_summary(parent, idx);
     }
 
     fn borrow_from_right(&mut self, parent: u32, idx: usize) {
@@ -571,14 +653,20 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     Rot::Leaf(rk[0].clone())
                 }
                 (
-                    Node::Internal { children: cc, .. },
+                    Node::Internal {
+                        children: cc,
+                        summaries: cs,
+                        ..
+                    },
                     Node::Internal {
                         keys: rk,
                         children: rc,
+                        summaries: rs,
                     },
                 ) => {
                     let rotated_key = rk.remove(0);
                     cc.push(rc.remove(0));
+                    cs.push(rs.remove(0));
                     Rot::Internal(rotated_key)
                 }
                 _ => unreachable!("siblings are at the same level"),
@@ -596,15 +684,23 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                 }
             }
         }
+        // One entry crossed the sibling boundary: both slots changed.
+        self.refresh_child_summary(parent, idx);
+        self.refresh_child_summary(parent, idx + 1);
     }
 
     /// Merges `children[i + 1]` into `children[i]` under `parent`,
     /// removing the separator `keys[i]`.
     fn merge(&mut self, parent: u32, i: usize) {
         let (left_id, right_id, sep) = match self.node_mut(parent) {
-            Node::Internal { keys, children } => {
+            Node::Internal {
+                keys,
+                children,
+                summaries,
+            } => {
                 let sep = keys.remove(i);
                 let right_id = children.remove(i + 1);
+                summaries.remove(i + 1);
                 (children[i], right_id, sep)
             }
             _ => unreachable!(),
@@ -636,15 +732,18 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     Node::Internal {
                         keys: lk,
                         children: lc,
+                        summaries: ls,
                     },
                     Node::Internal {
                         keys: rk,
                         children: rc,
+                        summaries: rs,
                     },
                 ) => {
                     lk.push(sep);
                     lk.append(rk);
                     lc.append(rc);
+                    ls.append(rs);
                     None
                 }
                 _ => unreachable!("siblings are at the same level"),
@@ -656,6 +755,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
             }
         }
         self.dealloc(right_id);
+        self.refresh_child_summary(parent, i);
     }
 
     /// In-order range scan. Bounds behave like `BTreeMap::range`.
@@ -697,6 +797,181 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         *self = Self::with_order(order);
     }
 
+    // ----- monoid summaries: exact aggregates and structural diff ----------
+
+    /// The maintained [`Summary`] of the whole tree: exact entry
+    /// count, min/max key, and the order-sensitive key-sequence hash.
+    /// O(fan-out of the root), not O(n).
+    pub fn summary(&self) -> Summary<K> {
+        self.node_summary(self.root)
+    }
+
+    /// The order-sensitive hash of the full key sequence. Two trees
+    /// with equal `subtree_hash` hold the same keys in the same order
+    /// (modulo 64-bit hash collisions) regardless of node shape,
+    /// order, or arena layout — the comparison handle for snapshot
+    /// verification and [`BPlusTree::diff_keys`]. Values are *not*
+    /// covered: they can change through [`BPlusTree::get_mut`] without
+    /// the tree observing it, so no maintained value hash could be
+    /// sound.
+    pub fn subtree_hash(&self) -> u64 {
+        self.summary().hash
+    }
+
+    /// Exact number of entries whose keys fall within `bounds`, in
+    /// O(log n) node visits: children of a visited node whose stored
+    /// `[min, max]` lies entirely inside the bounds contribute their
+    /// stored count without being visited; only the (at most two)
+    /// boundary seams descend. Agrees with
+    /// `self.range(bounds).count()` for every bound shape, including
+    /// empty and reversed bounds (which yield 0, not a panic).
+    pub fn count_range<R: RangeBounds<K>>(&self, bounds: R) -> usize {
+        self.count_range_probed(bounds).0
+    }
+
+    /// [`BPlusTree::count_range`] plus the number of nodes actually
+    /// visited — the probe counter the O(log n) claim is pinned by
+    /// (`probes <= 2 * depth + 1`).
+    pub fn count_range_probed<R: RangeBounds<K>>(&self, bounds: R) -> (usize, usize) {
+        let lo = bounds.start_bound();
+        let hi = bounds.end_bound();
+        let mut probes = 0usize;
+        let count = self.count_range_rec(self.root, lo, hi, &mut probes);
+        (count as usize, probes)
+    }
+
+    /// Whether `key` lies below the start bound.
+    fn below_lo(key: &K, lo: Bound<&K>) -> bool {
+        match lo {
+            Bound::Unbounded => false,
+            Bound::Included(b) => key < b,
+            Bound::Excluded(b) => key <= b,
+        }
+    }
+
+    /// Whether `key` lies above the end bound.
+    fn above_hi(key: &K, hi: Bound<&K>) -> bool {
+        match hi {
+            Bound::Unbounded => false,
+            Bound::Included(b) => key > b,
+            Bound::Excluded(b) => key >= b,
+        }
+    }
+
+    fn count_range_rec(&self, id: u32, lo: Bound<&K>, hi: Bound<&K>, probes: &mut usize) -> u64 {
+        *probes += 1;
+        match self.node(id) {
+            Node::Leaf { keys, .. } => {
+                let start = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(b) => keys.partition_point(|k| k < b),
+                    Bound::Excluded(b) => keys.partition_point(|k| k <= b),
+                };
+                let end = match hi {
+                    Bound::Unbounded => keys.len(),
+                    Bound::Included(b) => keys.partition_point(|k| k <= b),
+                    Bound::Excluded(b) => keys.partition_point(|k| k < b),
+                };
+                end.saturating_sub(start) as u64
+            }
+            Node::Internal {
+                children,
+                summaries,
+                ..
+            } => {
+                let mut total = 0u64;
+                for (i, s) in summaries.iter().enumerate() {
+                    let Some((min, max)) = &s.keys else { continue };
+                    if Self::above_hi(min, hi) || Self::below_lo(max, lo) {
+                        continue; // disjoint: skipped, not visited
+                    }
+                    if !Self::below_lo(min, lo) && !Self::above_hi(max, hi) {
+                        total += s.count; // fully covered: credited blind
+                    } else {
+                        total += self.count_range_rec(children[i], lo, hi, probes);
+                    }
+                }
+                total
+            }
+            Node::Free => unreachable!("descended into a freed node"),
+        }
+    }
+
+    /// Symmetric difference of the key sets of two trees, plus the
+    /// total number of nodes visited across both.
+    ///
+    /// Runs a sorted merge over both trees' cursors, but whenever both
+    /// cursors stand at the start of subtrees with equal summaries
+    /// (count, min/max, *and* sequence hash), the largest such pair is
+    /// skipped wholesale without entering it. Between two snapshot
+    /// versions related by k point mutations this visits O(log n + Δ)
+    /// nodes — essentially the COW-detached write paths plus the two
+    /// spines — instead of O(n). Node shape may differ freely between
+    /// the trees (splits, merges, compaction); only key content
+    /// matters. Equality of subtrees is judged by the 64-bit combined
+    /// hash, so the result is exact modulo hash collisions.
+    pub fn diff_keys(&self, other: &BPlusTree<K, V>) -> (Vec<K>, usize) {
+        let mut a = DiffCursor::new(self);
+        let mut b = DiffCursor::new(other);
+        let mut out = Vec::new();
+        loop {
+            if a.at_end() && b.at_end() {
+                break;
+            }
+            if a.at_end() {
+                out.push(b.key().clone());
+                b.advance();
+                continue;
+            }
+            if b.at_end() {
+                out.push(a.key().clone());
+                a.advance();
+                continue;
+            }
+            // Prune: the largest pair of here-starting subtrees with
+            // identical summaries covers an identical key run in both
+            // trees, so the merge can hop over both at once.
+            let ca = a.candidates();
+            if !ca.is_empty() {
+                let cb = b.candidates();
+                if !cb.is_empty() {
+                    let sb: Vec<Summary<K>> =
+                        cb.iter().map(|&(_, id)| other.node_summary(id)).collect();
+                    let mut pruned = false;
+                    'outer: for &(ja, ida) in &ca {
+                        let sa = self.node_summary(ida);
+                        for (j, &(jb, _)) in cb.iter().enumerate() {
+                            if sa == sb[j] {
+                                a.skip_to_next_subtree(ja);
+                                b.skip_to_next_subtree(jb);
+                                pruned = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if pruned {
+                        continue;
+                    }
+                }
+            }
+            match a.key().cmp(b.key()) {
+                std::cmp::Ordering::Less => {
+                    out.push(a.key().clone());
+                    a.advance();
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b.key().clone());
+                    b.advance();
+                }
+                std::cmp::Ordering::Equal => {
+                    a.advance();
+                    b.advance();
+                }
+            }
+        }
+        (out, a.probes + b.probes)
+    }
+
     /// Structural statistics for storage accounting.
     pub fn stats(&self) -> TreeStats {
         let mut leaves = 0;
@@ -730,6 +1005,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
             pages: self.nodes.page_count(),
             shared_pages: self.nodes.shared_pages(),
             free_slots: self.free.len(),
+            root_hash: self.subtree_hash(),
         }
     }
 
@@ -753,6 +1029,11 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         if self.free.is_empty() {
             return;
         }
+        #[cfg(debug_assertions)]
+        let before = {
+            let s = self.stats();
+            (self.summary(), s.len, s.leaves, s.internals)
+        };
         // New id = old id minus the freed slots before it.
         let mut map = vec![NIL; self.nodes.len()];
         let mut next = 0u32;
@@ -767,9 +1048,16 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         for n in self.nodes.iter() {
             match n {
                 Node::Free => {}
-                Node::Internal { keys, children } => packed.push(Node::Internal {
+                // Summaries describe subtree *contents*, not arena
+                // ids, so they survive the remap verbatim.
+                Node::Internal {
+                    keys,
+                    children,
+                    summaries,
+                } => packed.push(Node::Internal {
                     keys: keys.clone(),
                     children: children.iter().map(|&c| remap(c, &map)).collect(),
+                    summaries: summaries.clone(),
                 }),
                 Node::Leaf {
                     keys,
@@ -788,6 +1076,24 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         self.first_leaf = remap(self.first_leaf, &map);
         self.nodes = packed;
         self.free.clear();
+        // Compaction must be content-neutral: same entries in the same
+        // order, same root summary, same live-node population.
+        #[cfg(debug_assertions)]
+        {
+            let s = self.stats();
+            debug_assert!(
+                before.0 == self.summary(),
+                "shrink_to_fit changed the root summary"
+            );
+            debug_assert!(
+                before.1 == self.iter().count(),
+                "shrink_to_fit changed the entry count"
+            );
+            debug_assert!(
+                (before.2, before.3) == (s.leaves, s.internals),
+                "shrink_to_fit changed the live node population"
+            );
+        }
     }
 
     /// Rough heap footprint of the live tree structure, in bytes.
@@ -804,10 +1110,15 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                         + keys.len() * std::mem::size_of::<K>()
                         + values.len() * std::mem::size_of::<V>();
                 }
-                Node::Internal { keys, children } => {
+                Node::Internal {
+                    keys,
+                    children,
+                    summaries,
+                } => {
                     bytes += NODE_HEADER
                         + keys.len() * std::mem::size_of::<K>()
-                        + children.len() * std::mem::size_of::<u32>();
+                        + children.len() * std::mem::size_of::<u32>()
+                        + summaries.len() * std::mem::size_of::<Summary<K>>();
                 }
                 Node::Free => {}
             }
@@ -815,13 +1126,15 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         bytes
     }
 
-    /// Verifies every structural invariant; returns a description of
-    /// the first violation. Used by the test suite after mutation
-    /// sequences — not on any hot path.
+    /// Verifies every structural invariant — including that every
+    /// interior node's stored per-child summaries are byte-identical
+    /// to a from-scratch recompute of the child subtrees; returns a
+    /// description of the first violation. Used by the test suite
+    /// after mutation sequences — not on any hot path.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut leaf_entries = Vec::new();
         let mut leaf_order = Vec::new();
-        self.check_node(
+        let (_, root_summary) = self.check_node(
             self.root,
             None,
             None,
@@ -829,6 +1142,12 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
             &mut leaf_entries,
             &mut leaf_order,
         )?;
+        let expect = leaf_entries
+            .iter()
+            .fold(Summary::empty(), |acc, k| acc.combine(&Summary::of_key(k)));
+        if root_summary != expect {
+            return Err("root summary disagrees with entry-by-entry recompute".into());
+        }
 
         if leaf_entries.len() != self.len {
             return Err(format!(
@@ -878,7 +1197,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         is_root: bool,
         leaf_entries: &mut Vec<K>,
         leaf_order: &mut Vec<u32>,
-    ) -> Result<usize, String> {
+    ) -> Result<(usize, Summary<K>), String> {
         match self.node(id) {
             Node::Free => Err(format!("reached freed node {id}")),
             Node::Leaf { keys, values, .. } => {
@@ -905,11 +1224,18 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     leaf_entries.push(k.clone());
                 }
                 leaf_order.push(id);
-                Ok(1)
+                Ok((1, Summary::of_sorted_keys(keys)))
             }
-            Node::Internal { keys, children } => {
+            Node::Internal {
+                keys,
+                children,
+                summaries,
+            } => {
                 if children.len() != keys.len() + 1 {
                     return Err(format!("internal {id}: children/keys arity mismatch"));
+                }
+                if summaries.len() != children.len() {
+                    return Err(format!("internal {id}: summaries/children arity mismatch"));
                 }
                 if !is_root && keys.len() < self.min_keys() {
                     return Err(format!("internal {id}: underfull ({} keys)", keys.len()));
@@ -926,6 +1252,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     }
                 }
                 let mut depth = None;
+                let mut combined = Summary::empty();
                 for (i, &child) in children.iter().enumerate() {
                     let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
                     let hi = if i == keys.len() {
@@ -933,15 +1260,171 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
                     } else {
                         Some(&keys[i])
                     };
-                    let d = self.check_node(child, lo, hi, false, leaf_entries, leaf_order)?;
+                    let (d, child_summary) =
+                        self.check_node(child, lo, hi, false, leaf_entries, leaf_order)?;
                     if let Some(expect) = depth {
                         if d != expect {
                             return Err(format!("internal {id}: uneven child depths"));
                         }
                     }
                     depth = Some(d);
+                    // The stored summary must be byte-identical to the
+                    // bottom-up recompute of the child's subtree.
+                    if summaries[i] != child_summary {
+                        return Err(format!("internal {id}: stale stored summary for child {i}"));
+                    }
+                    combined = combined.combine(&child_summary);
                 }
-                Ok(depth.expect("internal node has children") + 1)
+                Ok((depth.expect("internal node has children") + 1, combined))
+            }
+        }
+    }
+}
+
+/// A stack-based in-order position inside one tree, able to report the
+/// maximal subtrees that *start* at the current key (the prune
+/// candidates of [`BPlusTree::diff_keys`]) and to hop over one of them
+/// in O(1) pops + one descent.
+struct DiffCursor<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    /// Root-to-leaf path as `(internal node id, child index taken)`.
+    path: Vec<(u32, usize)>,
+    /// Current leaf, or `NIL` once exhausted.
+    leaf: u32,
+    /// Current key index within the leaf.
+    idx: usize,
+    /// Nodes visited (every descent step counts once).
+    probes: usize,
+}
+
+impl<'a, K: Ord + Clone + Hash, V: Clone> DiffCursor<'a, K, V> {
+    fn new(tree: &'a BPlusTree<K, V>) -> Self {
+        let mut c = DiffCursor {
+            tree,
+            path: Vec::new(),
+            leaf: NIL,
+            idx: 0,
+            probes: 0,
+        };
+        c.descend(tree.root);
+        c.normalize();
+        c
+    }
+
+    fn at_end(&self) -> bool {
+        self.leaf == NIL
+    }
+
+    fn key(&self) -> &'a K {
+        match self.tree.node(self.leaf) {
+            Node::Leaf { keys, .. } => &keys[self.idx],
+            _ => unreachable!("cursor leaf is a leaf"),
+        }
+    }
+
+    fn leaf_len(&self) -> usize {
+        match self.tree.node(self.leaf) {
+            Node::Leaf { keys, .. } => keys.len(),
+            _ => unreachable!("cursor leaf is a leaf"),
+        }
+    }
+
+    /// Pushes the path down to the leftmost leaf under `id`.
+    fn descend(&mut self, mut id: u32) {
+        loop {
+            self.probes += 1;
+            match self.tree.node(id) {
+                Node::Internal { children, .. } => {
+                    self.path.push((id, 0));
+                    id = children[0];
+                }
+                Node::Leaf { .. } => {
+                    self.leaf = id;
+                    self.idx = 0;
+                    return;
+                }
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// If the leaf is exhausted, climbs to the next unvisited sibling
+    /// subtree (or exhausts the cursor). Leaves are never empty except
+    /// the lone root leaf of an empty tree, which exhausts here.
+    fn normalize(&mut self) {
+        while self.leaf != NIL && self.idx >= self.leaf_len() {
+            loop {
+                match self.path.pop() {
+                    None => {
+                        self.leaf = NIL;
+                        return;
+                    }
+                    Some((node, ci)) => {
+                        let next_child = match self.tree.node(node) {
+                            Node::Internal { children, .. } => {
+                                (ci + 1 < children.len()).then(|| children[ci + 1])
+                            }
+                            _ => unreachable!(),
+                        };
+                        if let Some(child) = next_child {
+                            self.path.push((node, ci + 1));
+                            self.descend(child);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        self.idx += 1;
+        self.normalize();
+    }
+
+    /// The subtrees whose key runs start exactly at the current key,
+    /// largest first, as `(path depth, subtree root id)`. Depth
+    /// `path.len()` denotes the current leaf itself; smaller depths
+    /// denote ancestors reached through child index 0 all the way
+    /// down. Empty unless the cursor stands at a leaf's first key.
+    fn candidates(&self) -> Vec<(usize, u32)> {
+        if self.at_end() || self.idx != 0 {
+            return Vec::new();
+        }
+        let mut start = self.path.len();
+        while start > 0 && self.path[start - 1].1 == 0 {
+            start -= 1;
+        }
+        let mut out: Vec<(usize, u32)> = (start..self.path.len())
+            .map(|j| (j, self.path[j].0))
+            .collect();
+        out.push((self.path.len(), self.leaf));
+        out
+    }
+
+    /// Hops over the candidate subtree at path depth `j` (as returned
+    /// by [`DiffCursor::candidates`]) to the next key after it.
+    fn skip_to_next_subtree(&mut self, j: usize) {
+        self.path.truncate(j);
+        loop {
+            match self.path.pop() {
+                None => {
+                    self.leaf = NIL;
+                    return;
+                }
+                Some((node, ci)) => {
+                    let next_child = match self.tree.node(node) {
+                        Node::Internal { children, .. } => {
+                            (ci + 1 < children.len()).then(|| children[ci + 1])
+                        }
+                        _ => unreachable!(),
+                    };
+                    if let Some(child) = next_child {
+                        self.path.push((node, ci + 1));
+                        self.descend(child);
+                        return;
+                    }
+                }
             }
         }
     }

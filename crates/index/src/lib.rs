@@ -67,7 +67,9 @@ pub use service::{
     CommitReceipt, CommitTicket, DocId, DocSnapshot, Durability, IndexService, ServiceConfig,
     ServiceSnapshot,
 };
-pub use stats::{CardinalityEstimate, EquiHistogram, QGramTable, Statistics, ValueHistogram};
+pub use stats::{
+    CardinalityEstimate, EquiHistogram, QGramTable, RootSummary, Statistics, ValueHistogram,
+};
 pub use string_index::StringIndex;
 pub use substring::SubstringIndex;
 pub use txn::{Transaction, TransactionalStore};

@@ -11,7 +11,7 @@ use crate::config::IndexConfig;
 use crate::create::index_subtree;
 use crate::error::IndexError;
 use crate::lookup::{Bounds, Lookup, QueryResult};
-use crate::stats::{CardinalityEstimate, Statistics};
+use crate::stats::{CardinalityEstimate, RootSummary, Statistics};
 use crate::string_index::StringIndex;
 use crate::substring::SubstringIndex;
 use crate::typed_index::TypedIndex;
@@ -232,11 +232,16 @@ impl IndexManager {
 
     /// Estimates how many candidate nodes evaluating `lookup` would
     /// produce, answered purely from the maintained per-index
-    /// statistics (no document access, no probe). The same lookups
+    /// structures (no document access, no probe). The same lookups
     /// that [`IndexManager::query`] rejects are rejected here with the
     /// same typed errors.
     ///
-    /// For value probes the returned [`CardinalityEstimate`] carries
+    /// Tree-backed lookups — [`Lookup::Equi`], [`Lookup::RangeF64`],
+    /// [`Lookup::TypedEq`], [`Lookup::TypedRange`] — are answered
+    /// **exactly** (`lower == estimate == upper`) in O(log n) node
+    /// visits from the B+trees' interior monoid summaries; for `Equi`
+    /// the count covers hash-matching *candidates*, before string
+    /// verification. Substring lookups keep their histogram-derived
     /// guaranteed `[lower, upper]` bounds around the point estimate —
     /// the contract the statistics-maintenance property tests pin
     /// down, and what [`QueryEngine`](crate::QueryEngine) ranks
@@ -283,7 +288,10 @@ impl IndexManager {
     }
 
     /// A point-in-time snapshot of every configured index's
-    /// statistics (histograms are small; this clones them).
+    /// statistics (histograms are small; this clones them), plus the
+    /// root monoid summary of each tree-backed index — the exact entry
+    /// count and key-sequence hash that make "did anything change?"
+    /// an O(1) comparison between two snapshots.
     pub fn statistics(&self) -> Statistics {
         Statistics {
             string: self.string.as_ref().map(|s| s.statistics().clone()),
@@ -293,6 +301,23 @@ impl IndexManager {
                 .map(|t| (t.xml_type(), t.statistics().clone()))
                 .collect(),
             substring: self.substring.as_ref().map(|s| s.statistics().clone()),
+            string_root: self.string.as_ref().map(|s| RootSummary {
+                entries: s.len(),
+                hash: s.root_hash(),
+            }),
+            typed_roots: self
+                .typed
+                .iter()
+                .map(|t| {
+                    (
+                        t.xml_type(),
+                        RootSummary {
+                            entries: t.stored_values(),
+                            hash: t.root_hash(),
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 

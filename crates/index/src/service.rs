@@ -932,8 +932,10 @@ impl IndexService {
     }
 
     /// Estimates the candidate cardinality of `lookup` against
-    /// `doc_id`'s committed state, from the maintained statistics —
-    /// the service-level twin of [`IndexManager::estimate`].
+    /// `doc_id`'s committed state — the service-level twin of
+    /// [`IndexManager::estimate`]: **exact** for tree-backed lookups
+    /// (answered from the B+trees' monoid summaries), bounded for
+    /// substring probes.
     pub fn estimate(
         &self,
         doc_id: &str,
@@ -1332,8 +1334,9 @@ impl DocSnapshot {
     }
 
     /// Estimates the candidate cardinality of `lookup` against this
-    /// version, from the maintained per-index statistics (see
-    /// [`IndexManager::estimate`]).
+    /// version (see [`IndexManager::estimate`]): exact for tree-backed
+    /// lookups, bounded for substring probes. Because the version is
+    /// immutable, the answer cannot drift under concurrent commits.
     pub fn estimate(&self, lookup: &Lookup) -> Result<CardinalityEstimate, IndexError> {
         self.inner.idx.estimate(lookup)
     }

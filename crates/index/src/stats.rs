@@ -683,6 +683,26 @@ pub struct Statistics {
     pub typed: Vec<(xvi_fsm::XmlType, ValueHistogram)>,
     /// Trigram frequency table, if configured.
     pub substring: Option<QGramTable>,
+    /// Root monoid summary of the string equi-index's B+tree, if
+    /// configured: exact entry count + key-sequence hash.
+    pub string_root: Option<RootSummary>,
+    /// Root monoid summary of each configured typed index's value
+    /// tree, parallel to `typed`.
+    pub typed_roots: Vec<(xvi_fsm::XmlType, RootSummary)>,
+}
+
+/// The root of a B+tree's maintained monoid-summary hierarchy: the
+/// exact number of stored entries and the order-sensitive hash of the
+/// full key sequence (see `xvi_btree::Summary`). Equal summaries mean
+/// — with ordinary 64-bit hash confidence — identical indexed content,
+/// which makes this the cheap "has anything changed?" probe between
+/// two snapshot versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootSummary {
+    /// Exact entry count of the tree (`Summary::count` at the root).
+    pub entries: usize,
+    /// Order-sensitive hash of the tree's full key sequence.
+    pub hash: u64,
 }
 
 #[cfg(test)]

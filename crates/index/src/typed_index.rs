@@ -23,6 +23,10 @@ use crate::lookup::Bounds;
 use crate::stats::{CardinalityEstimate, ValueHistogram};
 use crate::util::OrdF64;
 
+/// One end-inclusive/exclusive bound pair over the composite
+/// `(value, node)` key space of the value tree.
+type CompositeBounds = (Bound<(OrdF64, u32)>, Bound<(OrdF64, u32)>);
+
 /// Per-node entry in the node-keyed tree, packed to 12 bytes: the
 /// paper stores "[value, state, node id]" tuples and stresses that a
 /// state costs one byte; NaN (unrepresentable in the lexical space)
@@ -212,8 +216,11 @@ impl TypedIndex {
         self.set(node, None, None);
     }
 
-    /// Nodes whose typed value lies within the bounds, in value order.
-    pub fn range<R: std::ops::RangeBounds<f64>>(&self, bounds: R) -> Vec<NodeId> {
+    /// Maps an `f64` range onto the composite `(value, node)` key
+    /// space: an included value covers all its node ids, an excluded
+    /// value covers none of them. Shared by scans and exact counts so
+    /// the two can never disagree on the key population.
+    fn composite_bounds<R: std::ops::RangeBounds<f64>>(bounds: &R) -> CompositeBounds {
         let lo = match bounds.start_bound() {
             Bound::Unbounded => Bound::Unbounded,
             Bound::Included(&v) => Bound::Included((OrdF64(v), 0)),
@@ -224,8 +231,13 @@ impl TypedIndex {
             Bound::Included(&v) => Bound::Included((OrdF64(v), u32::MAX)),
             Bound::Excluded(&v) => Bound::Excluded((OrdF64(v), 0)),
         };
+        (lo, hi)
+    }
+
+    /// Nodes whose typed value lies within the bounds, in value order.
+    pub fn range<R: std::ops::RangeBounds<f64>>(&self, bounds: R) -> Vec<NodeId> {
         self.value_tree
-            .range((lo, hi))
+            .range(Self::composite_bounds(&bounds))
             .map(|(&(_, n), ())| NodeId::from_index(n as usize))
             .collect()
     }
@@ -255,11 +267,36 @@ impl TypedIndex {
         &self.hist
     }
 
-    /// Estimated entry count of a range probe, answered from the
-    /// maintained [`ValueHistogram`] — interior buckets exactly, the
-    /// straddling buckets with guaranteed bounds.
+    /// **Exact** entry count of a range probe, answered in O(log n)
+    /// node visits from the value tree's interior monoid summaries
+    /// (see [`BPlusTree::count_range`]) — the count equals
+    /// `self.range(bounds).len()` without materialising the scan.
     pub fn estimate_range(&self, bounds: &Bounds) -> CardinalityEstimate {
+        CardinalityEstimate::exact(self.value_tree.count_range(Self::composite_bounds(bounds)))
+    }
+
+    /// [`TypedIndex::estimate_range`] plus the number of tree nodes
+    /// visited to answer it (≤ `2·depth + 1`) — the benchmark's probe
+    /// accounting.
+    pub fn count_range_probed(&self, bounds: &Bounds) -> (usize, usize) {
+        self.value_tree
+            .count_range_probed(Self::composite_bounds(bounds))
+    }
+
+    /// The pre-summary estimate for the same probe, answered from the
+    /// maintained [`ValueHistogram`] — interior buckets exactly, the
+    /// straddling buckets with guaranteed bounds. Kept as a comparison
+    /// baseline (and exercised by the `aggregates` benchmark);
+    /// [`TypedIndex::estimate_range`] is strictly better.
+    pub fn histogram_estimate_range(&self, bounds: &Bounds) -> CardinalityEstimate {
         self.hist.estimate_range(bounds)
+    }
+
+    /// Order-sensitive hash of the value tree's full `(value, node)`
+    /// key sequence, maintained in the root's monoid summaries; equal
+    /// hashes mean (with 64-bit confidence) identical indexed values.
+    pub fn root_hash(&self) -> u64 {
+        self.value_tree.subtree_hash()
     }
 
     /// Storage statistics of the value tree.

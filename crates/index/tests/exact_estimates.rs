@@ -1,0 +1,215 @@
+//! The exact-estimate contract, end to end: every tree-backed lookup
+//! flavor (`Equi`, `RangeF64`, `TypedEq`, `TypedRange`) now answers
+//! `estimate()` **exactly** — `lower == estimate == upper` — straight
+//! from the B+trees' interior monoid summaries, and the number must
+//! agree with what actually evaluating the lookup returns. The
+//! agreement is checked at the manager level, through the service's
+//! threaded group-commit pipeline, and across copy-on-write pinned
+//! snapshots that outlive later commits.
+//!
+//! Non-tree-backed flavors are regression-pinned to their PR 5
+//! semantics: substring estimates keep guaranteed (not necessarily
+//! tight) `[lower, upper]` bounds around the truth, and XPath keeps
+//! its deliberately vacuous `[0, usize::MAX]`.
+
+use std::sync::{Arc, Barrier};
+
+use xvi_hash::hash_str;
+use xvi_index::{
+    Document, IndexConfig, IndexManager, IndexService, Lookup, NodeId, ServiceConfig, XmlType,
+};
+use xvi_xml::NodeKind;
+
+fn config() -> IndexConfig {
+    IndexConfig::default().with_substring_index()
+}
+
+fn build_doc(n: usize) -> Document {
+    let mut xml = String::from("<r>");
+    for i in 0..n {
+        // A mix of doubles (i, with repeats every 10) and non-numeric
+        // strings, so both the typed and string trees have content.
+        if i % 3 == 0 {
+            xml.push_str(&format!("<v>word{}</v>", i % 7));
+        } else {
+            xml.push_str(&format!("<v>{}</v>", i % 10));
+        }
+    }
+    xml.push_str("</r>");
+    Document::parse(&xml).unwrap()
+}
+
+fn text_nodes(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.document_node())
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Text(_)))
+        .collect()
+}
+
+/// The tree-backed lookups the exactness contract covers.
+fn tree_backed_lookups() -> Vec<Lookup> {
+    vec![
+        Lookup::equi("3"),
+        Lookup::equi("word2"),
+        Lookup::equi("no such value"),
+        Lookup::range_f64(2.0..7.0),
+        Lookup::range_f64(..),
+        Lookup::range_f64(100.0..200.0),
+        Lookup::typed_eq(XmlType::Double, 4.0),
+        Lookup::typed_range(XmlType::Double, 3.0..=8.0),
+    ]
+}
+
+/// Asserts the exactness contract for one tree-backed lookup against
+/// a manager: collapsed bounds, and agreement with evaluation. For
+/// `Equi` the population is the *candidate* set (hash matches before
+/// string verification) — the same contract `query` filters down from.
+fn assert_exact(idx: &IndexManager, doc: &Document, lookup: &Lookup) {
+    let est = idx.estimate(lookup).unwrap();
+    assert_eq!(est.lower, est.estimate, "collapsed bounds for {lookup:?}");
+    assert_eq!(est.upper, est.estimate, "collapsed bounds for {lookup:?}");
+    let truth = match lookup {
+        Lookup::Equi(v) => idx
+            .string_index()
+            .expect("string index configured")
+            .candidates(hash_str(v))
+            .len(),
+        _ => idx.query(doc, lookup).unwrap().len(),
+    };
+    assert_eq!(est.estimate, truth, "estimate != evaluation for {lookup:?}");
+}
+
+#[test]
+fn manager_estimates_are_exact_for_tree_backed_lookups() {
+    let doc = build_doc(120);
+    let idx = IndexManager::build(&doc, config());
+    for lookup in tree_backed_lookups() {
+        assert_exact(&idx, &doc, &lookup);
+    }
+}
+
+#[test]
+fn estimates_stay_exact_across_threaded_commits() {
+    let doc = build_doc(90);
+    let nodes = text_nodes(&doc);
+    let service = Arc::new(IndexService::new(
+        ServiceConfig::with_shards(2)
+            .with_max_group(4)
+            .with_index(config()),
+    ));
+    service.insert_document("doc", doc);
+
+    // Eight threads rewrite disjoint slices of the leaves through the
+    // group-commit pipeline.
+    let threads = 8usize;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let mine: Vec<NodeId> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % threads == t)
+                .map(|(_, &n)| n)
+                .collect();
+            std::thread::spawn(move || {
+                let mut txn = service.begin();
+                for (j, node) in mine.into_iter().enumerate() {
+                    if j % 2 == 0 {
+                        txn.set_value(node, format!("{}", (t + j) % 12));
+                    } else {
+                        txn.set_value(node, format!("word{}", (t + j) % 5));
+                    }
+                }
+                barrier.wait();
+                service.commit("doc", txn).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("committer panicked");
+    }
+
+    let snap = service.snapshot("doc").unwrap();
+    for lookup in tree_backed_lookups() {
+        assert_exact(snap.index(), snap.document(), &lookup);
+    }
+}
+
+#[test]
+fn pinned_snapshot_keeps_its_own_exact_counts() {
+    let doc = build_doc(60);
+    let nodes = text_nodes(&doc);
+    let service = IndexService::new(ServiceConfig::with_shards(1).with_index(config()));
+    service.insert_document("doc", doc);
+
+    let pinned = service.snapshot("doc").unwrap();
+    let pinned_counts: Vec<usize> = tree_backed_lookups()
+        .iter()
+        .map(|l| pinned.estimate(l).unwrap().estimate)
+        .collect();
+
+    // Rewrite every leaf to a value none of the probes match; the
+    // copy-on-write pages under the pinned snapshot must keep serving
+    // its original, still-exact counts.
+    let mut txn = service.begin();
+    for &n in &nodes {
+        txn.set_value(n, "drifted".to_string());
+    }
+    service.commit("doc", txn).unwrap();
+
+    for (lookup, &before) in tree_backed_lookups().iter().zip(&pinned_counts) {
+        let est = pinned.estimate(lookup).unwrap();
+        assert_eq!(est.estimate, before, "pinned count drifted for {lookup:?}");
+        assert_exact(pinned.index(), pinned.document(), lookup);
+    }
+
+    // The new committed version sees the rewrite — and is exact on it.
+    // (Both the text node and its `<v>` parent hash to "drifted", so
+    // the candidate population is twice the leaf count.)
+    let fresh = service.snapshot("doc").unwrap();
+    assert_eq!(
+        fresh.estimate(&Lookup::equi("drifted")).unwrap().estimate,
+        2 * nodes.len()
+    );
+    for lookup in tree_backed_lookups() {
+        assert_exact(fresh.index(), fresh.document(), &lookup);
+    }
+    assert_eq!(
+        fresh
+            .estimate(&Lookup::range_f64(2.0..7.0))
+            .unwrap()
+            .estimate,
+        0,
+        "no numeric leaves remain"
+    );
+}
+
+#[test]
+fn non_tree_backed_flavors_keep_their_bounded_contract() {
+    let doc = build_doc(120);
+    let idx = IndexManager::build(&doc, config());
+
+    // Substring: guaranteed bounds around the truth, not exactness.
+    for lookup in [Lookup::contains("word"), Lookup::wildcard("*ord*")] {
+        let est = idx.estimate(&lookup).unwrap();
+        let truth = idx.query(&doc, &lookup).unwrap().len();
+        assert!(
+            est.lower <= truth && truth <= est.upper,
+            "{lookup:?}: {truth} outside [{}, {}]",
+            est.lower,
+            est.upper
+        );
+    }
+
+    // An absent trigram is provably absent: upper bound zero.
+    let absent = idx.estimate(&Lookup::contains("zzqqxx")).unwrap();
+    assert_eq!(absent.upper, 0);
+
+    // XPath keeps its vacuous plan-work bounds.
+    let xpath = idx
+        .estimate(&Lookup::xpath("//v[. = \"3\"]").unwrap())
+        .unwrap();
+    assert_eq!(xpath.lower, 0);
+    assert_eq!(xpath.upper, usize::MAX);
+}

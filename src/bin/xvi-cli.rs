@@ -282,8 +282,8 @@ fn run_stats_cmd(args: &[String]) -> Result<(), String> {
 fn tree_line(label: &str, t: xvi::btree::TreeStats) {
     println!(
         "  {label}: {} entries, depth {}, {} leaves / {} internals, \
-         {} pages ({} shared, {} free slots)",
-        t.len, t.depth, t.leaves, t.internals, t.pages, t.shared_pages, t.free_slots
+         {} pages ({} shared, {} free slots), root hash {:016x}",
+        t.len, t.depth, t.leaves, t.internals, t.pages, t.shared_pages, t.free_slots, t.root_hash
     );
 }
 
@@ -302,6 +302,12 @@ fn print_statistics(idx: &IndexManager) {
             xvi::index::EquiHistogram::HEAVY_MIN
         );
         tree_line("hash tree", s.tree_stats());
+        if let Some(r) = stats.string_root {
+            println!(
+                "  root summary: {} entries, sequence hash {:016x}",
+                r.entries, r.hash
+            );
+        }
     }
     for (ty, h) in &stats.typed {
         println!(
@@ -313,6 +319,12 @@ fn print_statistics(idx: &IndexManager) {
         if let Some(t) = idx.typed_index(*ty) {
             tree_line("value tree", t.value_tree_stats());
             tree_line("node tree", t.node_tree_stats());
+        }
+        if let Some((_, r)) = stats.typed_roots.iter().find(|(t, _)| t == ty) {
+            println!(
+                "  root summary: {} entries, sequence hash {:016x}",
+                r.entries, r.hash
+            );
         }
     }
     if let (Some(g), Some(s)) = (&stats.substring, idx.substring_index()) {

@@ -61,6 +61,15 @@ fn wal_runs_at_tiny_scale() {
 }
 
 #[test]
+fn aggregates_runs_at_tiny_scale() {
+    // Every cell asserts the summary-derived exact count identical to
+    // the materialised scan, histogram bounds containing it, and the
+    // 2·depth+1 probe budget; the speedup headline is a release-mode
+    // property at realistic scales.
+    experiments::run_aggregates(1, 1);
+}
+
+#[test]
 fn planner_runs_at_tiny_scale() {
     // Every planner-experiment cell asserts that cost-based,
     // last-predicate and scan evaluations return identical results;
