@@ -14,7 +14,10 @@
 //! per-commit full-image saves. Pass `aggregates` to run the exact-
 //! aggregate sweep ([`xvi_bench::experiments::run_aggregates`]):
 //! monoid-summary `count_range` vs. histogram estimate vs. full scan,
-//! with identical answers asserted.
+//! with identical answers asserted. Pass `serve` to run the open-loop
+//! serving sweep ([`xvi_bench::experiments::run_serve`]): latency
+//! percentiles (p50/p99/p999) vs. arrival rate through the
+//! `xvi-serve` frontend, with typed load-shedding above saturation.
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -26,10 +29,11 @@ fn main() {
         "planner" => xvi_bench::experiments::run_planner(permille, reps),
         "wal" => xvi_bench::experiments::run_wal(permille, reps),
         "aggregates" => xvi_bench::experiments::run_aggregates(permille, reps),
+        "serve" => xvi_bench::experiments::run_serve(permille, reps),
         other => {
             eprintln!(
                 "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, `planner`, \
-                 `wal`, or `aggregates`)"
+                 `wal`, `aggregates`, or `serve`)"
             );
             std::process::exit(2);
         }

@@ -26,6 +26,20 @@ pub enum IndexError {
     /// A group-commit leader panicked before this transaction's round
     /// completed; the transaction was not applied.
     CommitPipelinePoisoned,
+    /// A bounded submission was rejected because the target shard's
+    /// commit queue is full ([`ServiceConfig::max_queue`] entries are
+    /// already waiting). The transaction was **not** enqueued; retry
+    /// after roughly `retry_after`, by which time the shard's leader
+    /// should have drained a group round or two.
+    ///
+    /// [`ServiceConfig::max_queue`]: crate::ServiceConfig::max_queue
+    Overloaded {
+        /// Index of the saturated shard.
+        shard: usize,
+        /// Suggested backoff before retrying, derived from the queue
+        /// depth at rejection time.
+        retry_after: std::time::Duration,
+    },
     /// A commit could not be made durable: the write-ahead-log append
     /// or fsync failed. The transaction was **not** applied — an
     /// unlogged commit must never become visible.
@@ -78,6 +92,13 @@ impl std::fmt::Display for IndexError {
                 write!(
                     f,
                     "the group-commit leader panicked; transaction not applied"
+                )
+            }
+            IndexError::Overloaded { shard, retry_after } => {
+                write!(
+                    f,
+                    "shard {shard} commit queue is full; retry after {:?}",
+                    retry_after
                 )
             }
             IndexError::Durability(msg) => {

@@ -533,6 +533,7 @@ impl IndexService {
             max_group: cp.max_group,
             index: cp.index,
             durability: crate::service::Durability::Ephemeral,
+            ..ServiceConfig::default()
         });
         service.seed_commit_count(cp.commits);
         for (id, version, doc, idx) in cp.docs {
@@ -658,6 +659,7 @@ mod tests {
             max_group: 16,
             index: IndexConfig::with_types(&[XmlType::Double, XmlType::Integer]),
             durability: crate::service::Durability::Ephemeral,
+            ..ServiceConfig::default()
         };
         let service = IndexService::new(config);
         for (id, xml) in [

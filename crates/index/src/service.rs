@@ -108,6 +108,12 @@ pub struct ServiceConfig {
     /// Durability mode: ephemeral (default) or per-shard write-ahead
     /// logging.
     pub durability: Durability,
+    /// Capacity of each shard's commit queue as seen by the **bounded**
+    /// submission path: [`IndexService::try_submit`] rejects with
+    /// [`IndexError::Overloaded`] once this many transactions are
+    /// already waiting on the target shard. The unbounded paths
+    /// ([`IndexService::submit`] / [`IndexService::commit`]) ignore it.
+    pub max_queue: usize,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +123,7 @@ impl Default for ServiceConfig {
             max_group: 64,
             index: IndexConfig::default(),
             durability: Durability::Ephemeral,
+            max_queue: 4096,
         }
     }
 }
@@ -146,6 +153,13 @@ impl ServiceConfig {
     /// [`Durability::Wal`]).
     pub fn with_wal(mut self, dir: impl Into<PathBuf>) -> ServiceConfig {
         self.durability = Durability::Wal(dir.into());
+        self
+    }
+
+    /// Sets the bounded-submission queue capacity per shard (see
+    /// [`ServiceConfig::max_queue`]).
+    pub fn with_max_queue(mut self, max_queue: usize) -> ServiceConfig {
+        self.max_queue = max_queue;
         self
     }
 }
@@ -401,26 +415,33 @@ impl std::future::Future for CommitTicket<'_> {
         cx: &mut std::task::Context<'_>,
     ) -> std::task::Poll<Self::Output> {
         let this = self.get_mut();
-        if let Some(r) = this.slot.get() {
-            return std::task::Poll::Ready(r);
+        // Park the waker FIRST, before looking for an active leader:
+        // `fill` runs under the same slot lock and wakes the stored
+        // waker, so from this point on no publish can complete without
+        // waking us. (Parking after the leader check would leave a
+        // window — leader observed active, leader publishes and fills,
+        // then we park a waker nobody will ever wake.)
+        {
+            let mut st = this.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(r) = st.result.as_ref() {
+                return std::task::Poll::Ready(r.clone());
+            }
+            st.waker = Some(cx.waker().clone());
         }
         // Cooperative progress: help drain the shard unless a leader
-        // is already active (that leader will fill the slot).
+        // is already active (that leader fills the slot and wakes the
+        // waker parked above).
         let shard = &this.service.shards[this.shard.expect("unfilled tickets carry a shard")];
         if this.service.try_lead(shard) {
             this.service.run_leader(shard);
+            // Self-driving resolved the commit (fill consumed the
+            // parked waker — a self-wake, which the contract allows);
+            // report Ready directly rather than waiting to be polled
+            // again.
+            if let Some(r) = this.slot.get() {
+                return std::task::Poll::Ready(r);
+            }
         }
-        // Park the waker only if the commit is still unpublished; the
-        // slot lock orders this against `fill`, which re-checks the
-        // result under the same lock — so either we see the result
-        // here, or `fill` sees (and wakes) the parked waker. Parking
-        // last also keeps a self-driven Ready from waking its own
-        // waker for nothing.
-        let mut st = this.slot.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(r) = st.result.as_ref() {
-            return std::task::Poll::Ready(r.clone());
-        }
-        st.waker = Some(cx.waker().clone());
         std::task::Poll::Pending
     }
 }
@@ -588,6 +609,9 @@ impl IndexService {
                     max_group: cp.max_group,
                     index: cp.index,
                     durability: Durability::Wal(dir.clone()),
+                    // Not persisted: an admission-control knob, not a
+                    // property of the on-disk layout.
+                    max_queue: config.max_queue,
                 },
                 cp.seqs,
                 cp.docs,
@@ -983,23 +1007,84 @@ impl IndexService {
     /// transaction (or one against an unregistered document) returns
     /// an already-completed ticket.
     pub fn submit(&self, doc_id: &str, txn: Transaction) -> CommitTicket<'_> {
+        self.enqueue(doc_id, txn, usize::MAX)
+            .expect("unbounded submissions are never rejected")
+    }
+
+    /// Bounded [`IndexService::submit`]: the admission-control fast
+    /// path. If the target shard already has
+    /// [`ServiceConfig::max_queue`] transactions waiting, the
+    /// submission is rejected **without enqueueing anything** and
+    /// without blocking: the caller gets a typed
+    /// [`IndexError::Overloaded`] carrying a suggested backoff derived
+    /// from the queue depth, and the service's state is untouched — no
+    /// unbounded queue growth, no silently dropped commit.
+    ///
+    /// Empty transactions and transactions against unknown documents
+    /// behave exactly like [`IndexService::submit`] (an
+    /// already-completed ticket), since they occupy no queue space.
+    ///
+    /// ```
+    /// use xvi_index::{Document, IndexError, IndexService, ServiceConfig};
+    ///
+    /// let service = IndexService::new(
+    ///     ServiceConfig::with_shards(1).with_max_queue(2));
+    /// service.insert_document("crew", Document::parse(
+    ///     "<person><name>Arthur</name></person>").unwrap());
+    /// let node = service.read("crew", |doc, _| {
+    ///     doc.descendants(doc.document_node())
+    ///         .find(|&n| doc.direct_value(n).is_some()).unwrap()
+    /// }).unwrap();
+    ///
+    /// let submit = |v: &str| {
+    ///     let mut txn = service.begin();
+    ///     txn.set_value(node, v);
+    ///     service.try_submit("crew", txn)
+    /// };
+    /// // Nothing drives the pipeline yet, so the queue fills.
+    /// let t1 = submit("a").unwrap();
+    /// let t2 = submit("b").unwrap();
+    /// assert!(matches!(
+    ///     submit("c").unwrap_err(),
+    ///     IndexError::Overloaded { .. }));
+    /// // Draining the queue makes room again.
+    /// t2.wait().unwrap();
+    /// t1.wait().unwrap();
+    /// assert!(submit("c").is_ok());
+    /// ```
+    pub fn try_submit(
+        &self,
+        doc_id: &str,
+        txn: Transaction,
+    ) -> Result<CommitTicket<'_>, IndexError> {
+        self.enqueue(doc_id, txn, self.config.max_queue.max(1))
+    }
+
+    /// Shared enqueue path of [`IndexService::submit`] (unbounded) and
+    /// [`IndexService::try_submit`] (bounded by `max_queue`).
+    fn enqueue(
+        &self,
+        doc_id: &str,
+        txn: Transaction,
+        max_queue: usize,
+    ) -> Result<CommitTicket<'_>, IndexError> {
         let Some(handle) = self.handle(doc_id) else {
-            return CommitTicket {
+            return Ok(CommitTicket {
                 service: self,
                 shard: None,
                 slot: CommitSlot::completed(Err(IndexError::UnknownDocument(doc_id.to_string()))),
-            };
+            });
         };
         if txn.writes.is_empty() {
             let receipt = CommitReceipt {
                 version: handle.current().version,
                 applied: 0,
             };
-            return CommitTicket {
+            return Ok(CommitTicket {
                 service: self,
                 shard: None,
                 slot: CommitSlot::completed(Ok(receipt)),
-            };
+            });
         }
         let shard_idx = self.shard_index(doc_id);
         let slot = Arc::new(CommitSlot::new());
@@ -1008,17 +1093,54 @@ impl IndexService {
             .state
             .lock()
             .unwrap_or_else(|e| e.into_inner());
+        if st.queue.len() >= max_queue {
+            let depth = st.queue.len();
+            drop(st);
+            return Err(IndexError::Overloaded {
+                shard: shard_idx,
+                retry_after: retry_after_for_depth(depth),
+            });
+        }
         st.queue.push_back(Pending {
             handle,
             writes: txn.writes,
             slot: Arc::clone(&slot),
         });
         drop(st);
-        CommitTicket {
+        Ok(CommitTicket {
             service: self,
             shard: Some(shard_idx),
             slot,
-        }
+        })
+    }
+
+    /// Commit-queue depth of the shard owning `doc_id` — what an
+    /// admission controller compares against
+    /// [`ServiceConfig::max_queue`].
+    pub fn queue_depth(&self, doc_id: &str) -> usize {
+        self.shards[self.shard_index(doc_id)]
+            .pipeline
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Commit-queue depth of every shard, index-aligned with the
+    /// shard layout (for observability snapshots).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.pipeline
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .queue
+                    .len()
+            })
+            .collect()
     }
 
     /// Commits a transaction against `doc_id` through the shard's
@@ -1283,6 +1405,16 @@ impl IndexService {
             }
         }
     }
+}
+
+/// Backoff suggestion for an [`IndexError::Overloaded`] rejection:
+/// proportional to the rejected-at queue depth (a leader drains and
+/// publishes a queued transaction in roughly tens of microseconds),
+/// clamped so callers neither hot-spin on a barely-full queue nor
+/// stall for seconds on a deep one.
+fn retry_after_for_depth(depth: usize) -> std::time::Duration {
+    const PER_QUEUED_US: u64 = 20;
+    std::time::Duration::from_micros((depth as u64 * PER_QUEUED_US).clamp(100, 50_000))
 }
 
 /// Pre-checks a write batch against a document: every target must be a
@@ -1562,6 +1694,7 @@ mod tests {
             max_group: 8,
             index: IndexConfig::default(),
             durability: Durability::Ephemeral,
+            ..ServiceConfig::default()
         }));
         let n_docs = 6;
         for i in 0..n_docs {
@@ -1974,6 +2107,54 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Bounded submissions: a full shard queue yields a typed
+    /// `Overloaded` rejection with a depth-derived backoff, nothing is
+    /// silently dropped, and draining the queue restores admission.
+    #[test]
+    fn try_submit_rejects_on_full_queue_and_recovers() {
+        let service = IndexService::new(ServiceConfig::with_shards(1).with_max_queue(3));
+        service.insert_document("a", Document::parse(DOC_A).unwrap());
+        let node = service
+            .read("a", |doc, _| text_node(doc, "Arthur"))
+            .unwrap();
+        let submit = |v: String| {
+            let mut txn = service.begin();
+            txn.set_value(node, v);
+            service.try_submit("a", txn)
+        };
+        // Nothing drives the pipeline, so the queue fills deterministically.
+        let tickets: Vec<_> = (0..3).map(|i| submit(format!("v{i}")).unwrap()).collect();
+        assert_eq!(service.queue_depth("a"), 3);
+        assert_eq!(service.queue_depths(), vec![3]);
+        match submit("overflow".into()).unwrap_err() {
+            IndexError::Overloaded { shard, retry_after } => {
+                assert_eq!(shard, 0);
+                assert!(
+                    retry_after >= std::time::Duration::from_micros(60),
+                    "{retry_after:?}"
+                );
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The rejection dropped nothing: every admitted commit lands.
+        for t in tickets.into_iter().rev() {
+            t.wait().unwrap();
+        }
+        assert_eq!(service.commit_count(), 3);
+        assert_eq!(service.queue_depth("a"), 0);
+        // Room again after the drain.
+        submit("again".into()).unwrap().wait().unwrap();
+        assert_eq!(service.commit_count(), 4);
+        // Empty transactions occupy no queue space, so they are always
+        // admitted (completed tickets), even at capacity.
+        let _fill: Vec<_> = (0..3).map(|i| submit(format!("w{i}")).unwrap()).collect();
+        let empty = service.try_submit("a", service.begin()).unwrap();
+        assert!(empty.is_complete());
+        for t in _fill.into_iter() {
+            t.wait().unwrap();
+        }
+    }
+
     #[test]
     fn group_commit_of_one_still_works() {
         let service = IndexService::new(ServiceConfig {
@@ -1981,6 +2162,7 @@ mod tests {
             max_group: 1,
             index: IndexConfig::default(),
             durability: Durability::Ephemeral,
+            ..ServiceConfig::default()
         });
         service.insert_document("a", Document::parse(DOC_A).unwrap());
         // Node ids are stable across versions (values are replaced in

@@ -40,7 +40,7 @@ pub struct TransactionalStore {
 /// [`TransactionalStore::begin`] (or
 /// [`IndexService::begin`](crate::IndexService::begin)), applied
 /// atomically on commit.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Transaction {
     pub(crate) writes: Vec<(NodeId, String)>,
     /// Position of each node's buffered write in `writes`, so

@@ -1,0 +1,106 @@
+//! Injectable time sources.
+//!
+//! Everything in this crate that reads or schedules time goes through
+//! the [`Clock`] trait, so tests (and deterministic benchmarks) can
+//! substitute a [`ManualClock`] they advance by hand while production
+//! code uses the [`MonotonicClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source reporting nanoseconds since its own epoch.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since the clock's epoch. Must never go
+    /// backwards.
+    fn now_ns(&self) -> u64;
+
+    /// [`Clock::now_ns`] as a [`Duration`] since the epoch.
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_ns())
+    }
+}
+
+/// The production clock: [`Instant`]-backed, epoch = construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // ~584 years of range; saturate rather than wrap if exceeded.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// [`ManualClock::advance`] (or [`ManualClock::set_ns`]) is called.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at its epoch (t = 0).
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Moves time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        let ns = u64::try_from(by.as_nanos()).unwrap_or(u64::MAX);
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute time (must not move backwards; a smaller
+    /// value than the current reading is ignored).
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.fetch_max(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_micros(5));
+        assert_eq!(c.now_ns(), 5_000);
+        c.set_ns(2_000); // backwards jumps are ignored
+        assert_eq!(c.now_ns(), 5_000);
+        c.set_ns(9_000);
+        assert_eq!(c.now_ns(), 9_000);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

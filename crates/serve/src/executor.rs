@@ -1,0 +1,403 @@
+//! A hand-rolled multi-threaded async executor.
+//!
+//! No external runtime: a fixed pool of worker threads drains a shared
+//! run queue of spawned tasks, re-polling a task whenever its [`Waker`]
+//! fires. A task is an `async move` block boxed as a `'static` future —
+//! futures that borrow (like the index service's `CommitTicket`) are
+//! made spawnable by having the block own an `Arc` of what they borrow.
+//!
+//! Timers integrate through the [`TimerWheel`]: [`Executor::sleep`]
+//! parks the task's waker on the wheel, and every worker advances the
+//! wheel to the injected [`Clock`]'s current reading each scheduling
+//! round. With a [`ManualClock`](crate::clock::ManualClock) that makes
+//! time — and everything downstream of it, like admission-control
+//! backoff — fully test-controlled.
+//!
+//! Wakeup correctness hinges on a small per-task state machine
+//! (`IDLE`/`QUEUED`/`RUNNING`/`NOTIFIED`): a wake during a poll marks
+//! the task `NOTIFIED` instead of double-queueing it, and the worker
+//! re-queues after the poll returns. A task is never polled by two
+//! workers at once.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::timer::TimerWheel;
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    exec: Weak<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        if let Some(shared) = self.exec.upgrade() {
+                            shared.enqueue(Arc::clone(self));
+                        }
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // The polling worker re-queues on our behalf.
+                        return;
+                    }
+                }
+                // Already queued or notified: the wake is coalesced.
+                _ => return,
+            }
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    live_tasks: AtomicUsize,
+    idle_done: Condvar,
+    clock: Arc<dyn Clock>,
+    wheel: TimerWheel,
+}
+
+impl Shared {
+    fn enqueue(&self, task: Arc<Task>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// The worker-pool executor; see the module docs.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field(
+                "live_tasks",
+                &self.shared.live_tasks.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl Executor {
+    /// An executor with `workers` threads (clamped to ≥ 1) driven by
+    /// the production [`MonotonicClock`].
+    pub fn new(workers: usize) -> Executor {
+        Executor::with_clock(workers, Arc::new(MonotonicClock::new()))
+    }
+
+    /// An executor over an injected clock — pass a
+    /// [`ManualClock`](crate::clock::ManualClock) for deterministic
+    /// timer control in tests.
+    pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Executor {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_tasks: AtomicUsize::new(0),
+            idle_done: Condvar::new(),
+            clock,
+            wheel: TimerWheel::new(Duration::from_micros(100)),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xvi-serve-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// The executor's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.shared.clock
+    }
+
+    /// Spawns a future onto the pool. The future must be `'static`:
+    /// wrap borrows in an `async move` block that owns an `Arc`.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        self.shared.live_tasks.fetch_add(1, Ordering::SeqCst);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            state: AtomicU8::new(QUEUED),
+            exec: Arc::downgrade(&self.shared),
+        });
+        self.shared.enqueue(task);
+    }
+
+    /// A future resolving once `dur` has elapsed on the executor's
+    /// clock. Must be awaited from a task on this executor (the wheel
+    /// is only advanced by its workers).
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        Sleep {
+            shared: Arc::clone(&self.shared),
+            deadline_ns: self
+                .shared
+                .clock
+                .now_ns()
+                .saturating_add(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)),
+            parked: false,
+        }
+    }
+
+    /// Number of spawned tasks that have not finished.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live_tasks.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every spawned task has finished. Intended for
+    /// drain/shutdown paths, not steady-state use.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while self.shared.live_tasks.load(Ordering::SeqCst) != 0 {
+            let (g, _) = self
+                .shared
+                .idle_done
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    /// Stops the workers and joins them. Unfinished tasks are dropped.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        // Fire due timers first so woken sleepers get into the queue
+        // this round; wake outside the wheel lock.
+        for w in shared.wheel.advance_to(shared.clock.now_ns()) {
+            w.wake();
+        }
+        let task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                // A bounded wait so parked timers (and a ManualClock
+                // advanced from outside) are still noticed promptly.
+                let (g, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = g;
+                if shared.wheel.parked() > 0 {
+                    drop(q);
+                    for w in shared.wheel.advance_to(shared.clock.now_ns()) {
+                        w.wake();
+                    }
+                    q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        };
+        poll_task(&shared, task);
+    }
+}
+
+fn poll_task(shared: &Shared, task: Arc<Task>) {
+    task.state.store(RUNNING, Ordering::Release);
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    // Take the future out so a reentrant wake never contends on the
+    // future lock; the state machine guarantees exclusive polling.
+    let mut fut = {
+        let mut slot = task.future.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.take() {
+            Some(f) => f,
+            None => return, // already completed
+        }
+    };
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(()) => {
+            task.state.store(IDLE, Ordering::Release);
+            if shared.live_tasks.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last task done: wake wait_idle.
+                let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                shared.idle_done.notify_all();
+            }
+        }
+        Poll::Pending => {
+            *task.future.lock().unwrap_or_else(|e| e.into_inner()) = Some(fut);
+            // If a wake arrived mid-poll we were moved to NOTIFIED:
+            // re-queue. Otherwise transition RUNNING → IDLE and let
+            // the next wake queue us.
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                task.state.store(QUEUED, Ordering::Release);
+                shared.enqueue(task);
+            }
+        }
+    }
+}
+
+/// Future returned by [`Executor::sleep`].
+pub struct Sleep {
+    shared: Arc<Shared>,
+    deadline_ns: u64,
+    parked: bool,
+}
+
+impl std::fmt::Debug for Sleep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sleep")
+            .field("deadline_ns", &self.deadline_ns)
+            .finish()
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.shared.clock.now_ns() >= self.deadline_ns {
+            return Poll::Ready(());
+        }
+        // Park on every pending poll: the wheel holds stale wakers
+        // harmlessly (waking a completed task is a no-op).
+        self.shared
+            .wheel
+            .schedule(self.deadline_ns, cx.waker().clone());
+        self.parked = true;
+        // Re-check: the clock may have crossed the deadline between
+        // the first check and parking; the wheel's cursor may already
+        // be past our tick in that window.
+        if self.shared.clock.now_ns() >= self.deadline_ns {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn spawned_tasks_run_to_completion() {
+        let ex = Executor::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            ex.spawn(async move {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ex.wait_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        ex.shutdown();
+    }
+
+    #[test]
+    fn sleep_fires_only_when_manual_clock_advances() {
+        let clock = Arc::new(ManualClock::new());
+        let ex = Executor::with_clock(2, Arc::clone(&clock) as Arc<dyn Clock>);
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            let sleep = ex.sleep(Duration::from_millis(10));
+            ex.spawn(async move {
+                sleep.await;
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!done.load(Ordering::SeqCst), "slept on a frozen clock");
+        clock.advance(Duration::from_millis(10));
+        ex.wait_idle();
+        assert!(done.load(Ordering::SeqCst));
+        ex.shutdown();
+    }
+
+    #[test]
+    fn chained_sleeps_and_cross_task_wakes() {
+        let ex = Executor::new(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (i, ms) in [(0u32, 6u64), (1, 2), (2, 4)] {
+            let order = Arc::clone(&order);
+            let sleep = ex.sleep(Duration::from_millis(ms));
+            ex.spawn(async move {
+                sleep.await;
+                order.lock().unwrap().push(i);
+            });
+        }
+        ex.wait_idle();
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got, vec![1, 2, 0], "sleeps resolve in deadline order");
+        ex.shutdown();
+    }
+}

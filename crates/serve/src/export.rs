@@ -1,0 +1,412 @@
+//! Config-driven streaming exports.
+//!
+//! An [`ExportSpec`] is parsed from a compact config string — e.g.
+//! `format=csv; columns=doc,node,name,value; lookup=equi:Arthur;
+//! header=true` — and evaluated against a pinned [`ServiceSnapshot`],
+//! so an export is a consistent cut across every document even while
+//! commits keep landing. Rows are **streamed** through any
+//! [`io::Write`]: nothing is materialised beyond the current row, so
+//! exporting a multi-gigabyte index costs constant memory.
+//!
+//! Supported formats: `csv` (RFC-4180 quoting, optional header),
+//! `json` (one streamed array of objects) and `jsonl` (one object per
+//! line). Non-finite doubles render as `null` in JSON output and as
+//! their text form (`NaN`, `inf`, `-inf`) in CSV.
+
+use std::io::{self, Write};
+
+use xvi_index::{Lookup, ServiceSnapshot};
+use xvi_xml::{Document, NodeId, NodeKind};
+
+/// Output encoding of an export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Comma-separated values with RFC-4180 quoting.
+    Csv,
+    /// A single JSON array of row objects.
+    Json,
+    /// One JSON object per line (newline-delimited JSON).
+    Jsonl,
+}
+
+/// A selectable output column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// The document id.
+    Doc,
+    /// The node's arena index.
+    Node,
+    /// The node's name (element/attribute), empty otherwise.
+    Name,
+    /// The node kind (`element`, `text`, …).
+    Kind,
+    /// The node's XDM string value.
+    Value,
+    /// The string value parsed as a double (`NaN` when not numeric).
+    Double,
+    /// The document snapshot's commit version.
+    Version,
+}
+
+impl Column {
+    fn name(self) -> &'static str {
+        match self {
+            Column::Doc => "doc",
+            Column::Node => "node",
+            Column::Name => "name",
+            Column::Kind => "kind",
+            Column::Value => "value",
+            Column::Double => "double",
+            Column::Version => "version",
+        }
+    }
+}
+
+/// A malformed export config string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportParseError(String);
+
+impl std::fmt::Display for ExportParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid export spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExportParseError {}
+
+fn err(msg: impl Into<String>) -> ExportParseError {
+    ExportParseError(msg.into())
+}
+
+/// A parsed export configuration; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ExportSpec {
+    /// Output encoding.
+    pub format: ExportFormat,
+    /// Columns, in output order.
+    pub columns: Vec<Column>,
+    /// Row filter: only nodes matching this lookup are exported.
+    /// `None` exports every node in document order.
+    pub lookup: Option<Lookup>,
+    /// Whether CSV output starts with a header row.
+    pub header: bool,
+}
+
+impl ExportSpec {
+    /// Parses a `key=value; key=value` config string.
+    ///
+    /// Keys: `format` (`csv`|`json`|`jsonl`, required), `columns`
+    /// (comma-separated, default `doc,node,value`), `lookup`
+    /// (`equi:V`, `range:LO..HI`, `contains:V`, `wildcard:P`,
+    /// `xpath:Q`; default all nodes), `header` (`true`|`false`,
+    /// default `true`, CSV only).
+    pub fn parse(spec: &str) -> Result<ExportSpec, ExportParseError> {
+        let mut format = None;
+        let mut columns = vec![Column::Doc, Column::Node, Column::Value];
+        let mut lookup = None;
+        let mut header = true;
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got {part:?}")))?;
+            match (key.trim(), value.trim()) {
+                ("format", "csv") => format = Some(ExportFormat::Csv),
+                ("format", "json") => format = Some(ExportFormat::Json),
+                ("format", "jsonl") => format = Some(ExportFormat::Jsonl),
+                ("format", other) => return Err(err(format!("unknown format {other:?}"))),
+                ("columns", list) => {
+                    columns = list
+                        .split(',')
+                        .map(|c| match c.trim() {
+                            "doc" => Ok(Column::Doc),
+                            "node" => Ok(Column::Node),
+                            "name" => Ok(Column::Name),
+                            "kind" => Ok(Column::Kind),
+                            "value" => Ok(Column::Value),
+                            "double" => Ok(Column::Double),
+                            "version" => Ok(Column::Version),
+                            other => Err(err(format!("unknown column {other:?}"))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if columns.is_empty() {
+                        return Err(err("columns list is empty"));
+                    }
+                }
+                ("lookup", l) => lookup = Some(parse_lookup(l)?),
+                ("header", "true") => header = true,
+                ("header", "false") => header = false,
+                ("header", other) => {
+                    return Err(err(format!("header must be true|false, got {other:?}")))
+                }
+                (key, _) => return Err(err(format!("unknown key {key:?}"))),
+            }
+        }
+        Ok(ExportSpec {
+            format: format.ok_or_else(|| err("missing required key `format`"))?,
+            columns,
+            lookup,
+            header,
+        })
+    }
+
+    /// Streams the export over `snapshot` into `out`, returning the
+    /// number of data rows written. Documents are visited in id order;
+    /// within a document, matched nodes in the lookup's result order
+    /// (document order for full exports).
+    pub fn stream(&self, snapshot: &ServiceSnapshot, out: &mut impl Write) -> io::Result<u64> {
+        let mut docs: Vec<_> = snapshot.iter().collect();
+        docs.sort_by(|a, b| a.0.cmp(b.0));
+
+        let mut rows = 0u64;
+        if self.format == ExportFormat::Csv && self.header {
+            let names: Vec<&str> = self.columns.iter().map(|c| c.name()).collect();
+            writeln!(out, "{}", names.join(","))?;
+        }
+        if self.format == ExportFormat::Json {
+            out.write_all(b"[")?;
+        }
+        for (doc_id, snap) in docs {
+            let doc = snap.document();
+            let nodes: Vec<NodeId> = match &self.lookup {
+                Some(l) => snap.query(l).unwrap_or_default(),
+                None => doc.descendants_or_self(doc.document_node()).collect(),
+            };
+            for node in nodes {
+                match self.format {
+                    ExportFormat::Csv => {
+                        for (i, col) in self.columns.iter().enumerate() {
+                            if i > 0 {
+                                out.write_all(b",")?;
+                            }
+                            write_csv_field(
+                                out,
+                                &self.cell(*col, doc_id, doc, node, snap.version()),
+                            )?;
+                        }
+                        out.write_all(b"\n")?;
+                    }
+                    ExportFormat::Json | ExportFormat::Jsonl => {
+                        if self.format == ExportFormat::Json {
+                            if rows > 0 {
+                                out.write_all(b",")?;
+                            }
+                            out.write_all(b"\n  ")?;
+                        }
+                        self.write_json_row(out, doc_id, doc, node, snap.version())?;
+                        if self.format == ExportFormat::Jsonl {
+                            out.write_all(b"\n")?;
+                        }
+                    }
+                }
+                rows += 1;
+            }
+        }
+        if self.format == ExportFormat::Json {
+            if rows > 0 {
+                out.write_all(b"\n")?;
+            }
+            out.write_all(b"]\n")?;
+        }
+        out.flush()?;
+        Ok(rows)
+    }
+
+    fn cell(
+        &self,
+        col: Column,
+        doc_id: &str,
+        doc: &Document,
+        node: NodeId,
+        version: u64,
+    ) -> String {
+        match col {
+            Column::Doc => doc_id.to_string(),
+            Column::Node => node.index().to_string(),
+            Column::Name => doc.name(node).unwrap_or("").to_string(),
+            Column::Kind => kind_name(doc.kind(node)).to_string(),
+            Column::Value => doc.string_value(node),
+            Column::Double => format_f64_text(parse_double(doc, node)),
+            Column::Version => version.to_string(),
+        }
+    }
+
+    fn write_json_row(
+        &self,
+        out: &mut impl Write,
+        doc_id: &str,
+        doc: &Document,
+        node: NodeId,
+        version: u64,
+    ) -> io::Result<()> {
+        out.write_all(b"{")?;
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "\"{}\":", col.name())?;
+            match col {
+                Column::Node => write!(out, "{}", node.index())?,
+                Column::Version => write!(out, "{version}")?,
+                Column::Double => {
+                    let v = parse_double(doc, node);
+                    if v.is_finite() {
+                        write!(out, "{v}")?;
+                    } else {
+                        // JSON has no NaN/Infinity literals.
+                        out.write_all(b"null")?;
+                    }
+                }
+                other => write_json_string(out, &self.cell(*other, doc_id, doc, node, version))?,
+            }
+        }
+        out.write_all(b"}")?;
+        Ok(())
+    }
+}
+
+fn parse_lookup(spec: &str) -> Result<Lookup, ExportParseError> {
+    let (kind, arg) = spec
+        .split_once(':')
+        .ok_or_else(|| err(format!("lookup must be kind:arg, got {spec:?}")))?;
+    match kind.trim() {
+        "equi" => Ok(Lookup::equi(arg)),
+        "contains" => Ok(Lookup::contains(arg)),
+        "wildcard" => Ok(Lookup::wildcard(arg)),
+        "xpath" => Lookup::xpath(arg).map_err(|e| err(format!("bad xpath lookup: {e}"))),
+        "range" => {
+            let (lo, hi) = arg
+                .split_once("..")
+                .ok_or_else(|| err(format!("range must be LO..HI, got {arg:?}")))?;
+            let lo: f64 = lo
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad range low bound {lo:?}")))?;
+            let hi: f64 = hi
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad range high bound {hi:?}")))?;
+            Ok(Lookup::range_f64(lo..=hi))
+        }
+        other => Err(err(format!("unknown lookup kind {other:?}"))),
+    }
+}
+
+fn kind_name(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Document => "document",
+        NodeKind::Element(_) => "element",
+        NodeKind::Attribute { .. } => "attribute",
+        NodeKind::Text(_) => "text",
+        NodeKind::Comment(_) => "comment",
+        NodeKind::Pi { .. } => "pi",
+        NodeKind::Free => "free",
+    }
+}
+
+fn parse_double(doc: &Document, node: NodeId) -> f64 {
+    doc.string_value(node)
+        .trim()
+        .parse::<f64>()
+        .unwrap_or(f64::NAN)
+}
+
+/// Text form of a double for CSV cells: finite values as Rust renders
+/// them, non-finite as `NaN` / `inf` / `-inf`.
+fn format_f64_text(v: f64) -> String {
+    format!("{v}")
+}
+
+/// RFC-4180: quote fields containing the separator, a quote, or a
+/// line break; escape quotes by doubling.
+fn write_csv_field(out: &mut impl Write, field: &str) -> io::Result<()> {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.write_all(b"\"")?;
+        out.write_all(field.replace('"', "\"\"").as_bytes())?;
+        out.write_all(b"\"")?;
+    } else {
+        out.write_all(field.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Minimal JSON string encoder: escapes quotes, backslashes and
+/// control characters.
+fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = ExportSpec::parse(
+            "format=csv; columns=doc,node,name,kind,value,double,version; \
+             lookup=range:1..10; header=false",
+        )
+        .unwrap();
+        assert_eq!(spec.format, ExportFormat::Csv);
+        assert_eq!(spec.columns.len(), 7);
+        assert!(!spec.header);
+        assert!(matches!(spec.lookup, Some(Lookup::RangeF64(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",                          // missing format
+            "format=xml",                // unknown format
+            "format=csv; columns=",      // empty columns
+            "format=csv; columns=bogus", // unknown column
+            "format=csv; lookup=equi",   // lookup without arg
+            "format=csv; header=maybe",  // bad bool
+            "format=csv; shape=round",   // unknown key
+            "format csv",                // not key=value
+        ] {
+            assert!(ExportSpec::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn csv_quoting_rules() {
+        let mut buf = Vec::new();
+        for (field, want) in [
+            ("plain", "plain"),
+            ("has,comma", "\"has,comma\""),
+            ("has\"quote", "\"has\"\"quote\""),
+            ("has\nnewline", "\"has\nnewline\""),
+        ] {
+            buf.clear();
+            write_csv_field(&mut buf, field).unwrap();
+            assert_eq!(String::from_utf8(buf.clone()).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut buf = Vec::new();
+        write_json_string(&mut buf, "a\"b\\c\nd\te\u{1}f").unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001f\""
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! A log-bucketed latency histogram.
+//!
+//! Latencies (nanoseconds) are hashed into buckets whose width grows
+//! geometrically: exact below 16 ns, then 8 sub-buckets per octave.
+//! That bounds the relative quantisation error of any reported
+//! percentile at ~12.5% while keeping the whole structure a flat array
+//! of atomics — recording is a single `fetch_add`, safe to call from
+//! any number of threads with no locking, which is what a serving
+//! fast-path needs.
+//!
+//! Percentiles are read from an immutable [`HistogramSnapshot`] so a
+//! reporter never sees a torn view shift under it mid-walk.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// 16 exact buckets + 8 sub-buckets for each octave from 2^4 up to
+/// 2^63.
+const BUCKETS: usize = 16 + (64 - 4) * 8;
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < 16 {
+        ns as usize
+    } else {
+        let e = 63 - ns.leading_zeros() as usize; // 4..=63
+        16 + (e - 4) * 8 + ((ns >> (e - 3)) & 7) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: the largest latency that maps to
+/// it. Percentiles report this bound, so they never under-state.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let e = 4 + (idx - 16) / 8;
+        let sub = ((idx - 16) % 8) as u64;
+        // Buckets in octave e span [2^e + sub*2^(e-3), …): the upper
+        // bound is one below the next bucket's start. In u128 because
+        // the top octave's last bound is exactly 2^64 - 1.
+        let hi = (1u128 << e) + (sub as u128 + 1) * (1u128 << (e - 3)) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    }
+}
+
+/// A concurrent, lock-free latency histogram. See the module docs.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: Box::new([const { AtomicU64::new(0) }; BUCKETS]),
+            total: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy for percentile reads. Concurrent `record`s
+    /// may or may not be included; the snapshot itself is consistent
+    /// enough for reporting (counts are monotone).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            total,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns / self.total)
+    }
+
+    /// Largest recorded latency (exact, not bucket-quantised).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: an upper bound on the
+    /// value below which a `q` fraction of observations fall, accurate
+    /// to the bucket width (≤ 12.5% relative error). Zero if empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max is exact and always ≥ any bucket member.
+                return Duration::from_nanos(bucket_upper(idx).min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Merges another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Renders `p50/p90/p99/p999` as a compact human-readable line.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} p50={:?} p90={:?} p99={:?} p999={:?} max={:?}",
+            self.total,
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+            self.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev_upper = 0;
+        for idx in 0..BUCKETS {
+            let hi = bucket_upper(idx);
+            if idx > 0 {
+                assert!(hi > prev_upper, "bucket {idx} upper not increasing");
+                // No gaps: the value just above the previous upper
+                // bound lands in this bucket.
+                assert_eq!(bucket_of(prev_upper + 1), idx);
+            }
+            assert_eq!(bucket_of(hi), idx, "upper bound maps back to its bucket");
+            prev_upper = hi;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        let h = LatencyHistogram::new();
+        // 1..=10_000 µs, uniform.
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10_000);
+        for (q, want_us) in [(0.50, 5_000.0), (0.90, 9_000.0), (0.99, 9_900.0)] {
+            let got = s.percentile(q).as_nanos() as f64 / 1_000.0;
+            assert!(
+                got >= want_us && got <= want_us * 1.13,
+                "q={q}: got {got}µs want ~{want_us}µs"
+            );
+        }
+        assert_eq!(s.percentile(1.0), Duration::from_micros(10_000));
+        assert_eq!(s.max(), Duration::from_micros(10_000));
+    }
+
+    #[test]
+    fn empty_and_single_value() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        h.record(Duration::from_nanos(7));
+        let s = h.snapshot();
+        // < 16 ns buckets are exact.
+        assert_eq!(s.percentile(0.0), Duration::from_nanos(7));
+        assert_eq!(s.percentile(0.5), Duration::from_nanos(7));
+        assert_eq!(s.percentile(1.0), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..100 {
+            a.record(Duration::from_micros(10));
+            b.record(Duration::from_micros(1000));
+        }
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 200);
+        assert!(s.percentile(0.25) <= Duration::from_micros(12));
+        assert!(s.percentile(0.75) >= Duration::from_micros(900));
+    }
+}

@@ -1,0 +1,566 @@
+//! The serving frontend: admission control, per-tenant fairness and
+//! latency observability over an [`IndexService`].
+//!
+//! Requests enter through [`Server::submit`], which either **admits**
+//! them into the caller's per-tenant queue or **rejects** them with a
+//! typed [`ServeError::Overloaded`] carrying a suggested backoff —
+//! the queue is bounded, so overload surfaces at the edge instead of
+//! growing latency without bound (an open-loop arrival process has no
+//! other way to learn it should slow down).
+//!
+//! Admitted requests are dispatched by **deficit round-robin** across
+//! tenants: each scheduling round tops up the head tenant's deficit by
+//! a quantum and dispatches while the deficit covers the next
+//! request's cost. A tenant offering 10× the load gets at most its
+//! round-robin share of dispatch slots, so a cold tenant's tail
+//! latency stays within a constant factor of running alone.
+//!
+//! Every completed request records its **end-to-end latency**
+//! (admission → completion, on the server's [`Clock`]) into a shared
+//! [`LatencyHistogram`]; [`Server::stats`] snapshots the histogram and
+//! the admission counters for reporting.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use xvi_index::{CommitReceipt, IndexError, IndexService, Lookup, Transaction};
+use xvi_xml::NodeId;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::executor::Executor;
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// Relative DRR cost of a query (a snapshot probe).
+const QUERY_COST: u64 = 1;
+/// Relative DRR cost of a commit (pipeline submission + group commit).
+const COMMIT_COST: u64 = 4;
+
+/// Configuration for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Executor worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Maximum requests dispatched but not yet completed.
+    pub max_in_flight: usize,
+    /// Per-tenant admission queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub tenant_queue: usize,
+    /// DRR quantum: cost units granted to a tenant per scheduling
+    /// round. Queries cost 1, commits 4.
+    pub quantum: u64,
+    /// Start with dispatch paused — requests are admitted (or
+    /// rejected) but nothing runs until [`Server::resume`]. Lets tests
+    /// preload queues and observe pure scheduling order.
+    pub start_paused: bool,
+    /// Maximum admission-control retries a commit job performs when
+    /// the underlying shard queue is full, backing off by the shard's
+    /// suggested `retry_after` between attempts.
+    pub commit_retries: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_in_flight: 64,
+            tenant_queue: 256,
+            quantum: 8,
+            start_paused: false,
+            commit_retries: 16,
+        }
+    }
+}
+
+/// A request to serve.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Apply a transaction to a document (group-committed).
+    Commit {
+        /// Target document id.
+        doc: String,
+        /// The operations to apply.
+        txn: Transaction,
+    },
+    /// Evaluate a lookup against a document's current snapshot.
+    Query {
+        /// Target document id.
+        doc: String,
+        /// The lookup to evaluate.
+        lookup: Lookup,
+    },
+}
+
+impl Request {
+    fn cost(&self) -> u64 {
+        match self {
+            Request::Commit { .. } => COMMIT_COST,
+            Request::Query { .. } => QUERY_COST,
+        }
+    }
+}
+
+/// A completed request's payload.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Receipt of a committed transaction.
+    Commit(CommitReceipt),
+    /// Matching nodes of a query.
+    Query(Vec<NodeId>),
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The tenant's admission queue (or, after retries, the underlying
+    /// shard queue) is full. Back off for `retry_after` and resubmit.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after: Duration,
+    },
+    /// The server is shutting down; the request was not admitted.
+    Closed,
+    /// The underlying index rejected the request.
+    Index(IndexError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "server overloaded; retry after {retry_after:?}")
+            }
+            ServeError::Closed => write!(f, "server is closed"),
+            ServeError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<IndexError> for ServeError {
+    fn from(e: IndexError) -> ServeError {
+        match e {
+            IndexError::Overloaded { retry_after, .. } => ServeError::Overloaded { retry_after },
+            other => ServeError::Index(other),
+        }
+    }
+}
+
+/// Where a finished request parks its result.
+#[derive(Debug)]
+struct ResponseSlot {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+    /// Global completion sequence number, for scheduling-order tests.
+    completion_index: AtomicU64,
+    /// Admission timestamp on the server clock.
+    enqueue_ns: u64,
+}
+
+/// Handle to an admitted request's eventual [`Response`].
+#[derive(Debug, Clone)]
+pub struct ResponseTicket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseTicket {
+    /// Blocks until the request completes.
+    pub fn wait(&self) -> Result<Response, ServeError> {
+        let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self
+                .slot
+                .done
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The result if already complete, without blocking.
+    pub fn try_get(&self) -> Option<Result<Response, ServeError>> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The request's position in the global completion order
+    /// (1-based), once complete. Scheduling tests use this to observe
+    /// DRR dispatch order without timing assumptions.
+    pub fn completion_index(&self) -> Option<u64> {
+        match self.slot.completion_index.load(Ordering::SeqCst) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+}
+
+/// One admitted request waiting for dispatch.
+struct Job {
+    request: Request,
+    slot: Arc<ResponseSlot>,
+}
+
+#[derive(Default)]
+struct TenantQueue {
+    jobs: VecDeque<Job>,
+    deficit: u64,
+    /// Whether the deficit was already topped up this round — the
+    /// dispatcher re-fronts a mid-round tenant, and a re-front visit
+    /// must not grant a second quantum.
+    topped_up: bool,
+}
+
+struct SchedState {
+    tenants: HashMap<String, TenantQueue>,
+    /// Tenants with queued work, in round-robin order.
+    active: VecDeque<String>,
+    paused: bool,
+    closed: bool,
+}
+
+struct ServerShared {
+    service: Arc<IndexService>,
+    clock: Arc<dyn Clock>,
+    sched: Mutex<SchedState>,
+    work: Condvar,
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    completions: AtomicU64,
+    latency: LatencyHistogram,
+    config: ServerConfig,
+}
+
+/// Point-in-time serving metrics; see [`Server::stats`].
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests accepted into a tenant queue.
+    pub admitted: u64,
+    /// Requests refused with [`ServeError::Overloaded`] at admission.
+    pub rejected: u64,
+    /// Requests fully completed.
+    pub completed: u64,
+    /// Dispatched but not yet completed.
+    pub in_flight: usize,
+    /// Admitted but not yet dispatched, summed over tenants.
+    pub queue_depth: usize,
+    /// End-to-end latency distribution of completed requests.
+    pub latency: HistogramSnapshot,
+}
+
+/// The serving frontend; see the module docs.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    executor: Arc<Executor>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("in_flight", &self.shared.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// A server over `service` with the production clock.
+    pub fn new(service: Arc<IndexService>, config: ServerConfig) -> Server {
+        Server::with_clock(service, config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A server over an injected clock (latency measurement and
+    /// backoff sleeps both read it).
+    pub fn with_clock(
+        service: Arc<IndexService>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        let executor = Arc::new(Executor::with_clock(config.workers, Arc::clone(&clock)));
+        let shared = Arc::new(ServerShared {
+            service,
+            clock,
+            sched: Mutex::new(SchedState {
+                tenants: HashMap::new(),
+                active: VecDeque::new(),
+                paused: config.start_paused,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            config,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            std::thread::Builder::new()
+                .name("xvi-serve-dispatch".into())
+                .spawn(move || dispatch_loop(shared, executor))
+                .expect("spawn dispatcher")
+        };
+        Server {
+            shared,
+            executor,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// The underlying index service.
+    pub fn service(&self) -> &Arc<IndexService> {
+        &self.shared.service
+    }
+
+    /// Submits a request on behalf of `tenant`. Returns a ticket when
+    /// admitted; rejects with [`ServeError::Overloaded`] when the
+    /// tenant's queue is full, or [`ServeError::Closed`] after
+    /// shutdown began.
+    pub fn submit(&self, tenant: &str, request: Request) -> Result<ResponseTicket, ServeError> {
+        let mut st = self.shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(ServeError::Closed);
+        }
+        let depth = st.tenants.get(tenant).map_or(0, |t| t.jobs.len());
+        if depth >= self.shared.config.tenant_queue.max(1) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            // Scale the suggested backoff with how far over capacity
+            // the caller is pushing: one dispatch-ish interval per
+            // queued request, clamped to a sane range.
+            let retry_after = Duration::from_micros((depth as u64 * 20).clamp(100, 50_000));
+            return Err(ServeError::Overloaded { retry_after });
+        }
+        let slot = Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            completion_index: AtomicU64::new(0),
+            enqueue_ns: self.shared.clock.now_ns(),
+        });
+        let queue = st.tenants.entry(tenant.to_string()).or_default();
+        queue.jobs.push_back(Job {
+            request,
+            slot: Arc::clone(&slot),
+        });
+        if queue.jobs.len() == 1 {
+            st.active.push_back(tenant.to_string());
+        }
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(ResponseTicket { slot })
+    }
+
+    /// Pauses dispatch: admitted requests queue but do not run.
+    pub fn pause(&self) {
+        self.shared
+            .sched
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .paused = true;
+    }
+
+    /// Resumes dispatch after [`Server::pause`] (or `start_paused`).
+    pub fn resume(&self) {
+        self.shared
+            .sched
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Current metrics.
+    pub fn stats(&self) -> ServerStats {
+        let queue_depth = {
+            let st = self.shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            st.tenants.values().map(|t| t.jobs.len()).sum()
+        };
+        ServerStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            queue_depth,
+            latency: self.shared.latency.snapshot(),
+        }
+    }
+
+    /// Blocks until every admitted request has completed (dispatch
+    /// must not be paused, or this never returns).
+    pub fn drain(&self) {
+        loop {
+            let empty = {
+                let st = self.shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+                st.tenants.values().all(|t| t.jobs.is_empty())
+            };
+            if empty && self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stops admission, drains in-flight work, and joins the
+    /// dispatcher and executor.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            st.closed = true;
+            st.paused = false;
+        }
+        self.shared.work.notify_all();
+        if let Some(h) = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+        self.executor.wait_idle();
+        self.executor.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The DRR scheduling loop. Runs on its own thread; spawns dispatched
+/// jobs onto the executor.
+fn dispatch_loop(shared: Arc<ServerShared>, executor: Arc<Executor>) {
+    loop {
+        let job = {
+            let mut st = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let drained = st.active.is_empty();
+                if st.closed && drained {
+                    return;
+                }
+                let can_dispatch = !st.paused
+                    && !drained
+                    && shared.in_flight.load(Ordering::SeqCst) < shared.config.max_in_flight.max(1);
+                if can_dispatch {
+                    break;
+                }
+                let (g, _) = shared
+                    .work
+                    .wait_timeout(st, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+            // DRR: the head tenant's deficit grows by one quantum per
+            // visit and pays for dispatched requests; when it cannot
+            // cover the next request, the tenant goes to the back of
+            // the round with its balance kept.
+            let tenant = st.active.pop_front().expect("active checked non-empty");
+            let q = st.tenants.get_mut(&tenant).expect("active tenant exists");
+            if !q.topped_up {
+                q.deficit += shared.config.quantum;
+                q.topped_up = true;
+            }
+            let cost = q
+                .jobs
+                .front()
+                .expect("active tenant has work")
+                .request
+                .cost();
+            if q.deficit < cost {
+                // Quantum spent: back of the round, balance carried.
+                q.topped_up = false;
+                st.active.push_back(tenant);
+                continue;
+            }
+            q.deficit -= cost;
+            let job = q.jobs.pop_front().expect("front checked");
+            if q.jobs.is_empty() {
+                // An idle tenant must not bank credit for later bursts.
+                q.deficit = 0;
+                q.topped_up = false;
+            } else {
+                st.active.push_front(tenant);
+            }
+            job
+        };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        spawn_job(&shared, &executor, job);
+    }
+}
+
+/// A tenant keeps dispatching while its deficit covers the next cost;
+/// `dispatch_loop` re-fronts it so consecutive grabs within one round
+/// stay cheap. (Pushing to the *front* is what makes a round "spend
+/// the whole quantum" rather than one request per visit.)
+fn spawn_job(shared: &Arc<ServerShared>, executor: &Arc<Executor>, job: Job) {
+    let Job { request, slot } = job;
+    let shared = Arc::clone(shared);
+    let exec = Arc::clone(executor);
+    executor.spawn(async move {
+        let result: Result<Response, ServeError> = match request {
+            Request::Query { doc, lookup } => shared
+                .service
+                .query(&doc, &lookup)
+                .map(Response::Query)
+                .map_err(ServeError::from),
+            Request::Commit { doc, txn } => commit_with_backoff(&shared, &exec, &doc, txn).await,
+        };
+        // Completion bookkeeping: latency, sequence number, wake the
+        // waiter, free the in-flight slot, kick the dispatcher.
+        let elapsed = shared.clock.now_ns().saturating_sub(slot.enqueue_ns);
+        shared.latency.record(Duration::from_nanos(elapsed));
+        let seq = shared.completions.fetch_add(1, Ordering::SeqCst) + 1;
+        slot.completion_index.store(seq, Ordering::SeqCst);
+        {
+            let mut guard = slot.result.lock().unwrap_or_else(|e| e.into_inner());
+            *guard = Some(result);
+        }
+        slot.done.notify_all();
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.work.notify_all();
+    });
+}
+
+/// Submits a commit through the bounded [`IndexService::try_submit`]
+/// path, sleeping out each `retry_after` hint on shard overload. After
+/// `commit_retries` rejections the overload is propagated to the
+/// client — admission control composes: the shard's bound backstops
+/// the tenant queue's bound.
+async fn commit_with_backoff(
+    shared: &Arc<ServerShared>,
+    exec: &Arc<Executor>,
+    doc: &str,
+    txn: Transaction,
+) -> Result<Response, ServeError> {
+    let mut last_retry_after = Duration::from_micros(100);
+    for attempt in 0..=shared.config.commit_retries {
+        // try_submit consumes its transaction; keep ours and hand the
+        // shard a clone so a rejected attempt can be retried.
+        match shared.service.try_submit(doc, txn.clone()) {
+            Ok(ticket) => return Ok(Response::Commit(ticket.await?)),
+            Err(IndexError::Overloaded { retry_after, .. }) => {
+                last_retry_after = retry_after;
+                if attempt < shared.config.commit_retries {
+                    exec.sleep(retry_after).await;
+                }
+            }
+            Err(other) => return Err(ServeError::Index(other)),
+        }
+    }
+    Err(ServeError::Overloaded {
+        retry_after: last_retry_after,
+    })
+}

@@ -10,6 +10,8 @@
 //! cargo run --release --bin xvi-cli -- stress --threads 8 --ops 5000
 //! cargo run --release --bin xvi-cli -- stress --threads 1 --pipeline 64
 //! cargo run --release --bin xvi-cli -- stress --threads 4 --wal /tmp/xvi-wal
+//! cargo run --release --bin xvi-cli -- stress --threads 4 --serve
+//! cargo run --release --bin xvi-cli -- serve --docs 4 --export 'format=csv; columns=doc,node,value; lookup=equi:42'
 //! cargo run --release --bin xvi-cli -- recover /tmp/xvi-wal --checkpoint
 //! ```
 //!
@@ -20,13 +22,21 @@
 //! `Statistics` (histograms, heavy hitters, q-gram table) and B+tree
 //! `TreeStats` (pages/shared_pages/free_slots) of a loaded document,
 //! or let the `stress` subcommand drive the sharded index service with
-//! a mixed concurrent workload and report throughput
-//! (`--pipeline <depth>` keeps that many commits in flight per writer
+//! a mixed concurrent workload and report throughput **and latency
+//! percentiles** (p50/p99 for commits and reads separately;
+//! `--pipeline <depth>` keeps that many commits in flight per writer
 //! via `submit`/`CommitTicket` instead of blocking; `--wal <dir>` runs
 //! the same workload durably, group-fsyncing every commit batch into a
-//! per-shard write-ahead log). The `recover` subcommand reopens such a
-//! directory — checkpoint plus WAL replay — and reports what survived;
-//! `--checkpoint` then folds the replayed log into a fresh checkpoint.
+//! per-shard write-ahead log; `--serve` routes every operation through
+//! the `xvi-serve` frontend — admission control, per-tenant DRR
+//! fairness — and additionally reports the server-side `ServerStats`).
+//! The `serve` subcommand hosts documents behind that frontend, drives
+//! a short mixed workload, reports the latency percentiles, and — with
+//! `--export` — streams a config-driven CSV/JSON/JSONL export of a
+//! pinned service snapshot to stdout or `--out <file>`. The `recover`
+//! subcommand reopens a WAL directory — checkpoint plus WAL replay —
+//! and reports what survived; `--checkpoint` then folds the replayed
+//! log into a fresh checkpoint.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write as _};
@@ -48,7 +58,23 @@ fn main() {
                 eprintln!(
                     "usage: xvi-cli stress [--docs <n>] [--threads <n>] [--ops <n>] \
                      [--scale <permille>] [--write-pct <0-100>] [--group <n>] \
-                     [--shards <n>] [--seed <n>] [--pipeline <depth>] [--wal <dir>]"
+                     [--shards <n>] [--seed <n>] [--pipeline <depth>] [--wal <dir>] \
+                     [--serve]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        match run_serve_cmd(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: xvi-cli serve [--docs <n>] [--scale <permille>] [--shards <n>] \
+                     [--ops <n>] [--export '<spec>'] [--out <file>]\n\
+                     export spec: format=csv|json|jsonl; columns=doc,node,name,kind,value,double,version; \
+                     lookup=equi:V|range:LO..HI|contains:V|wildcard:P|xpath:Q; header=true|false"
                 );
                 std::process::exit(2);
             }
@@ -403,12 +429,18 @@ fn run_stress(args: &[String]) -> Result<(), String> {
     let mut seed = 42u64;
     let mut pipeline = 1usize;
     let mut wal: Option<String> = None;
+    let mut serve = false;
     let mut i = 0;
     while i < args.len() {
         let val = |j: usize| -> Result<&String, String> {
             args.get(j)
                 .ok_or_else(|| format!("{} needs a value", args[j - 1]))
         };
+        if args[i] == "--serve" {
+            serve = true;
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--docs" => docs_n = val(i + 1)?.parse().map_err(|e| format!("--docs: {e}"))?,
             "--threads" => threads = val(i + 1)?.parse().map_err(|e| format!("--threads: {e}"))?,
@@ -494,16 +526,47 @@ fn run_stress(args: &[String]) -> Result<(), String> {
 
     // Precomputed so the timed loop does not allocate an id per op.
     let ids: Arc<Vec<String>> = Arc::new((0..docs_n).map(|i| format!("d{i}")).collect());
+    // Client-observed latency, split by operation class. Commits in
+    // pipelined mode are measured submit → reap (the whole in-flight
+    // span), matching what a pipelined client experiences.
+    let commit_hist = Arc::new(LatencyHistogram::new());
+    let read_hist = Arc::new(LatencyHistogram::new());
+    let server = serve.then(|| {
+        Arc::new(Server::new(
+            Arc::clone(&service),
+            ServerConfig {
+                workers: threads.clamp(2, 8),
+                max_in_flight: (threads * pipeline).max(16),
+                tenant_queue: (4 * pipeline).max(256),
+                ..ServerConfig::default()
+            },
+        ))
+    });
     let barrier = Arc::new(Barrier::new(threads));
     let t = Instant::now();
     let handles: Vec<_> = shards_of_work
         .into_iter()
-        .map(|stream| {
+        .enumerate()
+        .map(|(tid, stream)| {
             let service = Arc::clone(&service);
             let barrier = Arc::clone(&barrier);
             let ids = Arc::clone(&ids);
+            let commit_hist = Arc::clone(&commit_hist);
+            let read_hist = Arc::clone(&read_hist);
+            let server = server.clone();
             std::thread::spawn(move || {
                 barrier.wait();
+                if let Some(server) = server {
+                    return drive_served(
+                        &server,
+                        &ids,
+                        stream,
+                        &tid.to_string(),
+                        pipeline,
+                        &commit_hist,
+                        &read_hist,
+                    );
+                }
                 let mut hits = 0usize;
                 // In pipelined mode each writer keeps up to `pipeline`
                 // submits in flight and reaps the oldest ticket only
@@ -517,34 +580,43 @@ fn run_stress(args: &[String]) -> Result<(), String> {
                             for (node, value) in writes {
                                 txn.set_value(node, value);
                             }
+                            let start = Instant::now();
                             if pipeline <= 1 {
                                 service.commit(id, txn).expect("stress writes are valid");
+                                commit_hist.record(start.elapsed());
                             } else {
-                                in_flight.push_back(service.submit(id, txn));
+                                in_flight.push_back((start, service.submit(id, txn)));
                                 if in_flight.len() >= pipeline {
-                                    let ticket = in_flight.pop_front().expect("window is full");
+                                    let (start, ticket) =
+                                        in_flight.pop_front().expect("window is full");
                                     ticket.wait().expect("stress writes are valid");
+                                    commit_hist.record(start.elapsed());
                                 }
                             }
                         }
                         WorkloadOp::ReadEqui { value, .. } => {
+                            let start = Instant::now();
                             hits += service
                                 .read(id, |doc, idx| {
                                     idx.query(doc, &Lookup::equi(&value)).unwrap().len()
                                 })
                                 .expect("stress documents are registered");
+                            read_hist.record(start.elapsed());
                         }
                         WorkloadOp::ReadRange { lo, hi, .. } => {
+                            let start = Instant::now();
                             hits += service
                                 .read(id, |doc, idx| {
                                     idx.query(doc, &Lookup::range_f64(lo..=hi)).unwrap().len()
                                 })
                                 .expect("stress documents are registered");
+                            read_hist.record(start.elapsed());
                         }
                     }
                 }
-                for ticket in in_flight {
+                for (start, ticket) in in_flight {
                     ticket.wait().expect("stress writes are valid");
+                    commit_hist.record(start.elapsed());
                 }
                 hits
             })
@@ -563,6 +635,17 @@ fn run_stress(args: &[String]) -> Result<(), String> {
         elapsed.as_secs_f64() * 1000.0,
         ops as f64 / elapsed.as_secs_f64()
     );
+    print_latency("commit latency", &commit_hist.snapshot());
+    print_latency("read latency  ", &read_hist.snapshot());
+    if let Some(server) = &server {
+        let stats = server.stats();
+        println!(
+            "server: admitted={} rejected={} completed={} in-flight={} queue-depth={}",
+            stats.admitted, stats.rejected, stats.completed, stats.in_flight, stats.queue_depth
+        );
+        print_latency("server latency", &stats.latency);
+        server.shutdown();
+    }
     assert_eq!(
         service.commit_count() - base_commits,
         writes as u64,
@@ -587,6 +670,193 @@ fn run_stress(args: &[String]) -> Result<(), String> {
         println!(
             "checkpointed {dir} (logs truncated) in {:.0} ms",
             t.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    Ok(())
+}
+
+fn print_latency(label: &str, hist: &xvi::serve::HistogramSnapshot) {
+    if hist.count() == 0 {
+        return;
+    }
+    println!(
+        "{label}: p50={:?} p90={:?} p99={:?} p999={:?} max={:?} (n={})",
+        hist.percentile(0.50),
+        hist.percentile(0.90),
+        hist.percentile(0.99),
+        hist.percentile(0.999),
+        hist.max(),
+        hist.count()
+    );
+}
+
+/// The `--serve` worker loop of `stress`: the same workload stream,
+/// but every operation goes through the serving frontend as tenant
+/// `tid` — admission control, DRR dispatch — keeping up to `pipeline`
+/// response tickets in flight.
+fn drive_served(
+    server: &Server,
+    ids: &[String],
+    stream: impl IntoIterator<Item = WorkloadOp>,
+    tenant: &str,
+    pipeline: usize,
+    commit_hist: &LatencyHistogram,
+    read_hist: &LatencyHistogram,
+) -> usize {
+    let mut hits = 0usize;
+    let mut in_flight: VecDeque<(Instant, ResponseTicket)> = VecDeque::new();
+    let reap = |(start, ticket): (Instant, ResponseTicket), hits: &mut usize| match ticket
+        .wait()
+        .expect("served stress requests succeed")
+    {
+        Response::Commit(_) => commit_hist.record(start.elapsed()),
+        Response::Query(found) => {
+            *hits += found.len();
+            read_hist.record(start.elapsed());
+        }
+    };
+    for op in stream {
+        let id = ids[op.doc()].clone();
+        let request = match op {
+            WorkloadOp::Write { writes, .. } => {
+                let mut txn = server.service().begin();
+                for (node, value) in writes {
+                    txn.set_value(node, value);
+                }
+                Request::Commit { doc: id, txn }
+            }
+            WorkloadOp::ReadEqui { value, .. } => Request::Query {
+                doc: id,
+                lookup: Lookup::equi(value),
+            },
+            WorkloadOp::ReadRange { lo, hi, .. } => Request::Query {
+                doc: id,
+                lookup: Lookup::range_f64(lo..=hi),
+            },
+        };
+        let start = Instant::now();
+        let ticket = loop {
+            // A closed-loop client honours the server's backoff hint.
+            match server.submit(tenant, request.clone()) {
+                Ok(t) => break t,
+                Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+                Err(e) => panic!("serve stress: {e}"),
+            }
+        };
+        in_flight.push_back((start, ticket));
+        if in_flight.len() >= pipeline.max(1) {
+            let entry = in_flight.pop_front().expect("window is full");
+            reap(entry, &mut hits);
+        }
+    }
+    for entry in in_flight {
+        reap(entry, &mut hits);
+    }
+    hits
+}
+
+fn run_serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut docs_n = 4usize;
+    let mut scale = 10u32;
+    let mut shards = 4usize;
+    let mut ops = 2_000usize;
+    let mut export: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |j: usize| -> Result<&String, String> {
+            args.get(j)
+                .ok_or_else(|| format!("{} needs a value", args[j - 1]))
+        };
+        match args[i].as_str() {
+            "--docs" => docs_n = val(i + 1)?.parse().map_err(|e| format!("--docs: {e}"))?,
+            "--scale" => scale = val(i + 1)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--shards" => shards = val(i + 1)?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--ops" => ops = val(i + 1)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--export" => export = Some(val(i + 1)?.clone()),
+            "--out" => out = Some(val(i + 1)?.clone()),
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+        i += 2;
+    }
+    if docs_n == 0 {
+        return Err("--docs must be positive".into());
+    }
+    // Parse the export spec before doing any work, so a typo fails
+    // fast instead of after the serving phase.
+    let export = export
+        .map(|s| ExportSpec::parse(&s).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    let suite = Dataset::paper_suite();
+    eprintln!("generating and indexing {docs_n} documents at {scale}‰ …");
+    let service = Arc::new(IndexService::new(ServiceConfig::with_shards(shards)));
+    let mut value_nodes = Vec::new();
+    for i in 0..docs_n {
+        let xml = suite[i % suite.len()].generate(scale);
+        let doc = Document::parse(&xml).expect("generated datasets parse");
+        value_nodes.push(
+            doc.descendants_or_self(doc.document_node())
+                .find(|&n| doc.kind(n).has_direct_value())
+                .expect("generated documents contain text"),
+        );
+        service.insert_document(format!("d{i}"), doc);
+    }
+
+    let server = Server::new(Arc::clone(&service), ServerConfig::default());
+    eprintln!("serving a {ops}-request mixed workload (2 tenants, 90/10 read/write) …");
+    let mut tickets = Vec::new();
+    for i in 0..ops {
+        let doc_id = format!("d{}", i % docs_n);
+        let request = if i % 10 == 9 {
+            let mut txn = service.begin();
+            txn.set_value(value_nodes[i % docs_n], format!("v{i}"));
+            Request::Commit { doc: doc_id, txn }
+        } else {
+            Request::Query {
+                doc: doc_id,
+                lookup: Lookup::range_f64(10.0..=20.0),
+            }
+        };
+        let tenant = if i % 2 == 0 { "even" } else { "odd" };
+        match server.submit(tenant, request) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            Err(e) => return Err(format!("serve: {e}")),
+        }
+    }
+    for t in &tickets {
+        t.wait().map_err(|e| format!("serve: {e}"))?;
+    }
+    let stats = server.stats();
+    eprintln!(
+        "server: admitted={} rejected={} completed={} (commit count {})",
+        stats.admitted,
+        stats.rejected,
+        stats.completed,
+        service.commit_count()
+    );
+    print_latency("latency", &stats.latency);
+    server.shutdown();
+
+    if let Some(spec) = export {
+        // Pin one consistent cut across every document, then stream.
+        let snapshot = service.snapshot_all();
+        let rows = match &out {
+            Some(path) => {
+                let file = std::fs::File::create(path).map_err(|e| format!("--out {path}: {e}"))?;
+                let mut w = std::io::BufWriter::new(file);
+                spec.stream(&snapshot, &mut w).map_err(|e| e.to_string())?
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let mut w = std::io::BufWriter::new(stdout.lock());
+                spec.stream(&snapshot, &mut w).map_err(|e| e.to_string())?
+            }
+        };
+        eprintln!(
+            "exported {rows} rows{}",
+            out.map(|p| format!(" to {p}")).unwrap_or_default()
         );
     }
     Ok(())

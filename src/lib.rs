@@ -20,6 +20,11 @@
 //!   commutative transaction layer (§5.1) and a mini-XPath evaluator.
 //! * [`datagen`] — XMark-shaped and "real-life-alike" document
 //!   generators plus update workloads used by the experiment harness.
+//! * [`serve`] — the serving frontend: a hand-rolled async executor
+//!   driving `CommitTicket` futures, bounded admission queues with
+//!   typed overload rejection, deficit-round-robin tenant fairness,
+//!   log-bucketed latency percentiles and config-driven streaming
+//!   CSV/JSON/JSONL exports.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +51,7 @@ pub use xvi_datagen as datagen;
 pub use xvi_fsm as fsm;
 pub use xvi_hash as hash;
 pub use xvi_index as index;
+pub use xvi_serve as serve;
 pub use xvi_xml as xml;
 
 /// Commonly used items, re-exported for examples and downstream users.
@@ -56,6 +62,10 @@ pub mod prelude {
         Bounds, CardinalityEstimate, CommitReceipt, CommitTicket, DocSnapshot, Durability,
         IndexConfig, IndexManager, IndexService, Lookup, Plan, PlannerConfig, QueryEngine,
         ServiceConfig, ServiceSnapshot, Statistics, TransactionalStore,
+    };
+    pub use xvi_serve::{
+        ExportSpec, LatencyHistogram, Request, Response, ResponseTicket, ServeError, Server,
+        ServerConfig, ServerStats,
     };
     pub use xvi_xml::{Document, NodeId, NodeKind};
 }

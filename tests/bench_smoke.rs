@@ -77,3 +77,11 @@ fn planner_runs_at_tiny_scale() {
     // realistic scales.
     experiments::run_planner(1, 1);
 }
+
+#[test]
+fn serve_runs_at_tiny_scale() {
+    // The open-loop serving sweep, including its built-in assertions:
+    // the unbounded top rate must shed load with typed rejections, and
+    // every admitted request must record exactly one latency sample.
+    experiments::run_serve(1, 1);
+}
