@@ -18,6 +18,11 @@
 //! serving sweep ([`xvi_bench::experiments::run_serve`]): latency
 //! percentiles (p50/p99/p999) vs. arrival rate through the
 //! `xvi-serve` frontend, with typed load-shedding above saturation.
+//! Pass `lookup` to run the descent fast-path sweep
+//! ([`xvi_bench::experiments::run_lookup`]): point and short-range
+//! probe latency over uniform/sorted/zipf streams, branch-cached
+//! descents vs. the cold root-walk baseline, with machine-readable
+//! results written to `BENCH_lookup.json`.
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -30,10 +35,11 @@ fn main() {
         "wal" => xvi_bench::experiments::run_wal(permille, reps),
         "aggregates" => xvi_bench::experiments::run_aggregates(permille, reps),
         "serve" => xvi_bench::experiments::run_serve(permille, reps),
+        "lookup" => xvi_bench::experiments::run_lookup(permille, reps),
         other => {
             eprintln!(
                 "unknown mode `{other}` (expected nothing, `pipelined`, `cow`, `planner`, \
-                 `wal`, `aggregates`, or `serve`)"
+                 `wal`, `aggregates`, `serve`, or `lookup`)"
             );
             std::process::exit(2);
         }

@@ -54,8 +54,8 @@ impl<K: Ord + Clone + std::hash::Hash, V: Clone> BPlusTree<K, V> {
             first_keys.push(keys[0].clone());
             let prev = leaves.last().copied().unwrap_or(NIL);
             let id = tree.alloc_node(Node::Leaf {
-                keys: std::mem::take(keys),
-                values: std::mem::take(values),
+                keys: std::mem::take(keys).into(),
+                values: std::mem::take(values).into(),
                 next: NIL,
                 prev,
             });

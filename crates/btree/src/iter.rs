@@ -2,6 +2,7 @@
 
 use std::ops::{Bound, RangeBounds};
 
+use crate::cache::hinted_partition_point;
 use crate::node::{Node, NIL};
 use crate::tree::BPlusTree;
 
@@ -20,10 +21,19 @@ pub struct Range<'a, K, V> {
 
 impl<'a, K: Ord + Clone + std::hash::Hash, V: Clone> Range<'a, K, V> {
     pub(crate) fn new<R: RangeBounds<K>>(tree: &'a BPlusTree<K, V>, bounds: R) -> Self {
+        Self::with_mode(tree, bounds, false)
+    }
+
+    /// Cold-positioned variant backing [`BPlusTree::range_cold`].
+    pub(crate) fn new_cold<R: RangeBounds<K>>(tree: &'a BPlusTree<K, V>, bounds: R) -> Self {
+        Self::with_mode(tree, bounds, true)
+    }
+
+    fn with_mode<R: RangeBounds<K>>(tree: &'a BPlusTree<K, V>, bounds: R, cold: bool) -> Self {
         let (leaf, idx) = match bounds.start_bound() {
             Bound::Unbounded => (tree.first_leaf, 0),
-            Bound::Included(s) => tree.position_at_or_after(s, false),
-            Bound::Excluded(s) => tree.position_at_or_after(s, true),
+            Bound::Included(s) => tree.position_at_or_after(s, false, cold),
+            Bound::Excluded(s) => tree.position_at_or_after(s, true, cold),
         };
         Range {
             tree,
@@ -79,14 +89,24 @@ impl<K: Ord + Clone + std::hash::Hash, V: Clone> BPlusTree<K, V> {
     /// Finds the position of the first entry `>= key` (or `> key` when
     /// `exclusive`), as a `(leaf, index)` pair; the index may be one
     /// past the end of the leaf, which the iterator normalises.
-    pub(crate) fn position_at_or_after(&self, key: &K, exclusive: bool) -> (u32, usize) {
-        let leaf = self.find_leaf(key);
+    pub(crate) fn position_at_or_after(
+        &self,
+        key: &K,
+        exclusive: bool,
+        cold: bool,
+    ) -> (u32, usize) {
+        let leaf = if cold {
+            self.find_leaf_cold(key)
+        } else {
+            self.find_leaf(key)
+        };
         match self.node(leaf) {
             Node::Leaf { keys, .. } => {
-                let idx = if exclusive {
-                    keys.partition_point(|k| k <= key)
-                } else {
-                    keys.partition_point(|k| k < key)
+                let idx = match (cold, exclusive) {
+                    (true, true) => keys.partition_point(|k| k <= key),
+                    (true, false) => keys.partition_point(|k| k < key),
+                    (false, true) => hinted_partition_point(keys, |k| k <= key),
+                    (false, false) => hinted_partition_point(keys, |k| k < key),
                 };
                 (leaf, idx)
             }

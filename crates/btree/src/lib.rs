@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod bulk;
+mod cache;
 mod iter;
 mod node;
 mod page;
@@ -41,6 +42,6 @@ mod summary;
 mod tree;
 
 pub use iter::Range;
-pub use page::{PagedVec, PAGE_SIZE};
+pub use page::{ColVec, PagedVec, PAGE_SIZE};
 pub use summary::{key_hash, Summary};
 pub use tree::{BPlusTree, TreeStats, DEFAULT_ORDER};

@@ -1,5 +1,6 @@
 //! Arena node representation.
 
+use crate::page::ColVec;
 use crate::summary::Summary;
 
 /// Sentinel "null" node id inside the arena.
@@ -24,9 +25,15 @@ pub(crate) enum Node<K, V> {
         summaries: Vec<Summary<K>>,
     },
     /// Leaf node holding the actual entries plus sibling links.
+    ///
+    /// The key and value columns are each a [`ColVec`]: cloning the
+    /// node (a copy-on-write page detach) borrows both columns by
+    /// reference-count bump, and a mutation detaches only the column
+    /// it writes — a value overwrite leaves the key column shared
+    /// with every snapshot.
     Leaf {
-        keys: Vec<K>,
-        values: Vec<V>,
+        keys: ColVec<K>,
+        values: ColVec<V>,
         next: u32,
         prev: u32,
     },
@@ -37,7 +44,8 @@ pub(crate) enum Node<K, V> {
 impl<K, V> Node<K, V> {
     pub(crate) fn key_count(&self) -> usize {
         match self {
-            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
             Node::Free => 0,
         }
     }

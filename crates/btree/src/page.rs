@@ -225,6 +225,70 @@ impl<T: Clone> PagedVec<T> {
     }
 }
 
+/// A copy-on-write column: a `Vec<T>` behind an [`Arc`], so cloning
+/// is one reference-count bump and the first mutation while shared
+/// detaches a private copy of just this column.
+///
+/// This is the second, finer level of structural sharing under the
+/// B+tree: nodes live in [`PagedVec`] pages (page-level COW), and a
+/// wide leaf's `keys` and `values` each live in their own `ColVec`
+/// (column-level COW). When a page detach clones a leaf, both columns
+/// are borrowed by reference-count bump instead of deep-copied, and a
+/// mutation that touches only one side — e.g. a value overwrite
+/// through `get_mut` — detaches only that column, leaving the sibling
+/// column shared with every snapshot.
+#[derive(Debug, Clone)]
+pub struct ColVec<T>(Arc<Vec<T>>);
+
+impl<T> Default for ColVec<T> {
+    fn default() -> Self {
+        ColVec(Arc::new(Vec::new()))
+    }
+}
+
+impl<T> From<Vec<T>> for ColVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        ColVec(Arc::new(v))
+    }
+}
+
+impl<T> ColVec<T> {
+    /// An empty column.
+    pub fn new() -> ColVec<T> {
+        Self::default()
+    }
+
+    /// Whether this column's backing vector is shared with another
+    /// `ColVec` clone (a leaf borrowed by a snapshot).
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+}
+
+impl<T: Clone> ColVec<T> {
+    /// Exclusive access to the backing vector, detaching a private
+    /// copy first if the column is shared (the copy-on-write step).
+    /// Every mutation path goes through here.
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Forces the column private even without a pending write — the
+    /// deep-clone escape hatch uses this so "shares nothing" stays
+    /// true at the column level, not just the page level.
+    pub fn unshare(&mut self) {
+        Arc::make_mut(&mut self.0);
+    }
+}
+
+impl<T> std::ops::Deref for ColVec<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.0
+    }
+}
+
 impl<T> Index<usize> for PagedVec<T> {
     type Output = T;
 
@@ -359,6 +423,21 @@ mod tests {
         w.resize(PAGE_SIZE, 0);
         assert_eq!(w.page_count(), 1);
         assert_eq!(w.shared_pages(), 1);
+    }
+
+    #[test]
+    fn colvec_shares_until_written() {
+        let mut a: ColVec<u32> = vec![1, 2, 3].into();
+        let b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        a.make_mut()[0] = 99;
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(&a[..], &[99, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3], "snapshot column unaffected");
+        let mut c = b.clone();
+        c.unshare();
+        assert!(!c.is_shared() && !b.is_shared());
+        assert_eq!(&c[..], &b[..]);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Descent-fast-path model tests: the branch-cached lookup path is
+//! byte-identical to the cold root walk.
+//!
+//! The branch cache, the fused fence+search rung in `get`, and the
+//! hinted in-node searches are pure accelerations — under any
+//! interleaving of inserts, deletes, bulk builds, arena compactions
+//! and COW clone-then-mutate forks, `get`/`range` must return exactly
+//! what `get_cold`/`range_cold` return. Probes are woven *between*
+//! the mutations so the cache is repeatedly populated, invalidated by
+//! epoch bumps, and re-populated, and pinned snapshots are probed
+//! again after their source keeps mutating (a cloned tree starts with
+//! an empty cache; its answers must still match).
+
+use proptest::prelude::*;
+use xvi_btree::BPlusTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    /// Point-probe a run of adjacent keys warm and cold.
+    Probe(u16),
+    /// Range-probe `[k, k + len)` warm and cold.
+    RangeProbe(u16, u16),
+    /// Compact the arena (rebuilds node ids wholesale).
+    Shrink,
+    /// Pin a COW snapshot; it is probed after source mutations.
+    Snapshot,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        4 => any::<u16>().prop_map(|k| Op::Probe(k % 512)),
+        2 => (any::<u16>(), 1u16..24).prop_map(|(k, l)| Op::RangeProbe(k % 512, l)),
+        1 => Just(Op::Shrink),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+/// Asserts warm and cold answers agree for a small neighborhood of
+/// `k` — adjacent keys walk the probe ladder through primary hits,
+/// parent-rung re-descents, and misses.
+fn check_probes(tree: &BPlusTree<u16, u32>, k: u16) -> Result<(), TestCaseError> {
+    for k in k.saturating_sub(1)..=k.saturating_add(2) {
+        prop_assert_eq!(tree.get(&k), tree.get_cold(&k), "point divergence at {}", k);
+    }
+    Ok(())
+}
+
+fn check_range(tree: &BPlusTree<u16, u32>, k: u16, len: u16) -> Result<(), TestCaseError> {
+    let hi = k.saturating_add(len);
+    let warm: Vec<(u16, u32)> = tree.range(k..hi).map(|(a, b)| (*a, *b)).collect();
+    let cold: Vec<(u16, u32)> = tree.range_cold(k..hi).map(|(a, b)| (*a, *b)).collect();
+    prop_assert_eq!(warm, cold, "range divergence at {}..{}", k, hi);
+    Ok(())
+}
+
+proptest! {
+    /// Warm lookups and ranges match the cold walk at every point of
+    /// an arbitrary mutation history, on snapshots pinned mid-history
+    /// (probed again after the source mutates), and on a fork that
+    /// keeps mutating after the clone.
+    #[test]
+    fn cached_descents_match_cold_walk(
+        seed_n in 0usize..400,
+        ops in proptest::collection::vec(arb_op(), 1..250),
+        probe_keys in proptest::collection::vec(any::<u16>(), 8),
+    ) {
+        for order in [4usize, 32] {
+            // Bulk-built start so the cache also sees bulk-loaded
+            // topology, not just incrementally grown trees.
+            let mut tree: BPlusTree<u16, u32> = BPlusTree::from_sorted_iter_with_order(
+                order,
+                (0..seed_n as u16).map(|k| (k, k as u32)),
+            );
+            let mut snapshots: Vec<BPlusTree<u16, u32>> = Vec::new();
+            let mut snapshot_models: Vec<Vec<(u16, u32)>> = Vec::new();
+
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        tree.insert(k, v);
+                        check_probes(&tree, k)?;
+                    }
+                    Op::Remove(k) => {
+                        tree.remove(&k);
+                        check_probes(&tree, k)?;
+                    }
+                    Op::Probe(k) => check_probes(&tree, k)?,
+                    Op::RangeProbe(k, len) => check_range(&tree, k, len)?,
+                    Op::Shrink => {
+                        tree.shrink_to_fit();
+                        check_probes(&tree, 0)?;
+                    }
+                    Op::Snapshot => {
+                        let snap = tree.clone();
+                        snapshot_models
+                            .push(snap.iter().map(|(k, v)| (*k, *v)).collect());
+                        snapshots.push(snap);
+                    }
+                }
+            }
+            prop_assert!(tree.check_invariants().is_ok());
+
+            // Pinned snapshots, probed after the source kept mutating:
+            // their (fresh, empty) caches must warm up to the same
+            // answers, and the content must still match the model
+            // taken at clone time.
+            for (snap, model) in snapshots.iter().zip(&snapshot_models) {
+                for &k in &probe_keys {
+                    check_probes(snap, k % 512)?;
+                }
+                check_range(snap, 0, 512)?;
+                let now: Vec<(u16, u32)> = snap.iter().map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(&now, model, "snapshot drifted after source mutation");
+            }
+
+            // A fork that mutates *after* cloning: COW detaches must
+            // leave both sides' cached descents coherent.
+            let mut fork = tree.clone();
+            for &k in &probe_keys {
+                fork.insert(k % 512, 0xF00D);
+                check_probes(&fork, k % 512)?;
+                check_probes(&tree, k % 512)?;
+            }
+            fork.shrink_to_fit();
+            prop_assert!(fork.check_invariants().is_ok());
+            for &k in &probe_keys {
+                check_probes(&fork, k % 512)?;
+            }
+        }
+    }
+}

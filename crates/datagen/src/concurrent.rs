@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::probes::Zipf;
 use xvi_xml::{Document, NodeId, NodeKind};
 
 /// One operation of a concurrent workload.
@@ -197,33 +198,6 @@ fn fresh_value(rng: &mut StdRng) -> String {
         1 => format!("{}.{:02}", rng.gen_range(0..10_000), rng.gen_range(0..100)),
         2 => format!("hot value {}", rng.gen_range(0..1_000_000)),
         _ => format!("w{:x}", rng.gen::<u64>()),
-    }
-}
-
-/// Zipf sampler over `0..n` via the precomputed cumulative
-/// distribution — exact, and fast enough for workload generation.
-#[derive(Debug, Clone)]
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, theta: f64) -> Zipf {
-        let mut cdf = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for k in 1..=n {
-            total += 1.0 / (k as f64).powf(theta);
-            cdf.push(total);
-        }
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
 

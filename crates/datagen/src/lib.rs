@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod probes;
 pub mod reallife;
 pub mod updates;
 mod vocab;

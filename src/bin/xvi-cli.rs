@@ -311,6 +311,16 @@ fn tree_line(label: &str, t: xvi::btree::TreeStats) {
          {} pages ({} shared, {} free slots), root hash {:016x}",
         t.len, t.depth, t.leaves, t.internals, t.pages, t.shared_pages, t.free_slots, t.root_hash
     );
+    let probes = t.cache_hits + t.cache_partial_hits + t.cache_misses;
+    if probes > 0 {
+        println!(
+            "    descent cache: {} hits / {} partial / {} misses ({:.1}% resolved near the leaf)",
+            t.cache_hits,
+            t.cache_partial_hits,
+            t.cache_misses,
+            100.0 * (t.cache_hits + t.cache_partial_hits) as f64 / probes as f64
+        );
+    }
 }
 
 /// Dumps the statistics subsystem's view of every configured index:
