@@ -23,9 +23,30 @@
 //! probe latency over uniform/sorted/zipf streams, branch-cached
 //! descents vs. the cold root-walk baseline, with machine-readable
 //! results written to `BENCH_lookup.json`.
+//!
+//! `--metrics-out <path>` (or `XVI_METRICS_OUT=<path>`) makes the
+//! service-driving sweeps dump their final metrics-registry snapshot
+//! as a Prometheus exposition to `<path>` and JSON to `<path>.json`.
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics-out" {
+            match args.get(i + 1) {
+                Some(path) => std::env::set_var("XVI_METRICS_OUT", path),
+                None => {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            mode = args[i].clone();
+            i += 1;
+        }
+    }
     let (permille, reps) = (xvi_bench::scale_permille(), xvi_bench::reps());
     match mode.as_str() {
         "" => xvi_bench::experiments::run_concurrency(permille, reps),

@@ -16,7 +16,9 @@ use xvi_index::{
 };
 use xvi_xml::{Document, NodeKind};
 
-use crate::{load, mb, ms, pct, time, time_mean, time_min_pair, Table};
+use crate::{
+    load, mb, metrics_out, ms, pct, time, time_mean, time_min_pair, write_metrics_snapshot, Table,
+};
 
 /// Table 1: statistics about the data sets.
 ///
@@ -1221,6 +1223,10 @@ pub fn run_serve(permille: u32, reps: usize) {
         ("p999", 10),
     ]);
 
+    // Registry snapshot of the last completed rep, for `--metrics-out`:
+    // by then the counters cover a full saturating sweep step.
+    let mut final_snapshot: Option<xvi_obs::RegistrySnapshot> = None;
+
     for &rate in SERVE_RATES {
         let mut merged: Option<xvi_serve::HistogramSnapshot> = None;
         let mut admitted = 0u64;
@@ -1280,6 +1286,7 @@ pub fn run_serve(permille: u32, reps: usize) {
                 None => merged = Some(stats.latency),
             }
             server.shutdown();
+            final_snapshot = Some(service.obs().registry.snapshot());
         }
         let hist = merged.expect("at least one rep");
         let rate_label = if rate == u64::MAX {
@@ -1323,6 +1330,16 @@ pub fn run_serve(permille: u32, reps: usize) {
          queue depth × service time — admission control turns overload into\n\
          typed, retryable feedback instead of unbounded queueing delay."
     );
+
+    if let Some(path) = metrics_out() {
+        let snap = final_snapshot.expect("at least one rep ran");
+        write_metrics_snapshot(&snap, &path)
+            .unwrap_or_else(|e| panic!("--metrics-out {path}: {e}"));
+        println!(
+            "\nwrote metrics snapshot ({} series) to {path} and {path}.json",
+            snap.series_names().len()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

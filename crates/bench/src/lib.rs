@@ -42,6 +42,22 @@ pub fn reps() -> usize {
         .unwrap_or(5)
 }
 
+/// Where experiment runs should dump their final metrics-registry
+/// snapshot, if anywhere (`XVI_METRICS_OUT`, also set by the
+/// `concurrency` binary's `--metrics-out` flag). Honoured by the
+/// service-driving experiments (currently the `serve` sweep).
+pub fn metrics_out() -> Option<String> {
+    std::env::var("XVI_METRICS_OUT").ok()
+}
+
+/// Writes a registry snapshot as a Prometheus text exposition to
+/// `path` and as a JSON document to `<path>.json`.
+pub fn write_metrics_snapshot(snap: &xvi_obs::RegistrySnapshot, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, snap.to_prometheus())?;
+    std::fs::write(format!("{path}.json"), snap.to_json())?;
+    Ok(())
+}
+
 /// Generates and shreds one dataset, returning `(xml, doc)`.
 pub fn load(ds: Dataset, permille: u32) -> (String, Document) {
     let xml = ds.generate(permille);

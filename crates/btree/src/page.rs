@@ -61,6 +61,12 @@ struct Page<T> {
 pub struct PagedVec<T> {
     pages: Vec<Arc<Page<T>>>,
     len: usize,
+    /// Cumulative count of copy-on-write page detaches performed
+    /// through this instance's mutation lineage (clones inherit the
+    /// current count, so `after - before` across a clone-then-mutate
+    /// publish is the pages that publish copied). Plain `u64`: every
+    /// detach site holds `&mut self`.
+    detached: u64,
 }
 
 impl<T> Clone for PagedVec<T> {
@@ -69,6 +75,7 @@ impl<T> Clone for PagedVec<T> {
         PagedVec {
             pages: self.pages.clone(),
             len: self.len,
+            detached: self.detached,
         }
     }
 }
@@ -85,7 +92,17 @@ impl<T> PagedVec<T> {
         PagedVec {
             pages: Vec::new(),
             len: 0,
+            detached: 0,
         }
+    }
+
+    /// Cumulative count of copy-on-write page detaches performed over
+    /// this instance's lifetime (inherited by clones). The difference
+    /// across a clone-then-mutate cycle is exactly the number of pages
+    /// that cycle copied — the "COW pages detached per publish" metric
+    /// up the stack.
+    pub fn pages_detached(&self) -> u64 {
+        self.detached
     }
 
     /// Number of slots.
@@ -128,6 +145,14 @@ impl<T> PagedVec<T> {
 }
 
 impl<T: Clone> PagedVec<T> {
+    /// Bumps the detach counter when the next write to page `p` will
+    /// copy it. Called immediately before each [`Arc::make_mut`].
+    fn note_detach(&mut self, p: usize) {
+        if Arc::strong_count(&self.pages[p]) > 1 {
+            self.detached += 1;
+        }
+    }
+
     /// Appends a slot, detaching the last page first if it is shared.
     pub fn push(&mut self, value: T) {
         if self.len.is_multiple_of(PAGE_SIZE) {
@@ -135,6 +160,7 @@ impl<T: Clone> PagedVec<T> {
             slots.push(value);
             self.pages.push(Arc::new(Page { slots }));
         } else {
+            self.note_detach(self.pages.len() - 1);
             let page = self.pages.last_mut().expect("partial page exists");
             Arc::make_mut(page).slots.push(value);
         }
@@ -147,6 +173,7 @@ impl<T: Clone> PagedVec<T> {
         if i >= self.len {
             return None;
         }
+        self.note_detach(i / PAGE_SIZE);
         Some(&mut Arc::make_mut(&mut self.pages[i / PAGE_SIZE]).slots[i % PAGE_SIZE])
     }
 
@@ -160,6 +187,10 @@ impl<T: Clone> PagedVec<T> {
         assert!(a < self.len && b < self.len, "pair_mut out of bounds");
         let (pa, sa) = (a / PAGE_SIZE, a % PAGE_SIZE);
         let (pb, sb) = (b / PAGE_SIZE, b % PAGE_SIZE);
+        self.note_detach(pa);
+        if pa != pb {
+            self.note_detach(pb);
+        }
         if pa == pb {
             let page = Arc::make_mut(&mut self.pages[pa]);
             if sa < sb {
@@ -195,6 +226,7 @@ impl<T: Clone> PagedVec<T> {
             let tail = new_len % PAGE_SIZE;
             if tail != 0 {
                 // The kept boundary page may hold slots past new_len.
+                self.note_detach(self.pages.len() - 1);
                 let last = self.pages.last_mut().expect("tail implies a page");
                 Arc::make_mut(last).slots.truncate(tail);
             }
@@ -210,8 +242,9 @@ impl<T: Clone> PagedVec<T> {
     /// benches use as the no-sharing baseline, and what snapshots call
     /// to stop pinning pages of a live structure.
     pub fn unshare(&mut self) {
-        for page in &mut self.pages {
-            Arc::make_mut(page);
+        for p in 0..self.pages.len() {
+            self.note_detach(p);
+            Arc::make_mut(&mut self.pages[p]);
         }
     }
 
@@ -438,6 +471,29 @@ mod tests {
         c.unshare();
         assert!(!c.is_shared() && !b.is_shared());
         assert_eq!(&c[..], &b[..]);
+    }
+
+    #[test]
+    fn detach_counter_tracks_cow_copies_only() {
+        let mut v = filled(4 * PAGE_SIZE);
+        assert_eq!(
+            v.pages_detached(),
+            0,
+            "building fresh pages is not a detach"
+        );
+        v[0] = 1;
+        assert_eq!(v.pages_detached(), 0, "unshared writes are free");
+        let snap = v.clone();
+        assert_eq!(snap.pages_detached(), 0, "clones inherit the count");
+        let before = v.pages_detached();
+        v[0] = 2;
+        v[1] = 3; // same page, already private
+        v[PAGE_SIZE] = 4;
+        assert_eq!(v.pages_detached() - before, 2, "one detach per shared page");
+        assert_eq!(snap.pages_detached(), 0, "the snapshot side never detached");
+        let mut w = snap.clone();
+        w.unshare();
+        assert_eq!(w.pages_detached(), w.page_count() as u64);
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct TreeStats {
     /// Freed arena slots awaiting reuse; [`BPlusTree::shrink_to_fit`]
     /// compacts them away.
     pub free_slots: usize,
+    /// Cumulative copy-on-write page detaches over this instance's
+    /// mutation lineage (inherited by clones): the difference across a
+    /// clone-then-mutate publish cycle is the pages that cycle copied.
+    pub pages_detached: u64,
     /// The root [`Summary`] hash — an order-sensitive hash of the full
     /// key sequence, equal iff (modulo 64-bit collisions) two trees
     /// hold the same keys. See [`BPlusTree::subtree_hash`].
@@ -1229,6 +1233,13 @@ impl<K: Ord + Clone + Hash, V: Clone> BPlusTree<K, V> {
         (out, a.probes + b.probes)
     }
 
+    /// Cumulative copy-on-write page detaches (see
+    /// [`TreeStats::pages_detached`]) — a cheap O(1) read, unlike the
+    /// full [`stats`](Self::stats) walk.
+    pub fn pages_detached(&self) -> u64 {
+        self.nodes.pages_detached()
+    }
+
     /// Structural statistics for storage accounting.
     pub fn stats(&self) -> TreeStats {
         let mut leaves = 0;
@@ -1263,6 +1274,7 @@ impl<K: Ord + Clone + Hash, V: Clone> BPlusTree<K, V> {
             pages: self.nodes.page_count(),
             shared_pages: self.nodes.shared_pages(),
             free_slots: self.free.len(),
+            pages_detached: self.nodes.pages_detached(),
             root_hash: self.subtree_hash(),
             cache_hits,
             cache_partial_hits,

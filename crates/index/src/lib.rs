@@ -79,4 +79,5 @@ pub use util::OrdF64;
 // Re-exports so downstream users need only this crate.
 pub use xvi_fsm::{StateId, TypedValue, XmlType};
 pub use xvi_hash::HashValue;
+pub use xvi_obs::{Obs, Stage, Trace};
 pub use xvi_xml::{Document, NodeId};

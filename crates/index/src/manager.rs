@@ -321,6 +321,38 @@ impl IndexManager {
         }
     }
 
+    /// Structural [`xvi_btree::TreeStats`] for every tree-backed index
+    /// this manager holds, labeled by index kind — the per-kind series
+    /// the observability registry's tree collector exports (cache
+    /// hit/miss counters, page sharing, COW detach totals).
+    pub fn tree_stats_by_kind(&self) -> Vec<(String, xvi_btree::TreeStats)> {
+        let mut out = Vec::new();
+        if let Some(s) = &self.string {
+            out.push(("string".to_string(), s.tree_stats()));
+        }
+        for t in &self.typed {
+            let ty = format!("{:?}", t.xml_type()).to_lowercase();
+            out.push((format!("typed_{ty}_value"), t.value_tree_stats()));
+            out.push((format!("typed_{ty}_node"), t.node_tree_stats()));
+        }
+        if let Some(s) = &self.substring {
+            out.push(("substring".to_string(), s.tree_stats()));
+        }
+        out
+    }
+
+    /// Total copy-on-write page detaches across every tree-backed
+    /// index (cumulative over this manager's mutation lineage; clones
+    /// inherit the count). O(1) — cheap enough for the service publish
+    /// path to read before and after an update and report "COW pages
+    /// detached per publish" as the difference.
+    pub fn pages_detached(&self) -> u64 {
+        let string = self.string.as_ref().map_or(0, |s| s.pages_detached());
+        let typed: u64 = self.typed.iter().map(|t| t.pages_detached()).sum();
+        let substring = self.substring.as_ref().map_or(0, |s| s.pages_detached());
+        string + typed + substring
+    }
+
     /// A cheap proxy for the document's node population, derived from
     /// the largest configured index — the scale the planner compares
     /// scan costs against.

@@ -36,6 +36,7 @@
 use std::collections::HashSet;
 
 use xvi_fsm::XmlType;
+use xvi_obs::{Stage, Trace};
 use xvi_xml::{Document, NodeId, NodeKind};
 
 use crate::error::IndexError;
@@ -426,6 +427,24 @@ impl QueryEngine {
         query: &Query,
         plan: &Plan,
     ) -> Vec<NodeId> {
+        Self::evaluate_with_plan_probed(doc, idx, query, plan, None, &mut None)
+    }
+
+    /// [`QueryEngine::evaluate_with_plan`] with observability taps:
+    /// when `trace` is set, the index-probe and verify-walk phases are
+    /// recorded as [`Stage::Probe`] / [`Stage::VerifyWalk`] stage
+    /// samples (a plan that scans records [`Stage::Execute`] instead);
+    /// when `probed` is `Some`, the chosen probes' candidate counts
+    /// are accumulated into it — the *actual* cardinality the service
+    /// compares against the planner's estimate for drift metrics.
+    pub fn evaluate_with_plan_probed(
+        doc: &Document,
+        idx: &IndexManager,
+        query: &Query,
+        plan: &Plan,
+        trace: Option<&Trace>,
+        probed: &mut Option<usize>,
+    ) -> Vec<NodeId> {
         // A probe that does not address a predicate of *this* query —
         // out-of-range indexes, a lookup that is not the addressed
         // predicate's own lowering, or an intersection whose probes
@@ -446,29 +465,65 @@ impl QueryEngine {
             Plan::Intersect(a, b) => a.step == b.step && addresses_query(a) && addresses_query(b),
         };
         if !valid {
-            return Self::evaluate_scan(doc, query);
+            return Self::scan_traced(doc, query, trace);
         }
         match plan {
-            Plan::Scan => Self::evaluate_scan(doc, query),
+            Plan::Scan => Self::scan_traced(doc, query, trace),
             Plan::Index(p) => {
-                let Ok(candidates) = idx.query(doc, &p.lookup) else {
-                    return Self::evaluate_scan(doc, query);
+                let t0 = trace.map(|t| t.now_ns());
+                let candidates = idx.query(doc, &p.lookup);
+                if let (Some(t), Some(t0)) = (trace, t0) {
+                    t.record_stage(Stage::Probe, t0);
+                }
+                let Ok(candidates) = candidates else {
+                    return Self::scan_traced(doc, query, trace);
                 };
+                if let Some(n) = probed.as_mut() {
+                    *n += candidates.len();
+                }
+                let t0 = trace.map(|t| t.now_ns());
                 let anchors = Self::anchors_of(doc, query, p.step, p.pred, &candidates);
-                Self::finish_from_anchors(doc, query, p.step, &[p.pred], anchors)
+                let out = Self::finish_from_anchors(doc, query, p.step, &[p.pred], anchors);
+                if let (Some(t), Some(t0)) = (trace, t0) {
+                    t.record_stage(Stage::VerifyWalk, t0);
+                }
+                out
             }
             Plan::Intersect(a, b) => {
-                let (Ok(ca), Ok(cb)) = (idx.query(doc, &a.lookup), idx.query(doc, &b.lookup))
-                else {
-                    return Self::evaluate_scan(doc, query);
+                let t0 = trace.map(|t| t.now_ns());
+                let probes = (idx.query(doc, &a.lookup), idx.query(doc, &b.lookup));
+                if let (Some(t), Some(t0)) = (trace, t0) {
+                    t.record_stage(Stage::Probe, t0);
+                }
+                let (Ok(ca), Ok(cb)) = probes else {
+                    return Self::scan_traced(doc, query, trace);
                 };
+                if let Some(n) = probed.as_mut() {
+                    *n += ca.len() + cb.len();
+                }
+                let t0 = trace.map(|t| t.now_ns());
                 let anchors_a = Self::anchors_of(doc, query, a.step, a.pred, &ca);
                 let anchors_b = Self::anchors_of(doc, query, b.step, b.pred, &cb);
                 let anchors: HashSet<NodeId> =
                     anchors_a.intersection(&anchors_b).copied().collect();
-                Self::finish_from_anchors(doc, query, a.step, &[a.pred, b.pred], anchors)
+                let out = Self::finish_from_anchors(doc, query, a.step, &[a.pred, b.pred], anchors);
+                if let (Some(t), Some(t0)) = (trace, t0) {
+                    t.record_stage(Stage::VerifyWalk, t0);
+                }
+                out
             }
         }
+    }
+
+    /// [`QueryEngine::evaluate_scan`] recorded as one
+    /// [`Stage::Execute`] sample when traced.
+    fn scan_traced(doc: &Document, query: &Query, trace: Option<&Trace>) -> Vec<NodeId> {
+        let t0 = trace.map(|t| t.now_ns());
+        let out = Self::evaluate_scan(doc, query);
+        if let (Some(t), Some(t0)) = (trace, t0) {
+            t.record_stage(Stage::Execute, t0);
+        }
+        out
     }
 
     /// Explains how [`QueryEngine::evaluate`] serves `query`: the

@@ -55,16 +55,18 @@ use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 
 use parking_lot::RwLock;
 
+use xvi_obs::{Counter, LatencyHistogram, Obs, Stage, Trace, Unit};
 use xvi_xml::{Document, NodeId, NodeKind};
 
 use crate::config::IndexConfig;
 use crate::error::IndexError;
 use crate::lookup::{Lookup, QueryResult};
 use crate::manager::IndexManager;
+use crate::query::{Plan, QueryEngine};
 use crate::stats::CardinalityEstimate;
 use crate::txn::Transaction;
 use crate::wal::{ShardWal, WalRecord};
@@ -197,6 +199,22 @@ struct Pending {
     handle: Arc<DocHandle>,
     writes: Vec<(NodeId, String)>,
     slot: Arc<CommitSlot>,
+    trace: Option<PendingTrace>,
+}
+
+/// Trace context riding along with a queued transaction: the leader
+/// records the queue wait and attributes the round's shared WAL /
+/// fsync / publish timings to it.
+struct PendingTrace {
+    trace: Trace,
+    /// Tracer-clock reading at enqueue time (queue wait starts here).
+    enqueue_ns: u64,
+    /// Whether the service started the trace itself (sampled inside
+    /// [`IndexService::submit`]) and must therefore finish it after the
+    /// slot is filled. Traces handed in by a caller (the serve
+    /// frontend) stay open: the layer that started a trace finishes it
+    /// once the end-to-end request completes.
+    owned: bool,
 }
 
 /// What a completed commit reports back through its
@@ -528,7 +546,7 @@ impl Shard {
 /// assert_eq!(snap.query(&Lookup::equi("Ford")).unwrap().len(), 2);
 /// ```
 pub struct IndexService {
-    shards: Vec<Shard>,
+    shards: Arc<Vec<Shard>>,
     config: ServiceConfig,
     /// Serializes whole checkpoint/save cycles (capture → write images
     /// and manifest → truncate logs). Without it, two interleaved
@@ -536,6 +554,230 @@ pub struct IndexService {
     /// up on disk, leaving acked commits unrecoverable. Lock order:
     /// this mutex strictly before any shard's wal mutex.
     ckpt: Mutex<()>,
+    /// The observability hub every layer of this service reports into.
+    obs: Arc<Obs>,
+    metrics: ServiceMetrics,
+}
+
+/// Pre-registered handles for every hot-path series the service
+/// updates — resolved once at construction so the commit and query
+/// paths touch only relaxed atomics, never the registry lock.
+struct ServiceMetrics {
+    commits: Counter,
+    batches: Counter,
+    /// Transactions coalesced per group-commit batch (dimensionless).
+    batch_size: Arc<LatencyHistogram>,
+    wal_append: Arc<LatencyHistogram>,
+    wal_fsync: Arc<LatencyHistogram>,
+    publish: Arc<LatencyHistogram>,
+    publish_inplace: Counter,
+    publish_cow: Counter,
+    cow_pages_detached: Counter,
+    queries: Counter,
+    query_latency: Arc<LatencyHistogram>,
+    plan_index: Counter,
+    plan_intersect: Counter,
+    plan_scan: Counter,
+    /// |estimate − actual| per probed XPath query, in permille of the
+    /// larger of the two (dimensionless).
+    estimate_drift: Arc<LatencyHistogram>,
+}
+
+impl ServiceMetrics {
+    fn register(obs: &Obs) -> ServiceMetrics {
+        let r = &obs.registry;
+        ServiceMetrics {
+            commits: r.counter(
+                "xvi_service_commits_total",
+                "Transactions committed through the group-commit pipeline",
+                &[],
+            ),
+            batches: r.counter(
+                "xvi_service_commit_batches_total",
+                "Coalesced per-document group-commit batches published",
+                &[],
+            ),
+            batch_size: r.histogram(
+                "xvi_service_commit_batch_size",
+                "Transactions coalesced per group-commit batch",
+                &[],
+                Unit::None,
+            ),
+            wal_append: r.histogram(
+                "xvi_service_wal_append_seconds",
+                "WAL record append latency per batch",
+                &[],
+                Unit::Seconds,
+            ),
+            wal_fsync: r.histogram(
+                "xvi_service_wal_fsync_seconds",
+                "WAL fsync latency per batch",
+                &[],
+                Unit::Seconds,
+            ),
+            publish: r.histogram(
+                "xvi_service_publish_seconds",
+                "Version publish latency per batch (apply + swap)",
+                &[],
+                Unit::Seconds,
+            ),
+            publish_inplace: r.counter(
+                "xvi_service_publish_total",
+                "Publishes by mode",
+                &[("mode", "inplace")],
+            ),
+            publish_cow: r.counter(
+                "xvi_service_publish_total",
+                "Publishes by mode",
+                &[("mode", "cow")],
+            ),
+            cow_pages_detached: r.counter(
+                "xvi_service_cow_pages_detached_total",
+                "Index arena pages copied (detached) by copy-on-write publishes",
+                &[],
+            ),
+            queries: r.counter(
+                "xvi_service_queries_total",
+                "Lookups served from lock-free snapshots",
+                &[],
+            ),
+            query_latency: r.histogram(
+                "xvi_service_query_seconds",
+                "Service-level query latency",
+                &[],
+                Unit::Seconds,
+            ),
+            plan_index: r.counter(
+                "xvi_service_plans_total",
+                "Chosen query plan shapes",
+                &[("shape", "index")],
+            ),
+            plan_intersect: r.counter(
+                "xvi_service_plans_total",
+                "Chosen query plan shapes",
+                &[("shape", "intersect")],
+            ),
+            plan_scan: r.counter(
+                "xvi_service_plans_total",
+                "Chosen query plan shapes",
+                &[("shape", "scan")],
+            ),
+            estimate_drift: r.histogram(
+                "xvi_service_estimate_drift_permille",
+                "Planner estimate vs. actual probe cardinality drift (permille)",
+                &[],
+                Unit::None,
+            ),
+        }
+    }
+}
+
+/// Registers the snapshot-time collector that pulls cheap-to-read but
+/// pointless-to-mirror values out of the shards: queue depths, doc
+/// counts, and the per-kind B+tree statistics (cache hit/miss
+/// counters, page sharing, cumulative COW detaches) summed across
+/// every published document. Holds only a [`Weak`] reference — the
+/// service owns the registry, so a strong one would leak the cycle.
+fn register_shard_collector(obs: &Obs, shards: &Arc<Vec<Shard>>) {
+    let weak: Weak<Vec<Shard>> = Arc::downgrade(shards);
+    obs.registry.register_collector(Box::new(move |sink| {
+        let Some(shards) = weak.upgrade() else { return };
+        let mut docs = 0u64;
+        let mut by_kind: HashMap<String, xvi_btree::TreeStats> = HashMap::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let depth = shard
+                .pipeline
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len() as u64;
+            let label = i.to_string();
+            sink.gauge(
+                "xvi_service_queue_depth",
+                "Commit-queue depth per shard",
+                &[("shard", label.as_str())],
+                depth,
+            );
+            sink.counter(
+                "xvi_service_shard_commits_total",
+                "Transactions committed per shard",
+                &[("shard", label.as_str())],
+                shard.commits.load(Ordering::Relaxed),
+            );
+            let handles: Vec<Arc<DocHandle>> = shard.catalog.read().values().cloned().collect();
+            docs += handles.len() as u64;
+            for handle in handles {
+                let version = handle.current();
+                for (kind, stats) in version.idx.tree_stats_by_kind() {
+                    if let Some(agg) = by_kind.get_mut(&kind) {
+                        agg.len += stats.len;
+                        agg.pages += stats.pages;
+                        agg.shared_pages += stats.shared_pages;
+                        agg.pages_detached += stats.pages_detached;
+                        agg.cache_hits += stats.cache_hits;
+                        agg.cache_partial_hits += stats.cache_partial_hits;
+                        agg.cache_misses += stats.cache_misses;
+                    } else {
+                        by_kind.insert(kind, stats);
+                    }
+                }
+            }
+        }
+        sink.gauge(
+            "xvi_service_documents",
+            "Documents registered in the catalog",
+            &[],
+            docs,
+        );
+        let mut kinds: Vec<_> = by_kind.into_iter().collect();
+        kinds.sort_by(|a, b| a.0.cmp(&b.0));
+        for (kind, s) in kinds {
+            let labels = [("kind", kind.as_str())];
+            sink.gauge(
+                "xvi_btree_entries",
+                "Entries stored per index kind (summed over documents)",
+                &labels,
+                s.len as u64,
+            );
+            sink.gauge(
+                "xvi_btree_pages",
+                "Arena pages per index kind",
+                &labels,
+                s.pages as u64,
+            );
+            sink.gauge(
+                "xvi_btree_shared_pages",
+                "Arena pages currently shared with other clones",
+                &labels,
+                s.shared_pages as u64,
+            );
+            sink.counter(
+                "xvi_btree_pages_detached_total",
+                "Cumulative COW page detaches per index kind",
+                &labels,
+                s.pages_detached,
+            );
+            sink.counter(
+                "xvi_btree_cache_hits_total",
+                "Branch-cache full hits per index kind",
+                &labels,
+                s.cache_hits,
+            );
+            sink.counter(
+                "xvi_btree_cache_partial_hits_total",
+                "Branch-cache partial hits per index kind",
+                &labels,
+                s.cache_partial_hits,
+            );
+            sink.counter(
+                "xvi_btree_cache_misses_total",
+                "Branch-cache misses per index kind",
+                &labels,
+                s.cache_misses,
+            );
+        }
+    }));
 }
 
 impl std::fmt::Debug for IndexService {
@@ -554,24 +796,41 @@ impl IndexService {
     /// recovering any existing checkpoint + logs) and panics on I/O
     /// failure; call `open` directly to handle such failures.
     pub fn new(config: ServiceConfig) -> IndexService {
+        IndexService::new_with_obs(config, Obs::new())
+    }
+
+    /// [`IndexService::new`] reporting into an existing observability
+    /// hub (shared registry/tracer across layers, or an injected test
+    /// clock via [`Obs::with_clock`]).
+    pub fn new_with_obs(config: ServiceConfig, obs: Arc<Obs>) -> IndexService {
         match config.durability {
             Durability::Ephemeral => {
                 let shards = config.shards.max(1);
-                IndexService::build(config, (0..shards).map(|_| None).collect())
+                IndexService::build(config, (0..shards).map(|_| None).collect(), obs)
             }
-            Durability::Wal(_) => {
-                IndexService::open(config).expect("opening the WAL-backed service failed")
-            }
+            Durability::Wal(_) => IndexService::open_with_obs(config, obs)
+                .expect("opening the WAL-backed service failed"),
         }
     }
 
-    fn build(config: ServiceConfig, wals: Vec<Option<ShardWal>>) -> IndexService {
+    fn build(config: ServiceConfig, wals: Vec<Option<ShardWal>>, obs: Arc<Obs>) -> IndexService {
         debug_assert_eq!(wals.len(), config.shards.max(1));
+        let shards: Arc<Vec<Shard>> = Arc::new(wals.into_iter().map(Shard::new).collect());
+        register_shard_collector(&obs, &shards);
+        let metrics = ServiceMetrics::register(&obs);
         IndexService {
-            shards: wals.into_iter().map(Shard::new).collect(),
+            shards,
             config,
             ckpt: Mutex::new(()),
+            obs,
+            metrics,
         }
+    }
+
+    /// The observability hub: the metrics registry every layer of this
+    /// service reports into, and the request tracer / flight recorder.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Opens a service with recovery. For [`Durability::Ephemeral`]
@@ -589,11 +848,18 @@ impl IndexService {
     /// The result is byte-identical to a serial replay of the durable
     /// prefix of the commit history.
     pub fn open(config: ServiceConfig) -> io::Result<IndexService> {
+        IndexService::open_with_obs(config, Obs::new())
+    }
+
+    /// [`IndexService::open`] reporting into an existing observability
+    /// hub.
+    pub fn open_with_obs(config: ServiceConfig, obs: Arc<Obs>) -> io::Result<IndexService> {
         let Durability::Wal(dir) = config.durability.clone() else {
             let shards = config.shards.max(1);
             return Ok(IndexService::build(
                 config,
                 (0..shards).map(|_| None).collect(),
+                obs,
             ));
         };
         std::fs::create_dir_all(&dir)?;
@@ -636,7 +902,7 @@ impl IndexService {
             wals.push(Some(wal));
             logs.push(records);
         }
-        let service = IndexService::build(config, wals);
+        let service = IndexService::build(config, wals, obs);
         service.seed_commit_count(commits);
         for (id, version, doc, idx) in docs {
             service.install_version(id, doc, idx, version);
@@ -723,7 +989,7 @@ impl IndexService {
         let mut docs: Vec<(String, Arc<SharedVersion>)> = Vec::new();
         let mut seqs = Vec::with_capacity(self.shards.len());
         let mut commits = 0u64;
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let wal_guard = shard
                 .wal
                 .as_ref()
@@ -949,10 +1215,107 @@ impl IndexService {
     /// Evaluates one typed [`Lookup`] against a lock-free snapshot of
     /// `doc_id`'s committed state — the service-level twin of
     /// [`IndexManager::query`].
+    ///
+    /// Every call lands in the query counter and latency histogram;
+    /// when request tracing is enabled
+    /// (`service.obs().tracer.set_sample_rate(..)`), sampled calls
+    /// additionally record per-stage timings (plan, probe,
+    /// verify-walk) and are offered to the flight recorder. Traced or
+    /// not, results are identical — the taps only observe.
     pub fn query(&self, doc_id: &str, lookup: &Lookup) -> QueryResult {
-        self.snapshot(doc_id)
-            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?
-            .query(lookup)
+        let trace = self
+            .obs
+            .tracer
+            .maybe_start("query", || format!("doc={doc_id} lookup={lookup:?}"));
+        let out = self.query_traced(doc_id, lookup, trace.as_ref());
+        if let Some(t) = trace {
+            self.obs.tracer.finish(t);
+        }
+        out
+    }
+
+    /// [`IndexService::query`] under an externally owned [`Trace`]
+    /// (the serve frontend threads its request trace through here; it
+    /// finishes the trace itself once the response is complete). Also
+    /// the shared implementation of the untraced path — `trace: None`
+    /// costs two clock reads for the latency histogram and nothing
+    /// else.
+    pub fn query_traced(
+        &self,
+        doc_id: &str,
+        lookup: &Lookup,
+        trace: Option<&Trace>,
+    ) -> QueryResult {
+        let clock = self.obs.tracer.clock();
+        let t0 = clock.now_ns();
+        let out = self.query_inner(doc_id, lookup, trace);
+        self.metrics.queries.inc();
+        self.metrics
+            .query_latency
+            .record_value(clock.now_ns().saturating_sub(t0));
+        out
+    }
+
+    fn query_inner(&self, doc_id: &str, lookup: &Lookup, trace: Option<&Trace>) -> QueryResult {
+        let snap = self
+            .snapshot(doc_id)
+            .ok_or_else(|| IndexError::UnknownDocument(doc_id.to_string()))?;
+        match lookup {
+            Lookup::XPath(query) => {
+                // Plan at this level so the plan shape, the
+                // `--explain`-style rendering, and the
+                // estimate-vs-actual drift all land in the
+                // observability layer; the chosen plan is exactly what
+                // `IndexManager::query` would pick, so results are
+                // identical to the untraced path.
+                let tp = trace.map(|t| t.now_ns());
+                let plan = QueryEngine::plan(snap.index(), query);
+                if let (Some(t), Some(tp)) = (trace, tp) {
+                    t.record_stage(Stage::Plan, tp);
+                    t.annotate(&format!("plan: {plan}"));
+                }
+                let estimate = match &plan {
+                    Plan::Index(p) => {
+                        self.metrics.plan_index.inc();
+                        Some(p.estimate.estimate)
+                    }
+                    Plan::Intersect(a, b) => {
+                        self.metrics.plan_intersect.inc();
+                        Some(a.estimate.estimate + b.estimate.estimate)
+                    }
+                    Plan::Scan => {
+                        self.metrics.plan_scan.inc();
+                        None
+                    }
+                };
+                let mut probed = estimate.map(|_| 0usize);
+                let nodes = QueryEngine::evaluate_with_plan_probed(
+                    snap.document(),
+                    snap.index(),
+                    query,
+                    &plan,
+                    trace,
+                    &mut probed,
+                );
+                if let (Some(est), Some(actual)) = (estimate, probed) {
+                    let denom = est.max(actual).max(1) as u64;
+                    let drift = est.abs_diff(actual) as u64 * 1000 / denom;
+                    self.metrics.estimate_drift.record_value(drift);
+                    if let Some(t) = trace {
+                        t.annotate(&format!("probe estimate={est} actual={actual}"));
+                    }
+                }
+                Ok(nodes)
+            }
+            _ => {
+                let tp = trace.map(|t| t.now_ns());
+                let out = snap.query(lookup);
+                if let (Some(t), Some(tp)) = (trace, tp) {
+                    t.record_stage(Stage::Probe, tp);
+                }
+                out
+            }
+        }
     }
 
     /// Estimates the candidate cardinality of `lookup` against
@@ -1007,7 +1370,7 @@ impl IndexService {
     /// transaction (or one against an unregistered document) returns
     /// an already-completed ticket.
     pub fn submit(&self, doc_id: &str, txn: Transaction) -> CommitTicket<'_> {
-        self.enqueue(doc_id, txn, usize::MAX)
+        self.enqueue(doc_id, txn, usize::MAX, None)
             .expect("unbounded submissions are never rejected")
     }
 
@@ -1057,16 +1420,34 @@ impl IndexService {
         doc_id: &str,
         txn: Transaction,
     ) -> Result<CommitTicket<'_>, IndexError> {
-        self.enqueue(doc_id, txn, self.config.max_queue.max(1))
+        self.enqueue(doc_id, txn, self.config.max_queue.max(1), None)
+    }
+
+    /// [`IndexService::try_submit`] under an externally owned
+    /// [`Trace`]: the group-commit leader records the queue wait and
+    /// attributes the round's WAL-append / fsync / publish timings to
+    /// the trace, but the **caller** finishes it (after the ticket
+    /// resolves), so the trace's total spans the caller's whole
+    /// request, not just the pipeline's part.
+    pub fn try_submit_traced(
+        &self,
+        doc_id: &str,
+        txn: Transaction,
+        trace: Option<Trace>,
+    ) -> Result<CommitTicket<'_>, IndexError> {
+        self.enqueue(doc_id, txn, self.config.max_queue.max(1), trace)
     }
 
     /// Shared enqueue path of [`IndexService::submit`] (unbounded) and
-    /// [`IndexService::try_submit`] (bounded by `max_queue`).
+    /// [`IndexService::try_submit`] (bounded by `max_queue`). With no
+    /// external trace, the tracer's sampler decides per submission
+    /// whether to start a service-owned one.
     fn enqueue(
         &self,
         doc_id: &str,
         txn: Transaction,
         max_queue: usize,
+        trace: Option<Trace>,
     ) -> Result<CommitTicket<'_>, IndexError> {
         let Some(handle) = self.handle(doc_id) else {
             return Ok(CommitTicket {
@@ -1101,10 +1482,29 @@ impl IndexService {
                 retry_after: retry_after_for_depth(depth),
             });
         }
+        let trace = match trace {
+            Some(t) => Some(PendingTrace {
+                enqueue_ns: t.now_ns(),
+                trace: t,
+                owned: false,
+            }),
+            None => self
+                .obs
+                .tracer
+                .maybe_start("commit", || {
+                    format!("doc={doc_id} writes={}", txn.writes.len())
+                })
+                .map(|t| PendingTrace {
+                    enqueue_ns: t.now_ns(),
+                    trace: t,
+                    owned: true,
+                }),
+        };
         st.queue.push_back(Pending {
             handle,
             writes: txn.writes,
             slot: Arc::clone(&slot),
+            trace,
         });
         drop(st);
         Ok(CommitTicket {
@@ -1257,9 +1657,11 @@ impl IndexService {
             entry.push(p);
         }
 
+        let clock = self.obs.tracer.clock();
         for handle in order {
             let group = by_doc.remove(&handle.id).expect("grouped above");
             let base = handle.current();
+            let drain_ns = clock.now_ns();
 
             // Validate each transaction against the base version so a
             // bad batch is rejected wholesale instead of applying
@@ -1268,9 +1670,18 @@ impl IndexService {
             // later transaction's write to the same node wins — the
             // serial-replay outcome).
             let mut results: Vec<(Arc<CommitSlot>, Result<CommitReceipt, IndexError>)> = Vec::new();
+            let mut traces: Vec<PendingTrace> = Vec::new();
             let mut coalesced: Vec<(NodeId, String)> = Vec::new();
             let mut committed = 0u64;
             for p in group {
+                if let Some(pt) = p.trace {
+                    pt.trace.record_stage_dur(
+                        Stage::QueueWait,
+                        pt.enqueue_ns,
+                        drain_ns.saturating_sub(pt.enqueue_ns),
+                    );
+                    traces.push(pt);
+                }
                 match validate(&base.doc, &p.writes) {
                     Ok(()) => {
                         let n = p.writes.len();
@@ -1324,9 +1735,33 @@ impl IndexService {
                     // must never become visible, so every transaction
                     // of the batch reports `Durability` instead.
                     let durable = match wal_guard.as_mut() {
-                        Some(wal) => wal
-                            .append_commit(&handle.id, committed, publish_version, &coalesced)
-                            .and_then(|_| wal.sync()),
+                        Some(wal) => {
+                            let t0 = clock.now_ns();
+                            let appended = wal.append_commit(
+                                &handle.id,
+                                committed,
+                                publish_version,
+                                &coalesced,
+                            );
+                            let t1 = clock.now_ns();
+                            self.metrics.wal_append.record_value(t1.saturating_sub(t0));
+                            let synced = appended.and_then(|_| wal.sync());
+                            let t2 = clock.now_ns();
+                            self.metrics.wal_fsync.record_value(t2.saturating_sub(t1));
+                            // One shared append + one fsync cover the
+                            // whole batch; every trace in it carries
+                            // the same timings.
+                            for pt in &traces {
+                                pt.trace.record_stage_dur(
+                                    Stage::WalAppend,
+                                    t0,
+                                    t1.saturating_sub(t0),
+                                );
+                                pt.trace
+                                    .record_stage_dur(Stage::Fsync, t1, t2.saturating_sub(t1));
+                            }
+                            synced
+                        }
                         None => Ok(()),
                     };
                     if let Err(e) = durable {
@@ -1340,8 +1775,16 @@ impl IndexService {
                         for (slot, r) in results {
                             slot.fill(r);
                         }
+                        for pt in traces {
+                            if pt.owned {
+                                self.obs.tracer.finish(pt.trace);
+                            }
+                        }
                         continue;
                     }
+                    let publish_t0 = clock.now_ns();
+                    let mut cow = false;
+                    let pages_detached: u64;
                     let mut published = handle.published.write();
                     let writes = coalesced.iter().map(|(n, v)| (*n, v.as_str()));
                     if let Some(version) = Arc::get_mut(&mut published) {
@@ -1353,11 +1796,13 @@ impl IndexService {
                         // TransactionalStore). `make_mut` on the inner
                         // document is in-place too unless an older
                         // version still shares it.
+                        let before = version.idx.pages_detached();
                         version
                             .idx
                             .update_values(Arc::make_mut(&mut version.doc), writes)
                             .expect("writes were validated against this version");
                         version.version += committed;
+                        pages_detached = version.idx.pages_detached() - before;
                     } else {
                         // Live snapshots exist: copy-on-write so they
                         // stay immutable, and swap in the successor.
@@ -1367,10 +1812,16 @@ impl IndexService {
                         // detaches only the pages the batch touches,
                         // so the publish costs O(touched set), not
                         // O(document).
+                        cow = true;
                         let mut doc = Arc::clone(&published.doc);
                         let mut idx = published.idx.clone();
+                        // The clone inherited the base's cumulative
+                        // detach count, so the delta is exactly the
+                        // pages this publish copied.
+                        let before = idx.pages_detached();
                         idx.update_values(Arc::make_mut(&mut doc), writes)
                             .expect("writes were validated against this version");
+                        pages_detached = idx.pages_detached() - before;
                         *published = Arc::new(SharedVersion {
                             version: published.version + committed,
                             doc,
@@ -1383,6 +1834,26 @@ impl IndexService {
                     // exactly consistent with the log sequence a
                     // concurrent checkpoint capture would read.
                     shard.commits.fetch_add(committed, Ordering::Relaxed);
+                    let publish_dur = clock.now_ns().saturating_sub(publish_t0);
+                    self.metrics.publish.record_value(publish_dur);
+                    if cow {
+                        self.metrics.publish_cow.inc();
+                    } else {
+                        self.metrics.publish_inplace.inc();
+                    }
+                    self.metrics.cow_pages_detached.add(pages_detached);
+                    self.metrics.commits.add(committed);
+                    self.metrics.batches.inc();
+                    self.metrics.batch_size.record_value(committed);
+                    for pt in &traces {
+                        pt.trace
+                            .record_stage_dur(Stage::Publish, publish_t0, publish_dur);
+                        pt.trace.annotate(&format!(
+                            "batch: txns={committed} writes={} publish={} pages_detached={pages_detached}",
+                            coalesced.len(),
+                            if cow { "cow" } else { "inplace" },
+                        ));
+                    }
                     for (_, r) in results.iter_mut() {
                         if let Ok(receipt) = r {
                             receipt.version = publish_version;
@@ -1402,6 +1873,14 @@ impl IndexService {
             // returned `commit` is visible to every later snapshot.
             for (slot, r) in results {
                 slot.fill(r);
+            }
+            // Service-owned traces end here (the commit is published
+            // and acknowledged); caller-owned ones stay open until
+            // the caller's request completes.
+            for pt in traces {
+                if pt.owned {
+                    self.obs.tracer.finish(pt.trace);
+                }
             }
         }
     }

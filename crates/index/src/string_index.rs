@@ -232,6 +232,11 @@ impl StringIndex {
     pub fn tree_stats(&self) -> TreeStats {
         self.tree.stats()
     }
+
+    /// Cumulative COW page detaches of the hash B+tree (O(1)).
+    pub fn pages_detached(&self) -> u64 {
+        self.tree.pages_detached()
+    }
 }
 
 #[cfg(test)]

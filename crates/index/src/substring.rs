@@ -309,6 +309,11 @@ impl SubstringIndex {
     pub fn tree_stats(&self) -> TreeStats {
         self.tree.stats()
     }
+
+    /// Cumulative COW page detaches of the posting B+tree (O(1)).
+    pub fn pages_detached(&self) -> u64 {
+        self.tree.pages_detached()
+    }
 }
 
 /// Iterative wildcard matcher (`*` = any run, `?` = any byte) — the

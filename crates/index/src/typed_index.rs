@@ -308,6 +308,11 @@ impl TypedIndex {
     pub fn node_tree_stats(&self) -> TreeStats {
         self.node_tree.stats()
     }
+
+    /// Cumulative COW page detaches across both trees (O(1)).
+    pub fn pages_detached(&self) -> u64 {
+        self.value_tree.pages_detached() + self.node_tree.pages_detached()
+    }
 }
 
 #[cfg(test)]

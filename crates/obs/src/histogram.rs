@@ -44,6 +44,20 @@ fn bucket_upper(idx: usize) -> u64 {
 }
 
 /// A concurrent, lock-free latency histogram. See the module docs.
+///
+/// # Saturation
+///
+/// The bucket ladder covers the full `u64` nanosecond range — the top
+/// bucket's inclusive upper bound is exactly `u64::MAX` — so the only
+/// saturation point is the `Duration` → `u64` conversion in
+/// [`LatencyHistogram::record`]: any observation longer than
+/// `u64::MAX` ns (~584 years) is recorded as `u64::MAX` and lands in
+/// the top bucket. `max()` then reports `u64::MAX` ns exactly, and
+/// because [`HistogramSnapshot::percentile`] caps every answer at the
+/// *exact* recorded maximum (not the bucket bound), high quantiles in
+/// the presence of saturated samples report `max` rather than a
+/// silently clamped smaller bound. Pinned by the
+/// `saturated_observations_report_max` test below.
 pub struct LatencyHistogram {
     counts: Box<[AtomicU64; BUCKETS]>,
     total: AtomicU64,
@@ -78,11 +92,18 @@ impl LatencyHistogram {
 
     /// Records one latency observation.
     pub fn record(&self, latency: Duration) {
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.record_value(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw observation. The bucket ladder is unit-agnostic
+    /// — durations record nanoseconds through [`record`](Self::record),
+    /// but dimensionless distributions (batch sizes, queue depths) can
+    /// record plain values here and read percentiles back as integers.
+    pub fn record_value(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v, Ordering::Relaxed);
+        self.max_ns.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of recorded observations.
@@ -135,6 +156,11 @@ impl HistogramSnapshot {
     /// Largest recorded latency (exact, not bucket-quantised).
     pub fn max(&self) -> Duration {
         Duration::from_nanos(self.max_ns)
+    }
+
+    /// Sum of all recorded latencies (wrapping at `u64::MAX` ns).
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns)
     }
 
     /// The latency at quantile `q` in `[0, 1]`: an upper bound on the
@@ -235,6 +261,33 @@ mod tests {
         assert_eq!(s.percentile(0.0), Duration::from_nanos(7));
         assert_eq!(s.percentile(0.5), Duration::from_nanos(7));
         assert_eq!(s.percentile(1.0), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn saturated_observations_report_max() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_millis(1));
+        }
+        // Longer than u64::MAX nanoseconds: saturates to u64::MAX and
+        // must land in the top bucket, not wrap or vanish.
+        h.record(Duration::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), Duration::from_nanos(u64::MAX));
+        // The saturated sample is the rank-100 observation: the top
+        // quantiles must report the exact max, not a clamped bound.
+        assert_eq!(s.percentile(1.0), Duration::from_nanos(u64::MAX));
+        // Lower quantiles are unaffected by the outlier.
+        let p50 = s.percentile(0.5);
+        assert!(
+            p50 >= Duration::from_millis(1) && p50 <= Duration::from_micros(1125),
+            "p50 {p50:?} should stay near 1ms"
+        );
+        // A value in the top octave (> 2^63 ns) still has a real
+        // bucket of its own — saturation only happens past u64::MAX.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! # xvi-obs — unified observability: metrics, tracing, flight recorder
+//!
+//! Telemetry for the whole stack lives behind one dependency-free
+//! crate (hand-rolled, like the `xvi-serve` runtime):
+//!
+//! * **Metrics registry** ([`MetricsRegistry`]) — lock-free counters,
+//!   gauges, and log-bucketed latency histograms (the
+//!   [`LatencyHistogram`] promoted from `xvi-serve`) behind labeled
+//!   handles; hot-path updates are single relaxed atomics, and
+//!   snapshot-time *collectors* pull in values that are cheap to read
+//!   but pointless to mirror (tree stats, queue depths). Snapshots
+//!   export as Prometheus text exposition format or JSON.
+//! * **Request tracing** ([`Tracer`], [`Trace`], [`Stage`]) —
+//!   counter-based deterministic sampling, per-stage timings over an
+//!   injectable [`Clock`], and a near-free disabled path (one relaxed
+//!   load).
+//! * **Flight recorder** ([`FlightRecorder`]) — a fixed-size buffer
+//!   retaining the N slowest traced requests with their stage
+//!   breakdown and `--explain`-style plan annotation, dumpable on
+//!   demand.
+//!
+//! The [`Obs`] hub bundles one registry + one tracer so every layer of
+//! a service (B+tree collectors, index service, serve frontend) lands
+//! its series in the same place.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use xvi_obs::{Obs, Stage, Unit};
+//!
+//! let obs = Obs::new();
+//! let hits = obs.registry.counter("xvi_demo_hits_total", "demo", &[("shard", "0")]);
+//! hits.add(3);
+//! let lat = obs
+//!     .registry
+//!     .histogram("xvi_demo_seconds", "demo latency", &[], Unit::Seconds);
+//! lat.record(Duration::from_micros(250));
+//!
+//! obs.tracer.set_sample_rate(1.0);
+//! let trace = obs.tracer.maybe_start("query", || "demo".into()).unwrap();
+//! let t0 = trace.now_ns();
+//! trace.record_stage(Stage::Probe, t0);
+//! obs.tracer.finish(trace);
+//!
+//! let snap = obs.registry.snapshot();
+//! assert_eq!(snap.counter("xvi_demo_hits_total", &[("shard", "0")]), Some(3));
+//! assert!(snap.to_prometheus().contains("# TYPE xvi_demo_seconds summary"));
+//! assert_eq!(obs.tracer.recorder().slowest().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use registry::{
+    CollectorSink, Counter, Gauge, MetricsRegistry, RegistrySnapshot, Sample, SampleValue, Unit,
+};
+pub use trace::{FinishedTrace, FlightRecorder, Stage, StageSample, Trace, Tracer};
+
+use std::sync::Arc;
+
+/// One observability hub: a shared registry + tracer pair. Every layer
+/// that instruments itself takes `Arc<Obs>` so all series and traces
+/// land in one place.
+#[derive(Debug)]
+pub struct Obs {
+    /// The metrics registry.
+    pub registry: MetricsRegistry,
+    /// The request tracer (disabled until
+    /// [`Tracer::set_sample_rate`] is called) and its flight recorder.
+    pub tracer: Tracer,
+}
+
+impl Obs {
+    /// A hub over the production [`MonotonicClock`].
+    pub fn new() -> Arc<Obs> {
+        Obs::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A hub over an injected clock (deterministic tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Arc<Obs> {
+        Arc::new(Obs {
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::new(clock),
+        })
+    }
+}

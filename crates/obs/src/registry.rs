@@ -1,0 +1,603 @@
+//! A lock-free metrics registry with Prometheus / JSON export.
+//!
+//! Registration is rare and takes a mutex; the handles it returns
+//! ([`Counter`], [`Gauge`], [`std::sync::Arc<LatencyHistogram>`]) are
+//! plain `Arc`'d atomics, so hot-path updates are single relaxed
+//! atomic operations with no lock and no allocation. Metrics are keyed
+//! by `(name, sorted label pairs)` — registering the same key twice
+//! returns the same underlying cell, which makes wiring idempotent
+//! across layers that may race to register.
+//!
+//! Values that are cheap to *read* but expensive (or impossible) to
+//! mirror into an atomic — tree statistics, queue depths — are instead
+//! contributed at snapshot time by registered **collectors**: closures
+//! that push samples into the snapshot. The hot path never pays for
+//! them.
+//!
+//! [`RegistrySnapshot`] renders as Prometheus text exposition format
+//! ([`RegistrySnapshot::to_prometheus`]) or JSON
+//! ([`RegistrySnapshot::to_json`]). Histograms are exposed as
+//! Prometheus `summary` series (quantiles + `_sum` + `_count`) rather
+//! than the 496-bucket raw ladder.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// A monotonically-increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (for tests / defaults).
+    pub fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways. Cloning shares the
+/// cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (for tests / defaults).
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating at zero under races is NOT guaranteed;
+    /// callers pair `add`/`sub` so the net stays non-negative).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// How a histogram's raw `u64` observations should be exposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Observations are nanoseconds; exposition divides by 1e9 so the
+    /// exported quantiles / sums are seconds (Prometheus convention).
+    Seconds,
+    /// Observations are unitless (batch sizes, drift permille, …);
+    /// exported raw.
+    None,
+}
+
+/// Sorted, owned label pairs — the canonical form used as part of the
+/// metric key.
+pub type Labels = Vec<(String, String)>;
+
+fn canon_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<LatencyHistogram>, Unit),
+}
+
+struct Entry {
+    help: String,
+    slot: Slot,
+}
+
+type Collector = Box<dyn Fn(&mut CollectorSink) + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    metrics: BTreeMap<(String, Labels), Entry>,
+    collectors: Vec<Collector>,
+}
+
+/// The registry. See the module docs.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &inner.metrics.len())
+            .field("collectors", &inner.collectors.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or re-fetches) a counter under `(name, labels)`.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = (name.to_string(), canon_labels(labels));
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            slot: Slot::Counter(Arc::new(AtomicU64::new(0))),
+        });
+        match &entry.slot {
+            Slot::Counter(c) => Counter(Arc::clone(c)),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge under `(name, labels)`.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different metric type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = (name.to_string(), canon_labels(labels));
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            slot: Slot::Gauge(Arc::new(AtomicU64::new(0))),
+        });
+        match &entry.slot {
+            Slot::Gauge(g) => Gauge(Arc::clone(g)),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram under `(name, labels)`.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different metric type.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Arc<LatencyHistogram> {
+        let key = (name.to_string(), canon_labels(labels));
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.metrics.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            slot: Slot::Histogram(Arc::new(LatencyHistogram::new()), unit),
+        });
+        match &entry.slot {
+            Slot::Histogram(h, _) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers a snapshot-time collector. The closure runs on every
+    /// [`MetricsRegistry::snapshot`] call and contributes read-only
+    /// samples (tree stats, queue depths) without any hot-path cost.
+    /// Hold only [`std::sync::Weak`] references inside the closure when
+    /// the observed object itself owns this registry, or the cycle
+    /// leaks.
+    pub fn register_collector(&self, f: Collector) {
+        self.inner.lock().unwrap().collectors.push(f);
+    }
+
+    /// A point-in-time view of every registered metric plus everything
+    /// the collectors contribute.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut samples: Vec<Sample> = inner
+            .metrics
+            .iter()
+            .map(|((name, labels), entry)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                help: entry.help.clone(),
+                value: match &entry.slot {
+                    Slot::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                    Slot::Gauge(g) => SampleValue::Gauge(g.load(Ordering::Relaxed)),
+                    Slot::Histogram(h, unit) => SampleValue::Summary(h.snapshot(), *unit),
+                },
+            })
+            .collect();
+        let mut sink = CollectorSink {
+            samples: Vec::new(),
+        };
+        for c in &inner.collectors {
+            c(&mut sink);
+        }
+        drop(inner);
+        samples.extend(sink.samples);
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        RegistrySnapshot { samples }
+    }
+}
+
+/// The sink collectors push samples into at snapshot time.
+pub struct CollectorSink {
+    samples: Vec<Sample>,
+}
+
+impl CollectorSink {
+    /// Contributes a counter-typed sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: canon_labels(labels),
+            help: help.to_string(),
+            value: SampleValue::Counter(value),
+        });
+    }
+
+    /// Contributes a gauge-typed sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: canon_labels(labels),
+            help: help.to_string(),
+            value: SampleValue::Gauge(value),
+        });
+    }
+}
+
+/// One exported series with its current value.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name (`xvi_…`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// Help text (one line).
+    pub help: String,
+    /// The value.
+    pub value: SampleValue,
+}
+
+/// A sample's value, tagged with its metric type.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Point-in-time gauge.
+    Gauge(u64),
+    /// Histogram exported as a summary, with its unit.
+    Summary(HistogramSnapshot, Unit),
+}
+
+/// A point-in-time export of the registry. See
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn scale(ns: u64, unit: Unit) -> f64 {
+    match unit {
+        Unit::Seconds => ns as f64 / 1e9,
+        Unit::None => ns as f64,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+impl RegistrySnapshot {
+    /// The value of a counter series, if present (registered counters
+    /// and collector-contributed counter samples alike).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let labels = canon_labels(labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .and_then(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// The value of a gauge series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let labels = canon_labels(labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .and_then(|s| match &s.value {
+                SampleValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Distinct metric names in the snapshot.
+    pub fn series_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.samples.iter().map(|s| s.name.as_str()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per metric name,
+    /// histograms as `summary` series with `quantile` labels plus
+    /// `_sum` / `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.samples {
+            let (type_str, _) = match &s.value {
+                SampleValue::Counter(_) => ("counter", ()),
+                SampleValue::Gauge(_) => ("gauge", ()),
+                SampleValue::Summary(..) => ("summary", ()),
+            };
+            if last_name != Some(s.name.as_str()) {
+                out.push_str(&format!(
+                    "# HELP {} {}\n# TYPE {} {}\n",
+                    s.name, s.help, s.name, type_str
+                ));
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        s.name,
+                        fmt_labels(&s.labels, None),
+                        v
+                    ));
+                }
+                SampleValue::Summary(h, unit) => {
+                    for (q, qs) in QUANTILES {
+                        let v = scale(h.percentile(q).as_nanos() as u64, *unit);
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            s.name,
+                            fmt_labels(&s.labels, Some(("quantile", qs))),
+                            v
+                        ));
+                    }
+                    let sum = scale(h.sum().as_nanos() as u64, *unit);
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.name,
+                        fmt_labels(&s.labels, None),
+                        sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        s.name,
+                        fmt_labels(&s.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON array of series objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let labels = s
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            match &s.value {
+                SampleValue::Counter(v) => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"type\":\"counter\",\"labels\":{{{labels}}},\"value\":{v}}}",
+                    json_escape(&s.name)
+                )),
+                SampleValue::Gauge(v) => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"type\":\"gauge\",\"labels\":{{{labels}}},\"value\":{v}}}",
+                    json_escape(&s.name)
+                )),
+                SampleValue::Summary(h, unit) => {
+                    let qs = QUANTILES
+                        .iter()
+                        .map(|(q, qs)| {
+                            format!(
+                                "\"{qs}\":{}",
+                                scale(h.percentile(*q).as_nanos() as u64, *unit)
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"type\":\"summary\",\"labels\":{{{labels}}},\
+                         \"count\":{},\"max\":{},\"quantiles\":{{{qs}}}}}",
+                        json_escape(&s.name),
+                        h.count(),
+                        scale(h.max().as_nanos() as u64, *unit),
+                    ))
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn idempotent_registration_shares_cells() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("xvi_test_total", "h", &[("shard", "0")]);
+        let b = r.counter("xvi_test_total", "h", &[("shard", "0")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(
+            r.snapshot().counter("xvi_test_total", &[("shard", "0")]),
+            Some(3)
+        );
+        // Different labels are a different series.
+        let c = r.counter("xvi_test_total", "h", &[("shard", "1")]);
+        c.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("xvi_test_total", &[("shard", "1")]), Some(1));
+        assert_eq!(snap.counter("xvi_test_total", &[("shard", "0")]), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("xvi_x", "h", &[]);
+        r.gauge("xvi_x", "h", &[]);
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let r = MetricsRegistry::new();
+        r.counter("xvi_a_total", "counts a", &[("k", "v\"q\\n")])
+            .add(7);
+        r.gauge("xvi_b", "gauges b", &[]).set(3);
+        r.histogram("xvi_c_seconds", "times c", &[], Unit::Seconds)
+            .record(Duration::from_millis(5));
+        r.register_collector(Box::new(|sink| {
+            sink.gauge("xvi_d", "collected d", &[("x", "1")], 11);
+        }));
+        let text = r.snapshot().to_prometheus();
+        // Every non-comment line is `name{labels} value` with a
+        // parseable float value.
+        let mut series = 0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "));
+                continue;
+            }
+            series += 1;
+            let (head, value) = line.rsplit_once(' ').expect("space-separated value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let name_end = head.find('{').unwrap_or(head.len());
+            let name = &head[..name_end];
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+        }
+        // counter + gauge + (4 quantiles + sum + count) + collector.
+        assert_eq!(series, 1 + 1 + 6 + 1);
+        assert!(text.contains("# TYPE xvi_c_seconds summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("xvi_d{x=\"1\"} 11"));
+        // Label escaping survives.
+        assert!(text.contains("k=\"v\\\"q\\\\n\""));
+    }
+
+    #[test]
+    fn json_is_escaped_and_listy() {
+        let r = MetricsRegistry::new();
+        r.counter("xvi_a_total", "a", &[("k", "v\"")]).inc();
+        r.histogram("xvi_h", "h", &[], Unit::None)
+            .record(Duration::from_nanos(42));
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"k\":\"v\\\"\""));
+        assert!(json.contains("\"type\":\"summary\""));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn summary_unit_scaling() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("xvi_lat_seconds", "h", &[], Unit::Seconds);
+        h.record(Duration::from_secs(2));
+        let text = r.snapshot().to_prometheus();
+        // 2s recorded: the 0.5-quantile line must be ~2 (seconds), not
+        // 2e9 (raw nanoseconds).
+        let q50 = text
+            .lines()
+            .find(|l| l.contains("quantile=\"0.5\""))
+            .unwrap();
+        let v: f64 = q50.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!((1.9..=2.3).contains(&v), "expected seconds, got {v}");
+    }
+}

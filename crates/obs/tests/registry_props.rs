@@ -1,0 +1,115 @@
+//! Registry snapshot monotonicity: counters never decrease across
+//! concurrent snapshots, no matter how writer increments interleave
+//! with the reads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use xvi_obs::{MetricsRegistry, SampleValue, Unit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn counters_never_decrease_across_concurrent_snapshots(
+        writers in 1usize..4,
+        increments in 1u64..400,
+        snapshots in 2usize..24,
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                let shard = w.to_string();
+                std::thread::spawn(move || {
+                    let c = registry.counter(
+                        "xvi_prop_total",
+                        "prop",
+                        &[("shard", shard.as_str())],
+                    );
+                    let shared = registry.counter("xvi_prop_shared_total", "prop", &[]);
+                    let h = registry.histogram(
+                        "xvi_prop_seconds",
+                        "prop",
+                        &[],
+                        Unit::Seconds,
+                    );
+                    let mut done = 0u64;
+                    // Keep writing until every planned increment has
+                    // landed AND the reader has taken its snapshots,
+                    // so snapshots genuinely race with writes.
+                    while done < increments || !stop.load(Ordering::Relaxed) {
+                        if done < increments {
+                            c.inc();
+                            shared.add(2);
+                            h.record(Duration::from_nanos(done + 1));
+                            done += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut prev: Option<xvi_obs::RegistrySnapshot> = None;
+        for _ in 0..snapshots {
+            let snap = registry.snapshot();
+            if let Some(prev) = &prev {
+                for s in &prev.samples {
+                    match &s.value {
+                        SampleValue::Counter(old) => {
+                            let labels: Vec<(&str, &str)> = s
+                                .labels
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), v.as_str()))
+                                .collect();
+                            let new = snap.counter(&s.name, &labels);
+                            prop_assert!(
+                                new.is_some_and(|n| n >= *old),
+                                "{} went {old} -> {new:?}",
+                                s.name
+                            );
+                        }
+                        SampleValue::Summary(old, _) => {
+                            let new = snap
+                                .samples
+                                .iter()
+                                .find(|n| n.name == s.name && n.labels == s.labels);
+                            let Some(SampleValue::Summary(new, _)) =
+                                new.map(|n| &n.value)
+                            else {
+                                prop_assert!(false, "summary series vanished");
+                                unreachable!()
+                            };
+                            prop_assert!(new.count() >= old.count());
+                            prop_assert!(new.max() >= old.max());
+                        }
+                        SampleValue::Gauge(_) => {}
+                    }
+                }
+            }
+            prev = Some(snap);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Final totals are exact once writers are quiesced.
+        let fin = registry.snapshot();
+        prop_assert_eq!(
+            fin.counter("xvi_prop_shared_total", &[]),
+            Some(2 * increments * writers as u64)
+        );
+        for w in 0..writers {
+            let shard = w.to_string();
+            prop_assert_eq!(
+                fin.counter("xvi_prop_total", &[("shard", shard.as_str())]),
+                Some(increments)
+            );
+        }
+    }
+}

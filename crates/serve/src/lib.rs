@@ -71,18 +71,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod clock;
 pub mod executor;
 pub mod export;
-pub mod histogram;
 pub mod server;
 pub mod timer;
 
-pub use clock::{Clock, ManualClock, MonotonicClock};
+// The clock and latency histogram started life in this crate and now
+// live in `xvi-obs` so every layer can share them; re-exported here so
+// existing `xvi_serve::{clock, histogram}` paths keep working.
+pub use xvi_obs::{clock, histogram};
+
 pub use executor::{Executor, Sleep};
 pub use export::{Column, ExportFormat, ExportParseError, ExportSpec};
-pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use server::{
     Request, Response, ResponseTicket, ServeError, Server, ServerConfig, ServerStats,
 };
 pub use timer::TimerWheel;
+pub use xvi_obs::{Clock, HistogramSnapshot, LatencyHistogram, ManualClock, MonotonicClock};

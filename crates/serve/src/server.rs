@@ -26,6 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use xvi_index::{CommitReceipt, IndexError, IndexService, Lookup, Transaction};
+use xvi_obs::{Counter, Obs, Stage, Trace, Unit};
 use xvi_xml::NodeId;
 
 use crate::clock::{Clock, MonotonicClock};
@@ -205,6 +206,12 @@ impl ResponseTicket {
 struct Job {
     request: Request,
     slot: Arc<ResponseSlot>,
+    /// Sampled request trace plus its admission timestamp on the
+    /// tracer's clock (the admission-wait stage starts there). The
+    /// serve layer started it, so the serve layer finishes it — after
+    /// the response is complete, with the service's pipeline stages
+    /// already attributed to it.
+    trace: Option<(Trace, u64)>,
 }
 
 #[derive(Default)]
@@ -228,14 +235,18 @@ struct SchedState {
 struct ServerShared {
     service: Arc<IndexService>,
     clock: Arc<dyn Clock>,
+    /// The service's observability hub: admission counters and the
+    /// latency histogram live in its registry (shared cells — the
+    /// handles below), and sampled requests trace through its tracer.
+    obs: Arc<Obs>,
     sched: Mutex<SchedState>,
     work: Condvar,
     in_flight: AtomicUsize,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
+    admitted: Counter,
+    rejected: Counter,
+    completed: Counter,
     completions: AtomicU64,
-    latency: LatencyHistogram,
+    latency: Arc<LatencyHistogram>,
     config: ServerConfig,
 }
 
@@ -285,7 +296,30 @@ impl Server {
         clock: Arc<dyn Clock>,
     ) -> Server {
         let executor = Arc::new(Executor::with_clock(config.workers, Arc::clone(&clock)));
+        let obs = Arc::clone(service.obs());
         let shared = Arc::new(ServerShared {
+            admitted: obs.registry.counter(
+                "xvi_serve_admitted_total",
+                "Requests accepted into a tenant queue",
+                &[],
+            ),
+            rejected: obs.registry.counter(
+                "xvi_serve_rejected_total",
+                "Requests refused at admission (overloaded)",
+                &[],
+            ),
+            completed: obs.registry.counter(
+                "xvi_serve_completed_total",
+                "Requests fully completed",
+                &[],
+            ),
+            latency: obs.registry.histogram(
+                "xvi_serve_latency_seconds",
+                "End-to-end request latency (admission to completion)",
+                &[],
+                Unit::Seconds,
+            ),
+            obs,
             service,
             clock,
             sched: Mutex::new(SchedState {
@@ -296,13 +330,37 @@ impl Server {
             }),
             work: Condvar::new(),
             in_flight: AtomicUsize::new(0),
-            admitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
             completions: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
             config,
         });
+        {
+            // Dispatch-state gauges come from a snapshot-time
+            // collector (Weak: the shared state indirectly owns the
+            // registry through the service's hub).
+            let weak = Arc::downgrade(&shared);
+            shared
+                .obs
+                .registry
+                .register_collector(Box::new(move |sink| {
+                    let Some(shared) = weak.upgrade() else { return };
+                    let queued: usize = {
+                        let st = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+                        st.tenants.values().map(|t| t.jobs.len()).sum()
+                    };
+                    sink.gauge(
+                        "xvi_serve_queue_depth",
+                        "Admitted requests not yet dispatched, summed over tenants",
+                        &[],
+                        queued as u64,
+                    );
+                    sink.gauge(
+                        "xvi_serve_in_flight",
+                        "Requests dispatched but not yet completed",
+                        &[],
+                        shared.in_flight.load(Ordering::Relaxed) as u64,
+                    );
+                }));
+        }
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let executor = Arc::clone(&executor);
@@ -334,7 +392,7 @@ impl Server {
         }
         let depth = st.tenants.get(tenant).map_or(0, |t| t.jobs.len());
         if depth >= self.shared.config.tenant_queue.max(1) {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected.inc();
             // Scale the suggested backoff with how far over capacity
             // the caller is pushing: one dispatch-ish interval per
             // queued request, clamped to a sane range.
@@ -347,15 +405,29 @@ impl Server {
             completion_index: AtomicU64::new(0),
             enqueue_ns: self.shared.clock.now_ns(),
         });
+        let kind = match &request {
+            Request::Commit { .. } => "serve-commit",
+            Request::Query { .. } => "serve-query",
+        };
+        let trace = self
+            .shared
+            .obs
+            .tracer
+            .maybe_start(kind, || format!("tenant={tenant} request={request:?}"))
+            .map(|t| {
+                let admitted_ns = t.now_ns();
+                (t, admitted_ns)
+            });
         let queue = st.tenants.entry(tenant.to_string()).or_default();
         queue.jobs.push_back(Job {
             request,
             slot: Arc::clone(&slot),
+            trace,
         });
         if queue.jobs.len() == 1 {
             st.active.push_back(tenant.to_string());
         }
-        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.admitted.inc();
         drop(st);
         self.shared.work.notify_all();
         Ok(ResponseTicket { slot })
@@ -387,9 +459,9 @@ impl Server {
             st.tenants.values().map(|t| t.jobs.len()).sum()
         };
         ServerStats {
-            admitted: self.shared.admitted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.get(),
+            rejected: self.shared.rejected.get(),
+            completed: self.shared.completed.get(),
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             queue_depth,
             latency: self.shared.latency.snapshot(),
@@ -505,17 +577,29 @@ fn dispatch_loop(shared: Arc<ServerShared>, executor: Arc<Executor>) {
 /// stay cheap. (Pushing to the *front* is what makes a round "spend
 /// the whole quantum" rather than one request per visit.)
 fn spawn_job(shared: &Arc<ServerShared>, executor: &Arc<Executor>, job: Job) {
-    let Job { request, slot } = job;
+    let Job {
+        request,
+        slot,
+        trace,
+    } = job;
     let shared = Arc::clone(shared);
     let exec = Arc::clone(executor);
     executor.spawn(async move {
+        // The wait between admission and this dispatch is the
+        // admission-control stage of a traced request.
+        let trace = trace.map(|(t, admitted_ns)| {
+            t.record_stage(Stage::AdmissionWait, admitted_ns);
+            t
+        });
         let result: Result<Response, ServeError> = match request {
             Request::Query { doc, lookup } => shared
                 .service
-                .query(&doc, &lookup)
+                .query_traced(&doc, &lookup, trace.as_ref())
                 .map(Response::Query)
                 .map_err(ServeError::from),
-            Request::Commit { doc, txn } => commit_with_backoff(&shared, &exec, &doc, txn).await,
+            Request::Commit { doc, txn } => {
+                commit_with_backoff(&shared, &exec, &doc, txn, trace.as_ref()).await
+            }
         };
         // Completion bookkeeping: latency, sequence number, wake the
         // waiter, free the in-flight slot, kick the dispatcher.
@@ -528,9 +612,15 @@ fn spawn_job(shared: &Arc<ServerShared>, executor: &Arc<Executor>, job: Job) {
             *guard = Some(result);
         }
         slot.done.notify_all();
-        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.completed.inc();
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.work.notify_all();
+        // The serve layer started the trace at admission, so it ends
+        // it here — total = the same admission→completion span the
+        // latency histogram records.
+        if let Some(t) = trace {
+            shared.obs.tracer.finish(t);
+        }
     });
 }
 
@@ -544,12 +634,19 @@ async fn commit_with_backoff(
     exec: &Arc<Executor>,
     doc: &str,
     txn: Transaction,
+    trace: Option<&Trace>,
 ) -> Result<Response, ServeError> {
     let mut last_retry_after = Duration::from_micros(100);
     for attempt in 0..=shared.config.commit_retries {
         // try_submit consumes its transaction; keep ours and hand the
-        // shard a clone so a rejected attempt can be retried.
-        match shared.service.try_submit(doc, txn.clone()) {
+        // shard a clone so a rejected attempt can be retried. The
+        // trace (an Arc handle) rides into the pipeline, where the
+        // group leader attributes queue-wait/WAL/fsync/publish stages
+        // to it; this layer still owns and finishes it.
+        match shared
+            .service
+            .try_submit_traced(doc, txn.clone(), trace.cloned())
+        {
             Ok(ticket) => return Ok(Response::Commit(ticket.await?)),
             Err(IndexError::Overloaded { retry_after, .. }) => {
                 last_retry_after = retry_after;

@@ -12,6 +12,9 @@
 //! cargo run --release --bin xvi-cli -- stress --threads 4 --wal /tmp/xvi-wal
 //! cargo run --release --bin xvi-cli -- stress --threads 4 --serve
 //! cargo run --release --bin xvi-cli -- serve --docs 4 --export 'format=csv; columns=doc,node,value; lookup=equi:42'
+//! cargo run --release --bin xvi-cli -- serve --ops 2000 --metrics-out /tmp/xvi-metrics.prom
+//! cargo run --release --bin xvi-cli -- metrics --docs 4 --ops 2000
+//! cargo run --release --bin xvi-cli -- metrics --json --out /tmp/metrics.json
 //! cargo run --release --bin xvi-cli -- recover /tmp/xvi-wal --checkpoint
 //! ```
 //!
@@ -37,6 +40,17 @@
 //! subcommand reopens a WAL directory — checkpoint plus WAL replay —
 //! and reports what survived; `--checkpoint` then folds the replayed
 //! log into a fresh checkpoint.
+//!
+//! Observability: the `metrics` subcommand drives a traced mixed
+//! workload through the serving stack and emits the unified metrics
+//! registry — every layer's counters, gauges and latency histograms —
+//! as a Prometheus text exposition (or `--json`), plus the flight
+//! recorder's slowest-request breakdowns on stderr. `stress` and
+//! `serve` accept `--metrics-out <path>` to dump the same snapshot
+//! (Prometheus to `<path>`, JSON to `<path>.json`) after their run,
+//! and the interactive REPL gains `metrics` (registry snapshot,
+//! including per-tree storage gauges) and `trace` (flight recorder)
+//! commands — every REPL query runs fully traced.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write as _};
@@ -45,6 +59,7 @@ use std::time::Instant;
 
 use xvi::datagen::{ConcurrentConfig, ConcurrentWorkload, Dataset, WorkloadOp};
 use xvi::index::QueryEngine;
+use xvi::obs::{Obs, RegistrySnapshot, Stage, Unit};
 use xvi::prelude::*;
 use xvi::xml::NodeKind;
 
@@ -59,7 +74,7 @@ fn main() {
                     "usage: xvi-cli stress [--docs <n>] [--threads <n>] [--ops <n>] \
                      [--scale <permille>] [--write-pct <0-100>] [--group <n>] \
                      [--shards <n>] [--seed <n>] [--pipeline <depth>] [--wal <dir>] \
-                     [--serve]"
+                     [--serve] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -72,9 +87,22 @@ fn main() {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: xvi-cli serve [--docs <n>] [--scale <permille>] [--shards <n>] \
-                     [--ops <n>] [--export '<spec>'] [--out <file>]\n\
+                     [--ops <n>] [--export '<spec>'] [--out <file>] [--metrics-out <path>]\n\
                      export spec: format=csv|json|jsonl; columns=doc,node,name,kind,value,double,version; \
                      lookup=equi:V|range:LO..HI|contains:V|wildcard:P|xpath:Q; header=true|false"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("metrics") {
+        match run_metrics_cmd(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: xvi-cli metrics [--docs <n>] [--scale <permille>] [--shards <n>] \
+                     [--ops <n>] [--trace-rate <0..1>] [--json] [--out <file>]"
                 );
                 std::process::exit(2);
             }
@@ -150,6 +178,11 @@ fn main() {
     );
     println!("type `help` for commands");
 
+    // Every interactive request is traced (rate 1.0): `trace` shows the
+    // flight recorder's stage breakdowns, `metrics` the registry.
+    let obs = Obs::new();
+    obs.tracer.set_sample_rate(1.0);
+
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -170,19 +203,28 @@ fn main() {
                 print_stats(&doc, &idx);
                 print_statistics(&idx);
             }
-            "query" | "scan" => run_query(&doc, &idx, cmd == "query", rest),
+            "metrics" => repl_metrics(&idx, &obs),
+            "trace" => {
+                if rest == "clear" {
+                    obs.tracer.recorder().clear();
+                    println!("flight recorder cleared");
+                } else {
+                    print!("{}", obs.tracer.recorder().render());
+                }
+            }
+            "query" | "scan" => run_query(&doc, &idx, cmd == "query", rest, &obs),
             "explain" => explain_query(&doc, &idx, rest),
-            "eq" => timed_nodes("equi", &doc, || {
+            "eq" => timed_nodes("equi", &doc, &obs, rest, || {
                 idx.query(&doc, &Lookup::equi(rest)).unwrap()
             }),
-            "contains" => timed_nodes("contains", &doc, || {
+            "contains" => timed_nodes("contains", &doc, &obs, rest, || {
                 idx.query(&doc, &Lookup::contains(rest)).unwrap()
             }),
-            "like" => timed_nodes("wildcard", &doc, || {
+            "like" => timed_nodes("wildcard", &doc, &obs, rest, || {
                 idx.query(&doc, &Lookup::wildcard(rest)).unwrap()
             }),
             "range" => match parse_range(rest) {
-                Some((lo, hi)) => timed_nodes("range", &doc, || {
+                Some((lo, hi)) => timed_nodes("range", &doc, &obs, rest, || {
                     idx.query(&doc, &Lookup::range_f64(lo..=hi)).unwrap()
                 }),
                 None => println!("usage: range <lo> <hi>"),
@@ -193,10 +235,20 @@ fn main() {
                         let node = NodeId::from_index(i);
                         let t = Instant::now();
                         match idx.update_value(&mut doc, node, value) {
-                            Ok(()) => println!(
-                                "updated node {i} in {:.2} ms",
-                                t.elapsed().as_secs_f64() * 1000.0
-                            ),
+                            Ok(()) => {
+                                obs.registry
+                                    .histogram(
+                                        "xvi_repl_update_seconds",
+                                        "Latency of REPL value updates",
+                                        &[],
+                                        Unit::Seconds,
+                                    )
+                                    .record(t.elapsed());
+                                println!(
+                                    "updated node {i} in {:.2} ms",
+                                    t.elapsed().as_secs_f64() * 1000.0
+                                );
+                            }
                             Err(e) => println!("error: {e}"),
                         }
                     }
@@ -287,7 +339,9 @@ fn explain_query(doc: &Document, idx: &IndexManager, q: &str) {
 }
 
 /// `stats`: build all indices over a document and dump the maintained
-/// per-index `Statistics` plus each B+tree's `TreeStats`.
+/// per-index `Statistics` plus each B+tree's `TreeStats`, then the
+/// consolidated metrics-registry snapshot (service counters plus the
+/// per-tree storage collector) in Prometheus text form.
 fn run_stats_cmd(args: &[String]) -> Result<(), String> {
     let (label, xml) = if args.is_empty() {
         parse_args(&["--dataset".to_string(), "xmark1".to_string()])?
@@ -295,13 +349,29 @@ fn run_stats_cmd(args: &[String]) -> Result<(), String> {
         parse_args(args)?
     };
     let doc = Document::parse(&xml).map_err(|e| format!("failed to parse {label}: {e}"))?;
-    let idx = IndexManager::build(
-        &doc,
+    // Host the document in a service so the registry's shard collector
+    // and query-path counters cover it — one index build, via insert.
+    let service = IndexService::new(ServiceConfig::with_shards(1).with_index(
         IndexConfig::with_types(&[XmlType::Double, XmlType::DateTime]).with_substring_index(),
-    );
+    ));
+    service.insert_document("doc", doc);
     println!("source: {label}");
-    print_stats(&doc, &idx);
-    print_statistics(&idx);
+    service
+        .read("doc", |doc, idx| {
+            print_stats(doc, idx);
+            print_statistics(idx);
+        })
+        .expect("document just inserted");
+    // A few representative probes so the query-path series are live.
+    for lookup in [
+        Lookup::equi("42"),
+        Lookup::range_f64(10.0..=20.0),
+        Lookup::contains("a"),
+    ] {
+        let _ = service.query("doc", &lookup);
+    }
+    println!("\nmetrics registry snapshot:");
+    print!("{}", service.obs().registry.snapshot().to_prometheus());
     Ok(())
 }
 
@@ -374,6 +444,149 @@ fn print_statistics(idx: &IndexManager) {
     }
 }
 
+/// `metrics`: build a small served deployment, drive a traced mixed
+/// workload through the full stack (serve → service → planner →
+/// B+trees), and emit the unified registry snapshot — Prometheus text
+/// by default, `--json` for the JSON document — to stdout or `--out`.
+/// The flight recorder's slowest-request breakdowns go to stderr so
+/// stdout stays a valid exposition document.
+fn run_metrics_cmd(args: &[String]) -> Result<(), String> {
+    let mut docs_n = 4usize;
+    let mut scale = 10u32;
+    let mut shards = 4usize;
+    let mut ops = 2_000usize;
+    let mut trace_rate = 1.0f64;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |j: usize| -> Result<&String, String> {
+            args.get(j)
+                .ok_or_else(|| format!("{} needs a value", args[j - 1]))
+        };
+        if args[i] == "--json" {
+            json = true;
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--docs" => docs_n = val(i + 1)?.parse().map_err(|e| format!("--docs: {e}"))?,
+            "--scale" => scale = val(i + 1)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--shards" => shards = val(i + 1)?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--ops" => ops = val(i + 1)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--trace-rate" => {
+                trace_rate = val(i + 1)?
+                    .parse()
+                    .map_err(|e| format!("--trace-rate: {e}"))?;
+            }
+            "--out" => out = Some(val(i + 1)?.clone()),
+            other => return Err(format!("unknown metrics option `{other}`")),
+        }
+        i += 2;
+    }
+    if docs_n == 0 {
+        return Err("--docs must be positive".into());
+    }
+
+    let suite = Dataset::paper_suite();
+    eprintln!("generating and indexing {docs_n} documents at {scale}‰ …");
+    let service = Arc::new(IndexService::new(
+        ServiceConfig::with_shards(shards)
+            .with_index(IndexConfig::default().with_substring_index()),
+    ));
+    service.obs().tracer.set_sample_rate(trace_rate);
+    let mut value_nodes = Vec::new();
+    for i in 0..docs_n {
+        let xml = suite[i % suite.len()].generate(scale);
+        let doc = Document::parse(&xml).expect("generated datasets parse");
+        value_nodes.push(
+            doc.descendants_or_self(doc.document_node())
+                .find(|&n| doc.kind(n).has_direct_value())
+                .expect("generated documents contain text"),
+        );
+        service.insert_document(format!("d{i}"), doc);
+    }
+
+    let server = Server::new(Arc::clone(&service), ServerConfig::default());
+    eprintln!("driving a {ops}-request traced workload (2 tenants, mixed lookups, 10% writes) …");
+    let xpath = Lookup::xpath("//person[.//age = 42]").expect("query parses");
+    let mut tickets = Vec::new();
+    for i in 0..ops {
+        let doc_id = format!("d{}", i % docs_n);
+        let request = match i % 10 {
+            9 => {
+                let mut txn = service.begin();
+                txn.set_value(value_nodes[i % docs_n], format!("v{i}"));
+                Request::Commit { doc: doc_id, txn }
+            }
+            3 => Request::Query {
+                doc: doc_id,
+                lookup: xpath.clone(),
+            },
+            6 => Request::Query {
+                doc: doc_id,
+                lookup: Lookup::equi("42"),
+            },
+            7 => Request::Query {
+                doc: doc_id,
+                lookup: Lookup::contains("ap"),
+            },
+            _ => Request::Query {
+                doc: doc_id,
+                lookup: Lookup::range_f64(10.0..=20.0),
+            },
+        };
+        let tenant = if i % 2 == 0 { "even" } else { "odd" };
+        match server.submit(tenant, request) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            Err(e) => return Err(format!("metrics: {e}")),
+        }
+    }
+    for t in &tickets {
+        t.wait().map_err(|e| format!("metrics: {e}"))?;
+    }
+    server.shutdown();
+
+    let snap = service.obs().registry.snapshot();
+    eprintln!(
+        "{} series in the registry snapshot",
+        snap.series_names().len()
+    );
+    let body = if json {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("wrote snapshot to {path}");
+        }
+        None => print!("{body}"),
+    }
+    if service.obs().tracer.enabled() {
+        eprintln!("--- flight recorder: slowest traced requests ---");
+        eprint!("{}", service.obs().tracer.recorder().render());
+    }
+    Ok(())
+}
+
+/// Dumps a registry snapshot to `path` (Prometheus text exposition)
+/// and `<path>.json` (the JSON document) — the `--metrics-out` tail of
+/// the `stress` and `serve` subcommands.
+fn write_metrics(snap: &RegistrySnapshot, path: &str) -> Result<(), String> {
+    std::fs::write(path, snap.to_prometheus()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    let json_path = format!("{path}.json");
+    std::fs::write(&json_path, snap.to_json())
+        .map_err(|e| format!("--metrics-out {json_path}: {e}"))?;
+    eprintln!(
+        "wrote metrics snapshot ({} series) to {path} and {json_path}",
+        snap.series_names().len()
+    );
+    Ok(())
+}
+
 /// `recover`: reopen a WAL-backed service directory — load the last
 /// checkpoint (if any) and replay each shard's log, tolerating a torn
 /// final record — then report what survived. With `--checkpoint`, fold
@@ -440,6 +653,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
     let mut pipeline = 1usize;
     let mut wal: Option<String> = None;
     let mut serve = false;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let val = |j: usize| -> Result<&String, String> {
@@ -476,6 +690,7 @@ fn run_stress(args: &[String]) -> Result<(), String> {
                 }
             }
             "--wal" => wal = Some(val(i + 1)?.clone()),
+            "--metrics-out" => metrics_out = Some(val(i + 1)?.clone()),
             other => return Err(format!("unknown stress option `{other}`")),
         }
         i += 2;
@@ -682,6 +897,9 @@ fn run_stress(args: &[String]) -> Result<(), String> {
             t.elapsed().as_secs_f64() * 1000.0
         );
     }
+    if let Some(path) = &metrics_out {
+        write_metrics(&service.obs().registry.snapshot(), path)?;
+    }
     Ok(())
 }
 
@@ -772,6 +990,7 @@ fn run_serve_cmd(args: &[String]) -> Result<(), String> {
     let mut ops = 2_000usize;
     let mut export: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let val = |j: usize| -> Result<&String, String> {
@@ -785,6 +1004,7 @@ fn run_serve_cmd(args: &[String]) -> Result<(), String> {
             "--ops" => ops = val(i + 1)?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--export" => export = Some(val(i + 1)?.clone()),
             "--out" => out = Some(val(i + 1)?.clone()),
+            "--metrics-out" => metrics_out = Some(val(i + 1)?.clone()),
             other => return Err(format!("unknown serve option `{other}`")),
         }
         i += 2;
@@ -869,6 +1089,9 @@ fn run_serve_cmd(args: &[String]) -> Result<(), String> {
             out.map(|p| format!(" to {p}")).unwrap_or_default()
         );
     }
+    if let Some(path) = &metrics_out {
+        write_metrics(&service.obs().registry.snapshot(), path)?;
+    }
     Ok(())
 }
 
@@ -930,6 +1153,8 @@ fn help() {
          \x20 set <node-id> <val>  update a text/attribute value (index maintained)\n\
          \x20 show <node-id>       print one node\n\
          \x20 stats                document, index and histogram/TreeStats statistics\n\
+         \x20 metrics              Prometheus snapshot of the session's metrics registry\n\
+         \x20 trace [clear]        flight recorder: slowest traced requests, stage by stage\n\
          \x20 quit"
     );
 }
@@ -939,7 +1164,7 @@ fn parse_range(rest: &str) -> Option<(f64, f64)> {
     Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
 }
 
-fn run_query(doc: &Document, idx: &IndexManager, accelerated: bool, q: &str) {
+fn run_query(doc: &Document, idx: &IndexManager, accelerated: bool, q: &str, obs: &Obs) {
     let query = match QueryEngine::parse(q) {
         Ok(q) => q,
         Err(e) => {
@@ -947,27 +1172,103 @@ fn run_query(doc: &Document, idx: &IndexManager, accelerated: bool, q: &str) {
             return;
         }
     };
+    let mode = if accelerated { "index" } else { "scan" };
+    let trace = obs
+        .tracer
+        .start(if accelerated { "query" } else { "scan" }, q.to_string());
     let t = Instant::now();
     let result = if accelerated {
-        QueryEngine::evaluate(doc, idx, &query)
+        let t0 = trace.now_ns();
+        let plan = QueryEngine::plan(idx, &query);
+        trace.record_stage(Stage::Plan, t0);
+        trace.annotate(&format!("plan: {plan}"));
+        QueryEngine::evaluate_with_plan_probed(doc, idx, &query, &plan, Some(&trace), &mut None)
     } else {
-        QueryEngine::evaluate_scan(doc, &query)
+        let t0 = trace.now_ns();
+        let result = QueryEngine::evaluate_scan(doc, &query);
+        trace.record_stage(Stage::Execute, t0);
+        result
     };
-    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    let elapsed = t.elapsed();
+    obs.registry
+        .histogram(
+            "xvi_repl_query_seconds",
+            "Latency of REPL mini-XPath evaluations",
+            &[("mode", mode)],
+            Unit::Seconds,
+        )
+        .record(elapsed);
+    obs.tracer.finish(trace);
+    let ms = elapsed.as_secs_f64() * 1000.0;
     preview(doc, &result);
-    println!(
-        "{} node(s) in {ms:.2} ms ({})",
-        result.len(),
-        if accelerated { "index" } else { "scan" }
-    );
+    println!("{} node(s) in {ms:.2} ms ({mode})", result.len());
 }
 
-fn timed_nodes(label: &str, doc: &Document, f: impl FnOnce() -> Vec<NodeId>) {
+fn timed_nodes(
+    label: &str,
+    doc: &Document,
+    obs: &Obs,
+    detail: &str,
+    f: impl FnOnce() -> Vec<NodeId>,
+) {
+    let trace = obs.tracer.start("lookup", format!("{label} {detail}"));
     let t = Instant::now();
+    let t0 = trace.now_ns();
     let result = f();
-    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    trace.record_stage(Stage::Probe, t0);
+    let elapsed = t.elapsed();
+    obs.registry
+        .histogram(
+            "xvi_repl_lookup_seconds",
+            "Latency of REPL point lookups",
+            &[("kind", label)],
+            Unit::Seconds,
+        )
+        .record(elapsed);
+    obs.tracer.finish(trace);
+    let ms = elapsed.as_secs_f64() * 1000.0;
     preview(doc, &result);
     println!("{label}: {} node(s) in {ms:.2} ms", result.len());
+}
+
+/// The REPL `metrics` command: refresh point-in-time storage gauges
+/// from the live trees, then print the whole registry as a Prometheus
+/// text exposition.
+fn repl_metrics(idx: &IndexManager, obs: &Obs) {
+    for (kind, t) in idx.tree_stats_by_kind() {
+        let labels: &[(&str, &str)] = &[("kind", kind.as_str())];
+        let g = |name: &str, help: &str, v: u64| {
+            obs.registry.gauge(name, help, labels).set(v);
+        };
+        g("xvi_btree_entries", "Entries stored per tree", t.len as u64);
+        g("xvi_btree_pages", "Arena pages per tree", t.pages as u64);
+        g(
+            "xvi_btree_shared_pages",
+            "Copy-on-write shared arena pages per tree",
+            t.shared_pages as u64,
+        );
+        g(
+            "xvi_btree_pages_detached_total",
+            "Cumulative copy-on-write page detaches per tree",
+            t.pages_detached,
+        );
+        g(
+            "xvi_btree_cache_hits_total",
+            "Descents resolved at the branch-cached leaf",
+            t.cache_hits,
+        );
+        g(
+            "xvi_btree_cache_partial_hits_total",
+            "Descents resolved from a cached ancestor",
+            t.cache_partial_hits,
+        );
+        g(
+            "xvi_btree_cache_misses_total",
+            "Descents that fell back to a full root walk",
+            t.cache_misses,
+        );
+    }
+    print!("{}", obs.registry.snapshot().to_prometheus());
 }
 
 fn preview(doc: &Document, nodes: &[NodeId]) {

@@ -15,6 +15,10 @@
 //!   document store with MonetDB/XQuery-style pre/size/level range
 //!   encoding and the DFS cursor interface the paper's algorithms assume.
 //! * [`btree`] — the B+tree substrate used by both index families.
+//! * [`obs`] — the observability substrate: a lock-free metrics
+//!   registry with Prometheus/JSON export, sampled request tracing
+//!   with a slowest-requests flight recorder, and the shared latency
+//!   histogram and clock primitives.
 //! * [`index`] — the index manager: one-pass creation (paper Figure 7),
 //!   ancestor-only updates (Figure 8), equi/range lookups, the
 //!   commutative transaction layer (§5.1) and a mini-XPath evaluator.
@@ -51,6 +55,7 @@ pub use xvi_datagen as datagen;
 pub use xvi_fsm as fsm;
 pub use xvi_hash as hash;
 pub use xvi_index as index;
+pub use xvi_obs as obs;
 pub use xvi_serve as serve;
 pub use xvi_xml as xml;
 
@@ -63,6 +68,7 @@ pub mod prelude {
         IndexConfig, IndexManager, IndexService, Lookup, Plan, PlannerConfig, QueryEngine,
         ServiceConfig, ServiceSnapshot, Statistics, TransactionalStore,
     };
+    pub use xvi_obs::{Obs, Stage, Trace};
     pub use xvi_serve::{
         ExportSpec, LatencyHistogram, Request, Response, ResponseTicket, ServeError, Server,
         ServerConfig, ServerStats,
